@@ -1,0 +1,52 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints (1) the figure's data series as CSV to stdout so the
+// plot can be regenerated with gnuplot, and (2) [CHECK] lines asserting
+// the *shape* statements the paper makes (who wins, by what factor, where
+// the knee is).  A bench exits nonzero if any check fails.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace mca::bench {
+
+/// Prints a section banner.
+inline void section(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// Records and prints one shape check; returns the running failure count
+/// delta (0 ok, 1 failed).
+class check_list {
+ public:
+  void expect(bool condition, const std::string& label,
+              const std::string& detail) {
+    std::printf("[CHECK] %-58s %s  (%s)\n", label.c_str(),
+                condition ? "PASS" : "FAIL", detail.c_str());
+    if (!condition) ++failures_;
+  }
+
+  /// Prints the summary line and returns the process exit code.
+  int finish(const std::string& bench_name) const {
+    if (failures_ == 0) {
+      std::printf("\n%s: all shape checks passed\n", bench_name.c_str());
+      return 0;
+    }
+    std::printf("\n%s: %d shape check(s) FAILED\n", bench_name.c_str(),
+                failures_);
+    return 1;
+  }
+
+ private:
+  int failures_ = 0;
+};
+
+/// Formats "x.xx times" ratios for check details.
+inline std::string ratio_detail(const char* name, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s = %.3f", name, value);
+  return buf;
+}
+
+}  // namespace mca::bench

@@ -1,0 +1,111 @@
+// Fig. 10a — prediction accuracy vs the size of the knowledge base.
+//
+// The paper trains the edit-distance predictor on a 16-hour history and
+// reports ≈87.5% accuracy via 10-fold cross validation, with a bootstrap
+// ramp before the knowledge base suffices.  We synthesize a 22-hour
+// diurnal workload from the smartphone-study model (with promotion churn,
+// so slot composition drifts like the real system's), slice it into
+// slots, and score walk-forward accuracy at every knowledge size 2..20
+// plus the 10-fold CV number.  Fig. 10b/10c series are emitted by the
+// fig9_user_perception bench (same 8-hour run, as in the paper).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "client/usage_trace.h"
+#include "core/predictor.h"
+#include "trace/log_store.h"
+#include "util/csv.h"
+
+namespace {
+
+/// Synthesizes a diurnal multi-user request log across 3 acceleration
+/// groups (no backend needed: prediction consumes only <timestamp, user,
+/// group> tuples).  Users have a stable home group (most sit at level 1)
+/// and occasionally run promoted-by-one — the quasi-stationary composition
+/// a long-lived deployment settles into, with promotion churn on top.
+mca::trace::log_store synthesize_log(std::size_t users, double hours_total,
+                                     std::uint64_t seed) {
+  using namespace mca;
+  util::rng rng{seed};
+  trace::log_store log;
+  for (user_id u = 0; u < users; ++u) {
+    util::rng stream = rng.fork();
+    const double tier = stream.uniform();
+    const group_id home = tier < 0.6 ? 1 : (tier < 0.9 ? 2 : 3);
+    client::usage_study_config study;
+    study.participants = 1;
+    study.days = hours_total / 24.0 + 1.0;
+    const auto events = client::synthesize_participant_events(study, stream);
+    for (const auto t : events) {
+      if (t > util::hours(hours_total)) break;
+      // The paper's 1/50 static promotion, scoped to the ongoing session.
+      const group_id group =
+          (home < 3 && stream.bernoulli(1.0 / 50.0)) ? home + 1 : home;
+      log.append({t, u, group, 1.0, 300.0});
+    }
+  }
+  return log;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mca;
+  bench::check_list checks;
+
+  const auto log = synthesize_log(100, 40.0, 1016);
+  auto all_slots = log.build_slots(util::hours(1.0), 4);
+  // The paper removes long inactive (night) periods from the data; empty
+  // slots carry no workload evidence and are dropped the same way.
+  std::vector<trace::time_slot> slots;
+  for (auto& slot : all_slots) {
+    if (!slot.empty()) slots.push_back(std::move(slot));
+  }
+  std::printf("history: %zu active hourly slots (of %zu) from %zu trace "
+              "records\n",
+              slots.size(), all_slots.size(), log.size());
+
+  bench::section("Fig. 10a data: accuracy vs size of the data");
+  util::csv_writer csv{std::cout,
+                       {"history_slots", "accuracy_pct", "mode"}};
+  std::vector<double> accuracy_by_size(21, 0.0);
+  for (std::size_t size = 2; size <= 20; ++size) {
+    for (const auto mode :
+         {core::prediction_mode::successor, core::prediction_mode::match}) {
+      const auto accuracy = core::walk_forward_accuracy(slots, size, mode);
+      if (!accuracy) continue;
+      csv.row_values(size, *accuracy * 100.0, core::to_string(mode));
+      if (mode == core::prediction_mode::successor) {
+        accuracy_by_size[size] = *accuracy;
+      }
+    }
+  }
+
+  bench::section("10-fold cross validation (paper: ~87.5%)");
+  const auto cv = core::cross_validate(slots, 10);
+  std::printf("mean accuracy: %.1f%%   folds:", cv.mean_accuracy * 100.0);
+  for (const double fold : cv.fold_accuracy) {
+    std::printf(" %.0f%%", fold * 100.0);
+  }
+  std::printf("\n");
+
+  // ---- shape checks ----
+  checks.expect(accuracy_by_size[4] < accuracy_by_size[20] + 0.02,
+                "bootstrap: accuracy climbs as the knowledge base grows",
+                bench::ratio_detail("acc@4 vs acc@20",
+                                    accuracy_by_size[20] -
+                                        accuracy_by_size[4]));
+  checks.expect(accuracy_by_size[20] > 0.80,
+                "mature knowledge base predicts above 80%",
+                bench::ratio_detail("acc@20 [%]",
+                                    accuracy_by_size[20] * 100.0));
+  checks.expect(std::abs(cv.mean_accuracy - 0.875) < 0.10,
+                "10-fold CV accuracy lands near the paper's 87.5%",
+                bench::ratio_detail("CV accuracy [%]",
+                                    cv.mean_accuracy * 100.0));
+  checks.expect(cv.fold_accuracy.size() == 10,
+                "all ten folds scored", "10 folds");
+  return checks.finish("fig10_prediction");
+}

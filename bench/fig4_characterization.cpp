@@ -1,0 +1,95 @@
+// Fig. 4 — response time vs concurrent users for the six general-purpose
+// instance types, and their grouping into acceleration levels.
+//
+// Methodology (§VI-A.1): concurrent mode, random task from the 10-task
+// pool, bursts separated by a 1-minute cool-down, load levels
+// 1,10,...,100.  The paper's finding: degradation slope flattens as types
+// get wider/faster; servers cluster into 3 regular acceleration groups,
+// with t2.micro demoted to group 0.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/classifier.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace mca;
+  bench::check_list checks;
+
+  const std::vector<std::string> fig4_types = {
+      "t2.nano", "t2.micro", "t2.small", "t2.medium", "t2.large",
+      "m4.10xlarge"};
+
+  tasks::task_pool pool;
+  core::classifier_config config;
+  config.rounds_per_level = 8;
+  config.seed = 4242;
+
+  bench::section("Fig. 4 data: response time vs concurrent users");
+  util::csv_writer csv{std::cout,
+                       {"type", "users", "mean_ms", "stddev_ms", "p5_ms",
+                        "p95_ms"}};
+  std::vector<core::type_characterization> profiles;
+  for (const auto& name : fig4_types) {
+    auto profile =
+        core::characterize_type(cloud::type_by_name(name), pool, config);
+    for (const auto& point : profile.curve) {
+      csv.row_values(name, point.users, point.mean_ms, point.stddev_ms,
+                     point.p5_ms, point.p95_ms);
+    }
+    profiles.push_back(std::move(profile));
+  }
+
+  bench::section("capacity under the 500 ms bound (Ks)");
+  for (const auto& p : profiles) {
+    std::printf("%-14s capacity %3zu users  (solo %.1f ms, 100-user mean "
+                "%.0f ms)\n",
+                p.type_name.c_str(), p.capacity_users, p.solo_mean_ms,
+                p.curve.back().mean_ms);
+  }
+
+  bench::section("acceleration groups (paper: 3 regular levels + group 0)");
+  std::vector<cloud::instance_type> types;
+  for (const auto& name : fig4_types) {
+    types.push_back(cloud::type_by_name(name));
+  }
+  const auto map = core::classify(types, pool, config);
+  for (const auto& group : map.groups()) {
+    std::printf("level %u:", group.id);
+    for (const auto& name : group.type_names) std::printf(" %s", name.c_str());
+    std::printf("\n");
+  }
+
+  // --- shape checks ---
+  const auto& nano = profiles[0];
+  const auto& m4 = profiles[5];
+  checks.expect(nano.curve.back().mean_ms > nano.curve.front().mean_ms * 10,
+                "single-core type degrades steeply (t2.nano)",
+                bench::ratio_detail("100-user/solo",
+                                    nano.curve.back().mean_ms /
+                                        nano.curve.front().mean_ms));
+  checks.expect(m4.curve.back().mean_ms < m4.curve.front().mean_ms * 5,
+                "wide type stays nearly flat (m4.10xlarge)",
+                bench::ratio_detail("100-user/solo",
+                                    m4.curve.back().mean_ms /
+                                        m4.curve.front().mean_ms));
+  // Monotone capability ordering.
+  checks.expect(profiles[0].capacity_users < profiles[4].capacity_users &&
+                    profiles[4].capacity_users < profiles[5].capacity_users,
+                "capacity ordering nano < large < m4.10xlarge",
+                "Ks = " + std::to_string(profiles[0].capacity_users) + "/" +
+                    std::to_string(profiles[4].capacity_users) + "/" +
+                    std::to_string(profiles[5].capacity_users));
+  checks.expect(map.group_of("t2.micro") == 0,
+                "t2.micro demoted to acceleration group 0", "group 0");
+  checks.expect(map.group_of("t2.nano") == map.group_of("t2.small"),
+                "t2.nano and t2.small share level 1", "same group");
+  checks.expect(map.group_of("t2.medium") == map.group_of("t2.large"),
+                "t2.medium and t2.large share level 2", "same group");
+  checks.expect(map.max_group() == 3,
+                "six Fig. 4 types yield exactly 3 regular levels",
+                "max level = " + std::to_string(map.max_group()));
+  return checks.finish("fig4_characterization");
+}

@@ -1,0 +1,192 @@
+// Fig. 9 + Fig. 10b/10c — the 8-hour closed-loop experiment.
+//
+// Setup (§VI-C.1): 100 users, static minimax requests, trace-driven
+// inter-arrivals from the smartphone study (sessions in the 100-5000 ms
+// band separated by long idle gaps — the paper's 8 h run produced ~4000
+// requests), three acceleration groups backed by t2.nano / t2.large /
+// m4.4xlarge, promotion probability 1/50, and a 50-user background burst
+// induced into every back-end server every 2 seconds.  The adaptive model
+// re-provisions hourly under the CC=20 account cap.
+//
+// Emitted series:
+//   fig9b  — response trajectory of a user never promoted (stays level 1)
+//   fig9c  — response trajectory of a user promoted up to level 3
+//   fig10b — every request: (index, group, response) heat-map points
+//   fig10c — per user: requests and mean response per group (promotion map)
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "bench_util.h"
+#include "client/usage_trace.h"
+#include "core/system.h"
+#include "util/csv.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace mca;
+  bench::check_list checks;
+  tasks::task_pool pool;
+
+  // Session-structured gaps: 80% in-session (study band), 20% idle —
+  // calibrated so 100 users produce ~4000 requests over 8 h, matching the
+  // paper's request volume.
+  auto study = std::make_shared<util::empirical_distribution>(
+      client::study_interarrival_distribution({}, 99));
+  auto session_gaps = [study](util::rng& rng) {
+    if (rng.bernoulli(0.8)) return study->sample(rng);
+    return rng.lognormal(std::log(util::minutes(55.0)), 0.6);
+  };
+
+  core::system_config config;
+  config.groups = {
+      {1, "t2.nano", 1, 4.0},
+      {2, "t2.large", 1, 30.0},
+      {3, "m4.4xlarge", 1, 100.0},
+  };
+  config.user_count = 100;
+  config.tasks = workload::static_source(pool.static_minimax_request());
+  config.gaps = session_gaps;
+  config.slot_length = util::hours(1);
+  config.max_total_instances = 20;
+  config.background_requests_per_burst = 50;
+  config.background_burst_period = util::seconds(2);
+  config.policy_factory = [] {
+    return std::make_unique<client::static_probability_promotion>(1.0 / 50.0);
+  };
+  config.seed = 2017;
+
+  core::offloading_system system{config, pool};
+  system.run(util::hours(8));
+  const auto& metrics = system.metrics();
+
+  // Pick the paper's two exemplar users: the busiest never-promoted user
+  // and the busiest user that reached level 3.
+  user_id stable_user = 0;
+  std::size_t stable_requests = 0;
+  user_id promoted_user = 0;
+  std::size_t promoted_requests = 0;
+  for (user_id u = 0; u < config.user_count; ++u) {
+    const auto groups = metrics.user_group_series(u);
+    if (groups.empty()) continue;
+    const bool never_promoted = groups.back() == 1;
+    const bool reached_top = groups.back() == 3;
+    if (never_promoted && groups.size() > stable_requests) {
+      stable_requests = groups.size();
+      stable_user = u;
+    }
+    if (reached_top && groups.size() > promoted_requests) {
+      promoted_requests = groups.size();
+      promoted_user = u;
+    }
+  }
+
+  bench::section("Fig. 9b data: never-promoted user");
+  {
+    util::csv_writer csv{std::cout, {"request", "response_ms", "group"}};
+    const auto responses = metrics.user_response_series(stable_user);
+    const auto groups = metrics.user_group_series(stable_user);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      csv.row_values(i, responses[i], static_cast<unsigned>(groups[i]));
+    }
+  }
+  bench::section("Fig. 9c data: user promoted to level 3");
+  {
+    util::csv_writer csv{std::cout, {"request", "response_ms", "group"}};
+    const auto responses = metrics.user_response_series(promoted_user);
+    const auto groups = metrics.user_group_series(promoted_user);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      csv.row_values(i, responses[i], static_cast<unsigned>(groups[i]));
+    }
+  }
+
+  bench::section("Fig. 10b data: all requests (heat-map points)");
+  {
+    util::csv_writer csv{std::cout, {"request", "group", "response_ms"}};
+    std::size_t index = 0;
+    for (const auto& r : metrics.requests) {
+      if (r.success) {
+        csv.row_values(index++, static_cast<unsigned>(r.group),
+                       r.response_ms);
+      }
+    }
+  }
+
+  bench::section("Fig. 10c data: per-user promotion map");
+  struct user_group_cell {
+    util::running_stats response;
+  };
+  std::map<std::pair<user_id, group_id>, user_group_cell> cells;
+  for (const auto& r : metrics.requests) {
+    if (r.success) cells[{r.user, r.group}].response.add(r.response_ms);
+  }
+  {
+    util::csv_writer csv{std::cout,
+                         {"user", "group", "requests", "mean_response_ms"}};
+    for (const auto& [key, cell] : cells) {
+      csv.row_values(static_cast<unsigned>(key.first),
+                     static_cast<unsigned>(key.second),
+                     cell.response.count(), cell.response.mean());
+    }
+  }
+
+  // ---- summary + shape checks ----
+  util::running_stats per_group_mean[4];
+  std::size_t successes = 0;
+  for (const auto& r : metrics.requests) {
+    if (!r.success) continue;
+    ++successes;
+    if (r.group >= 1 && r.group <= 3) per_group_mean[r.group].add(r.response_ms);
+  }
+  bench::section("summary");
+  std::printf("requests: %zu (paper: ~4000)   promotions: %llu   cost: $%.2f\n",
+              metrics.requests.size(),
+              static_cast<unsigned long long>(metrics.promotions),
+              metrics.total_cost_usd);
+  for (group_id g = 1; g <= 3; ++g) {
+    std::printf("level %u: %6zu requests, mean %7.0f ms\n", g,
+                per_group_mean[g].count(), per_group_mean[g].mean());
+  }
+
+  checks.expect(metrics.requests.size() > 2'000 &&
+                    metrics.requests.size() < 8'000,
+                "8h workload produces ~4000 requests",
+                std::to_string(metrics.requests.size()) + " requests");
+  checks.expect(stable_requests > 10 && promoted_requests > 10,
+                "both exemplar users are active",
+                std::to_string(stable_requests) + " / " +
+                    std::to_string(promoted_requests) + " requests");
+  // The stable user's perceived time stays high; the promoted user's time
+  // drops with each promotion.
+  const auto stable_series = metrics.user_response_series(stable_user);
+  util::running_stats stable_stats;
+  for (const double r : stable_series) stable_stats.add(r);
+  checks.expect(stable_stats.mean() > 1'000.0,
+                "never-promoted user perceives a high, stable response",
+                bench::ratio_detail("mean [ms]", stable_stats.mean()));
+  util::running_stats promoted_l1;
+  util::running_stats promoted_l3;
+  {
+    const auto responses = metrics.user_response_series(promoted_user);
+    const auto groups = metrics.user_group_series(promoted_user);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      if (groups[i] == 1) promoted_l1.add(responses[i]);
+      if (groups[i] == 3) promoted_l3.add(responses[i]);
+    }
+  }
+  checks.expect(promoted_l3.mean() < promoted_l1.mean() * 0.6,
+                "promotion to level 3 shortens perceived response",
+                bench::ratio_detail("L3/L1",
+                                    promoted_l3.mean() /
+                                        std::max(promoted_l1.mean(), 1.0)));
+  checks.expect(per_group_mean[3].mean() < per_group_mean[1].mean(),
+                "higher groups are faster across the whole workload",
+                bench::ratio_detail("L1/L3 mean ratio",
+                                    per_group_mean[1].mean() /
+                                        per_group_mean[3].mean()));
+  checks.expect(metrics.promotions > 20,
+                "the 1/50 policy produces steady promotion flow",
+                std::to_string(metrics.promotions) + " promotions");
+  return checks.finish("fig9_user_perception");
+}

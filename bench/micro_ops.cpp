@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) for the hot operations on the
+// SDN-accelerator's control path: slot comparison, prediction, the ILP
+// solve, RTT sampling, and the simulated server's submit/complete cycle.
+#include <benchmark/benchmark.h>
+
+#include "cloud/instance.h"
+#include "core/allocator.h"
+#include "core/predictor.h"
+#include "ilp/branch_bound.h"
+#include "net/operators.h"
+#include "sim/simulation.h"
+#include "trace/edit_distance.h"
+#include "trace/log_store.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mca;
+
+std::vector<user_id> random_users(std::size_t n, std::uint64_t seed) {
+  util::rng rng{seed};
+  std::vector<user_id> users(n);
+  for (auto& u : users) u = static_cast<user_id>(rng.uniform_int(0, 500));
+  return users;
+}
+
+void bm_edit_distance(benchmark::State& state) {
+  const auto a = random_users(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = random_users(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::edit_distance(a, b));
+  }
+}
+BENCHMARK(bm_edit_distance)->Arg(8)->Arg(32)->Arg(128);
+
+void bm_normalized_edit_distance(benchmark::State& state) {
+  const auto a = random_users(static_cast<std::size_t>(state.range(0)), 3);
+  const auto b = random_users(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::normalized_edit_distance(a, b));
+  }
+}
+BENCHMARK(bm_normalized_edit_distance)->Arg(8)->Arg(32);
+
+trace::time_slot random_slot(std::size_t groups, std::size_t users,
+                             std::uint64_t seed) {
+  util::rng rng{seed};
+  trace::time_slot slot{groups};
+  for (std::size_t i = 0; i < users; ++i) {
+    slot.add_user(static_cast<group_id>(rng.uniform_int(
+                      0, static_cast<std::int64_t>(groups) - 1)),
+                  static_cast<user_id>(rng.uniform_int(0, 500)));
+  }
+  return slot;
+}
+
+void bm_slot_distance(benchmark::State& state) {
+  const auto a = random_slot(4, static_cast<std::size_t>(state.range(0)), 5);
+  const auto b = random_slot(4, static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::slot_distance(a, b));
+  }
+}
+BENCHMARK(bm_slot_distance)->Arg(20)->Arg(100);
+
+void bm_predictor_query(benchmark::State& state) {
+  core::workload_predictor predictor;
+  std::vector<trace::time_slot> history;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    history.push_back(random_slot(4, 100, static_cast<std::uint64_t>(i)));
+  }
+  predictor.set_history(std::move(history));
+  const auto current = random_slot(4, 100, 999);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.predict_counts(current));
+  }
+}
+BENCHMARK(bm_predictor_query)->Arg(24)->Arg(168);
+
+void bm_ilp_allocation(benchmark::State& state) {
+  core::allocation_request request;
+  request.workload_per_group = {35.0, 60.0, 120.0};
+  request.candidates_per_group = {
+      {{"t2.nano", 10.0, 0.0063}, {"t2.small", 10.0, 0.025}},
+      {{"t2.medium", 40.0, 0.05}, {"t2.large", 40.0, 0.101}},
+      {{"m4.4xlarge", 100.0, 0.888}, {"m4.10xlarge", 100.0, 2.22}},
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::allocate_ilp(request));
+  }
+}
+BENCHMARK(bm_ilp_allocation);
+
+void bm_simplex_relaxation(benchmark::State& state) {
+  ilp::problem p;
+  const auto x = p.add_variable(1.0, 0.0, 20.0);
+  const auto y = p.add_variable(2.5, 0.0, 20.0);
+  const auto z = p.add_variable(0.9, 0.0, 20.0);
+  p.add_constraint({{x, 10.0}, {y, 40.0}}, ilp::relation::greater_equal, 90.0);
+  p.add_constraint({{y, 40.0}, {z, 8.0}}, ilp::relation::greater_equal, 55.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}, {z, 1.0}}, ilp::relation::less_equal,
+                   20.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_lp(p));
+  }
+}
+BENCHMARK(bm_simplex_relaxation);
+
+void bm_rtt_sample(benchmark::State& state) {
+  const auto model = net::default_lte_model();
+  util::rng rng{7};
+  double hour = 0.0;
+  for (auto _ : state) {
+    hour = hour >= 24.0 ? 0.0 : hour + 0.001;
+    benchmark::DoNotOptimize(model.sample(rng, hour));
+  }
+}
+BENCHMARK(bm_rtt_sample);
+
+void bm_instance_cycle(benchmark::State& state) {
+  sim::simulation sim;
+  cloud::instance server{sim, 1, cloud::type_by_name("t2.large"),
+                         util::rng{8}};
+  for (auto _ : state) {
+    server.submit(10.0, {});
+    sim.run();
+  }
+  state.counters["completed"] =
+      static_cast<double>(server.completed());
+}
+BENCHMARK(bm_instance_cycle);
+
+void bm_build_slots(benchmark::State& state) {
+  trace::log_store log;
+  util::rng rng{9};
+  for (int i = 0; i < 20'000; ++i) {
+    log.append({rng.uniform(0.0, 3.6e7),
+                static_cast<user_id>(rng.uniform_int(0, 100)),
+                static_cast<group_id>(rng.uniform_int(0, 3)), 1.0, 250.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.build_slots(3.6e6, 4));
+  }
+}
+BENCHMARK(bm_build_slots);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Code acceleration as a service — the §VII-4 business case.
+//
+// Characterizes the catalog, builds a subscription price sheet from the
+// benchmarked capacities, and answers the paper's motivating question:
+// for the price of a new flagship, how many months of cloud acceleration
+// could a user buy instead?
+#include <cstdio>
+
+#include "core/caas.h"
+#include "core/classifier.h"
+#include "tasks/task.h"
+
+int main() {
+  using namespace mca;
+
+  tasks::task_pool pool;
+  core::classifier_config cc;
+  cc.rounds_per_level = 4;
+  const auto map = core::classify(cloud::ec2_catalog(), pool, cc);
+
+  core::caas_config pricing;
+  pricing.margin = 0.4;
+  pricing.active_hours_per_month = 120.0;
+  const auto plans = core::build_price_sheet(map, cloud::ec2_catalog(), pricing);
+
+  std::printf("CaaS price sheet (%.0f active hours/month, %.0f%% margin)\n\n",
+              pricing.active_hours_per_month, pricing.margin * 100.0);
+  std::printf("%-7s %-14s %14s %12s %14s %12s\n", "level", "backed by",
+              "users/instance", "cost/mo[$]", "price/mo[$]", "solo[ms]");
+  for (const auto& plan : plans) {
+    std::printf("%-7u %-14s %14.1f %12.3f %14.3f %12.1f\n", plan.level,
+                plan.backing_type.c_str(), plan.users_per_instance,
+                plan.cost_per_user_month, plan.price_per_user_month,
+                plan.solo_response_ms);
+  }
+
+  std::printf("\naccelerate instead of upgrade (a $600 flagship):\n");
+  for (const auto& plan : plans) {
+    const auto cmp = core::caas_vs_device_upgrade(600.0, plan);
+    std::printf("  level %u at $%.2f/mo -> %.0f months (%.1f years) of "
+                "service\n",
+                plan.level, cmp.caas_price_per_month, cmp.months_of_service,
+                cmp.months_of_service / 12.0);
+  }
+  std::printf("\n(the paper's point: extending device lifespan via CaaS "
+              "costs a fraction of new hardware)\n");
+  return 0;
+}

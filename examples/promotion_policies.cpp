@@ -1,0 +1,79 @@
+// Promotion policy comparison: what the client-side moderator buys you.
+//
+// The same loaded deployment is run under four policies — never promote,
+// the paper's static 1/50 coin flip, the latency-threshold detector the
+// architecture motivates, and the §VII-3 battery-aware rule — and the
+// user-perceived response times are compared.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace {
+
+struct policy_option {
+  std::string label;
+  std::function<std::unique_ptr<mca::client::promotion_policy>()> factory;
+};
+
+}  // namespace
+
+int main() {
+  using namespace mca;
+
+  tasks::task_pool pool;
+  const std::vector<policy_option> options = {
+      {"never", [] { return std::make_unique<client::never_promote>(); }},
+      {"static 1/50",
+       [] {
+         return std::make_unique<client::static_probability_promotion>(1.0 /
+                                                                       50.0);
+       }},
+      {"latency>1.5s x3",
+       [] {
+         return std::make_unique<client::latency_threshold_promotion>(1'500.0,
+                                                                      3);
+       }},
+      {"battery<30%",
+       [] {
+         return std::make_unique<client::battery_aware_promotion>(0.3);
+       }},
+  };
+
+  std::printf("%-18s %10s %10s %10s %12s %10s\n", "policy", "mean[ms]",
+              "p95[ms]", "promoted", "requests", "cost[$]");
+  for (const auto& option : options) {
+    core::system_config config;
+    config.groups = {
+        {1, "t2.nano", 1, 5.0},
+        {2, "t2.large", 1, 40.0},
+        {3, "m4.4xlarge", 1, 100.0},
+    };
+    config.user_count = 40;
+    config.tasks = workload::static_source(pool.static_minimax_request());
+    config.gaps = workload::fixed_interarrival(util::seconds(15));
+    config.slot_length = util::minutes(30);
+    config.background_requests_per_burst = 45;  // keep level 1 busy
+    config.policy_factory = option.factory;
+    config.seed = 9;
+
+    core::offloading_system system{config, pool};
+    system.run(util::hours(2));
+
+    std::vector<double> responses;
+    for (const auto& r : system.metrics().requests) {
+      if (r.success) responses.push_back(r.response_ms);
+    }
+    const auto s = util::summary_of(responses);
+    std::printf("%-18s %10.0f %10.0f %10llu %12zu %10.3f\n",
+                option.label.c_str(), s.mean, s.p95,
+                static_cast<unsigned long long>(system.metrics().promotions),
+                responses.size(), system.metrics().total_cost_usd);
+  }
+  std::printf("\npromotion trades cloud cost for user-perceived latency.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// The client-side moderator: promotion of devices between acceleration
+// groups.
+//
+// The paper's architecture puts the promotion decision on the mobile side:
+// the moderator "monitors the execution time of the code in the
+// application, and promotes the execution of code to a higher level of
+// acceleration when it detects that the response time of the application
+// starts to degrade".  Promotions are sequential (group n -> n+1).
+//
+// Policies provided:
+//  * never_promote               — control group.
+//  * static_probability_promotion — the paper's evaluation policy (p=1/50
+//    per request).
+//  * latency_threshold_promotion — the mechanism the paper motivates:
+//    promote after k consecutive responses above a threshold.
+//  * battery_aware_promotion     — §VII-3's sketched extension: promote
+//    when battery drops below a floor, shortening radio-active time.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace mca::client {
+
+/// Everything a policy may look at when deciding on one response.
+struct response_context {
+  user_id user = 0;
+  group_id current_group = 1;
+  group_id max_group = 3;
+  util::time_ms response_ms = 0.0;
+  double battery = 1.0;
+};
+
+/// Strategy interface; implementations may keep per-user state.
+class promotion_policy {
+ public:
+  virtual ~promotion_policy() = default;
+  /// Returns the group the user should use from now on (>= current).
+  virtual group_id next_group(const response_context& ctx, util::rng& rng) = 0;
+  virtual const char* name() const noexcept = 0;
+};
+
+/// Keeps every user where it started.
+class never_promote final : public promotion_policy {
+ public:
+  group_id next_group(const response_context& ctx, util::rng&) override {
+    return ctx.current_group;
+  }
+  const char* name() const noexcept override { return "never"; }
+};
+
+/// The paper's evaluation policy: each request promotes with a fixed
+/// probability (1/50 in §VI-C).
+class static_probability_promotion final : public promotion_policy {
+ public:
+  /// Throws std::invalid_argument unless probability is in [0,1].
+  explicit static_probability_promotion(double probability = 1.0 / 50.0);
+  group_id next_group(const response_context& ctx, util::rng& rng) override;
+  const char* name() const noexcept override { return "static_probability"; }
+
+ private:
+  double probability_;
+};
+
+/// Promote after `consecutive` responses slower than `threshold_ms` — the
+/// degradation detector the architecture section describes.
+class latency_threshold_promotion final : public promotion_policy {
+ public:
+  /// Throws std::invalid_argument on non-positive threshold/consecutive.
+  latency_threshold_promotion(util::time_ms threshold_ms, int consecutive = 3);
+  group_id next_group(const response_context& ctx, util::rng& rng) override;
+  const char* name() const noexcept override { return "latency_threshold"; }
+
+ private:
+  util::time_ms threshold_ms_;
+  int consecutive_;
+  std::unordered_map<user_id, int> strikes_;
+};
+
+/// Two-sided latency band: promote after `consecutive` responses above the
+/// upper bound, demote after `consecutive` responses below the lower bound
+/// — the full "re-assigned to another group based on demand" behaviour the
+/// paper sketches (demotions require a moderator with allow_demotion).
+class latency_band_policy final : public promotion_policy {
+ public:
+  /// Throws std::invalid_argument unless 0 < lower < upper and
+  /// consecutive > 0.
+  latency_band_policy(util::time_ms lower_ms, util::time_ms upper_ms,
+                      int consecutive = 3);
+  group_id next_group(const response_context& ctx, util::rng& rng) override;
+  const char* name() const noexcept override { return "latency_band"; }
+
+ private:
+  util::time_ms lower_ms_;
+  util::time_ms upper_ms_;
+  int consecutive_;
+  std::unordered_map<user_id, int> slow_strikes_;
+  std::unordered_map<user_id, int> fast_strikes_;
+};
+
+/// Promote (once per crossing) when battery falls below a floor, so the
+/// radio stays open for less time per request (§VII-3).
+class battery_aware_promotion final : public promotion_policy {
+ public:
+  /// Throws std::invalid_argument unless floor is in (0,1).
+  explicit battery_aware_promotion(double battery_floor = 0.3);
+  group_id next_group(const response_context& ctx, util::rng& rng) override;
+  const char* name() const noexcept override { return "battery_aware"; }
+
+ private:
+  double battery_floor_;
+  std::unordered_map<user_id, bool> already_promoted_;
+};
+
+/// Tracks each user's current acceleration group and applies a policy to
+/// every observed response.
+class moderator {
+ public:
+  /// Users start in `initial_group` ("initially, each user is located in
+  /// the group that provides the lowest acceleration"); `max_group` caps
+  /// promotion.  With `allow_demotion` a policy may also move users down
+  /// (never below `initial_group`) — the paper's "re-assigned to another
+  /// group based on demand".  Throws std::invalid_argument if
+  /// initial > max.
+  moderator(std::unique_ptr<promotion_policy> policy, group_id initial_group,
+            group_id max_group, util::rng rng, bool allow_demotion = false);
+
+  /// Current group of a user (registering it on first sight).
+  group_id group_of(user_id user);
+
+  /// Feeds one completed response through the policy; returns the group
+  /// the user will use for the *next* request.
+  group_id record_response(user_id user, util::time_ms response_ms,
+                           double battery = 1.0);
+
+  /// Number of promotions applied so far across all users.
+  std::uint64_t promotions() const noexcept { return promotions_; }
+  /// Number of demotions (always 0 unless allow_demotion).
+  std::uint64_t demotions() const noexcept { return demotions_; }
+  const promotion_policy& policy() const noexcept { return *policy_; }
+  group_id initial_group() const noexcept { return initial_group_; }
+  group_id max_group() const noexcept { return max_group_; }
+  bool allows_demotion() const noexcept { return allow_demotion_; }
+
+ private:
+  std::unique_ptr<promotion_policy> policy_;
+  group_id initial_group_;
+  group_id max_group_;
+  util::rng rng_;
+  bool allow_demotion_;
+  std::unordered_map<user_id, group_id> groups_;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t demotions_ = 0;
+};
+
+}  // namespace mca::client

@@ -1,0 +1,93 @@
+#include "client/usage_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mca::client {
+
+double diurnal_activity(double hour_of_day) noexcept {
+  // Asleep at night; usage builds over the morning, dips mid-afternoon,
+  // peaks in the evening — the canonical smartphone usage curve.
+  if (hour_of_day < 7.0 || hour_of_day >= 24.0) return 0.0;
+  auto bump = [hour_of_day](double center, double width, double height) {
+    const double d = hour_of_day - center;
+    return height * std::exp(-d * d / (2.0 * width * width));
+  };
+  const double w = bump(9.5, 1.8, 0.55) + bump(13.0, 2.2, 0.6) +
+                   bump(20.5, 2.6, 1.0);
+  return std::min(w, 1.0);
+}
+
+std::vector<util::time_ms> synthesize_participant_events(
+    const usage_study_config& config, util::rng& rng) {
+  std::vector<util::time_ms> events;
+  const auto total_days = static_cast<std::size_t>(config.days);
+  for (std::size_t day = 0; day < total_days; ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      const double weight = diurnal_activity(hour + 0.5);
+      if (weight <= 0.0) continue;
+      const double expected_sessions = config.sessions_per_active_hour * weight;
+      // Poisson number of session starts this hour (inverse-CDF draw).
+      std::size_t sessions = 0;
+      double p = std::exp(-expected_sessions);
+      double cumulative = p;
+      const double u = rng.uniform();
+      while (u > cumulative && sessions < 50) {
+        ++sessions;
+        p *= expected_sessions / static_cast<double>(sessions);
+        cumulative += p;
+      }
+      for (std::size_t s = 0; s < sessions; ++s) {
+        const util::time_ms session_start =
+            util::hours(static_cast<double>(day) * 24.0 + hour) +
+            rng.uniform(0.0, util::hours(1.0));
+        // Session length: lognormal around the configured mean.
+        const double sigma = 0.8;
+        const double mu =
+            std::log(config.mean_session_length) - sigma * sigma / 2.0;
+        const util::time_ms length = rng.lognormal(mu, sigma);
+        util::time_ms t = session_start;
+        const util::time_ms session_end = session_start + length;
+        while (t < session_end) {
+          events.push_back(t);
+          // Within-session gaps: lognormal body landing mostly inside the
+          // paper's 100–5000 ms band.
+          const double gap = std::clamp(rng.lognormal(std::log(900.0), 0.9),
+                                        config.min_interarrival,
+                                        config.max_interarrival);
+          t += gap;
+        }
+      }
+    }
+  }
+  std::sort(events.begin(), events.end());
+  return events;
+}
+
+std::vector<double> study_interarrivals(const usage_study_config& config,
+                                        util::rng& rng) {
+  std::vector<double> gaps;
+  for (std::size_t participant = 0; participant < config.participants;
+       ++participant) {
+    util::rng stream = rng.fork();
+    const auto events = synthesize_participant_events(config, stream);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      const double gap = events[i] - events[i - 1];
+      // Gaps longer than the band are between-session idle time, which the
+      // paper removes; shorter ones are clock-resolution artifacts.
+      if (gap >= config.min_interarrival && gap <= config.max_interarrival) {
+        gaps.push_back(gap);
+      }
+    }
+  }
+  return gaps;
+}
+
+util::empirical_distribution study_interarrival_distribution(
+    const usage_study_config& config, std::uint64_t seed) {
+  util::rng rng{seed};
+  const auto gaps = study_interarrivals(config, rng);
+  return util::empirical_distribution{gaps};
+}
+
+}  // namespace mca::client

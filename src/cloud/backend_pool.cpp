@@ -1,0 +1,158 @@
+#include "cloud/backend_pool.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mca::cloud {
+
+const char* to_string(route_status s) noexcept {
+  switch (s) {
+    case route_status::ok: return "ok";
+    case route_status::dropped: return "dropped";
+    case route_status::no_instances: return "no_instances";
+  }
+  return "unknown";
+}
+
+backend_pool::backend_pool(sim::simulation& sim, util::rng rng,
+                           instance::options instance_opts)
+    : sim_{sim}, rng_{rng}, instance_opts_{instance_opts} {}
+
+instance_id backend_pool::launch(group_id group, const instance_type& type) {
+  sweep();
+  const instance_id id = next_id_++;
+  groups_[group].push_back(std::make_unique<instance>(
+      sim_, id, type, rng_.fork(), instance_opts_));
+  billing_.on_launch(id, type, sim_.now());
+  return id;
+}
+
+std::size_t backend_pool::retire(group_id group, const instance_type& type,
+                                 std::size_t count) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return 0;
+  std::size_t marked = 0;
+  // Prefer draining idle instances so capacity leaves the fleet gracefully.
+  for (int pass = 0; pass < 2 && marked < count; ++pass) {
+    const bool idle_only = (pass == 0);
+    for (auto& inst : it->second) {
+      if (marked >= count) break;
+      if (inst->draining() || inst->type().name != type.name) continue;
+      if (idle_only && !inst->idle()) continue;
+      inst->drain();
+      ++marked;
+    }
+  }
+  sweep();
+  return marked;
+}
+
+route_status backend_pool::route(group_id group, double work_units,
+                                 instance::completion_fn on_complete) {
+  sweep();
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return route_status::no_instances;
+
+  // Least-loaded by active-jobs-per-core — "routes the request to the
+  // corresponding group of instances" picking the member with headroom.
+  instance* best = nullptr;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (auto& inst : it->second) {
+    if (inst->draining()) continue;
+    const double load =
+        static_cast<double>(inst->active_jobs()) / inst->type().vcpus;
+    if (load < best_load) {
+      best_load = load;
+      best = inst.get();
+    }
+  }
+  if (best == nullptr) return route_status::no_instances;
+  return best->submit(work_units, std::move(on_complete))
+             ? route_status::ok
+             : route_status::dropped;
+}
+
+void backend_pool::sweep() {
+  for (auto& [group, members] : groups_) {
+    auto reap = std::remove_if(
+        members.begin(), members.end(), [this](std::unique_ptr<instance>& p) {
+          if (p->draining() && p->idle()) {
+            billing_.on_terminate(p->id(), sim_.now());
+            retired_completed_ += p->completed();
+            retired_dropped_ += p->dropped();
+            return true;
+          }
+          return false;
+        });
+    members.erase(reap, members.end());
+  }
+}
+
+std::size_t backend_pool::instance_count(group_id group) const noexcept {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& inst : it->second) {
+    if (!inst->draining()) ++n;
+  }
+  return n;
+}
+
+std::size_t backend_pool::instance_count(
+    group_id group, const std::string& type_name) const noexcept {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& inst : it->second) {
+    if (!inst->draining() && inst->type().name == type_name) ++n;
+  }
+  return n;
+}
+
+std::vector<group_id> backend_pool::groups() const {
+  std::vector<group_id> ids;
+  ids.reserve(groups_.size());
+  for (const auto& [group, members] : groups_) {
+    if (!members.empty()) ids.push_back(group);
+  }
+  return ids;
+}
+
+std::vector<const instance*> backend_pool::instances_in(
+    group_id group) const {
+  std::vector<const instance*> out;
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return out;
+  for (const auto& inst : it->second) {
+    if (!inst->draining()) out.push_back(inst.get());
+  }
+  return out;
+}
+
+std::vector<instance*> backend_pool::mutable_instances_in(group_id group) {
+  std::vector<instance*> out;
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return out;
+  for (auto& inst : it->second) {
+    if (!inst->draining()) out.push_back(inst.get());
+  }
+  return out;
+}
+
+std::uint64_t backend_pool::total_completed() const noexcept {
+  std::uint64_t n = retired_completed_;
+  for (const auto& [group, members] : groups_) {
+    for (const auto& inst : members) n += inst->completed();
+  }
+  return n;
+}
+
+std::uint64_t backend_pool::total_dropped() const noexcept {
+  std::uint64_t n = retired_dropped_;
+  for (const auto& [group, members] : groups_) {
+    for (const auto& inst : members) n += inst->dropped();
+  }
+  return n;
+}
+
+}  // namespace mca::cloud

@@ -1,0 +1,84 @@
+// The back-end: acceleration groups of running instances.
+//
+// The pool owns every provisioned server, keyed by acceleration group, and
+// offers the two operations the SDN-accelerator needs: route a request to
+// the least-loaded member of a group, and reshape the fleet (launch /
+// retire) when the allocator produces a new plan.  Retired instances drain
+// — they stop accepting work, finish what they have, and are reaped (and
+// their billing record closed) once idle.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/billing.h"
+#include "cloud/instance.h"
+#include "sim/simulation.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace mca::cloud {
+
+/// Outcome of routing one request into a group.
+enum class route_status {
+  ok,            ///< accepted by an instance
+  dropped,       ///< every instance in the group is at its admission cap
+  no_instances,  ///< the group currently has no (accepting) instances
+};
+
+const char* to_string(route_status s) noexcept;
+
+/// Owns the fleet; one per simulated deployment.
+class backend_pool {
+ public:
+  backend_pool(sim::simulation& sim, util::rng rng,
+               instance::options instance_opts = {});
+
+  /// Launches one instance of `type` into `group`; returns its id.
+  instance_id launch(group_id group, const instance_type& type);
+
+  /// Drains up to `count` instances of `type` in `group` (idle ones are
+  /// reaped immediately).  Returns how many were marked.
+  std::size_t retire(group_id group, const instance_type& type,
+                     std::size_t count);
+
+  /// Sends `work_units` to the least-loaded accepting instance of `group`;
+  /// `on_complete(service_time)` fires when the server finishes.
+  route_status route(group_id group, double work_units,
+                     instance::completion_fn on_complete);
+
+  /// Reaps drained+idle instances (also runs inside route/launch/retire).
+  void sweep();
+
+  /// Accepting (non-draining) instance count in a group.
+  std::size_t instance_count(group_id group) const noexcept;
+  /// Accepting instances of one type in a group.
+  std::size_t instance_count(group_id group,
+                             const std::string& type_name) const noexcept;
+  /// All groups that currently have instances.
+  std::vector<group_id> groups() const;
+  /// Observing pointers to a group's accepting instances (simulation-owned).
+  std::vector<const instance*> instances_in(group_id group) const;
+  /// Mutable access to a group's accepting instances, for induced
+  /// background load (§VI-C.1) and white-box tests.
+  std::vector<instance*> mutable_instances_in(group_id group);
+
+  std::uint64_t total_completed() const noexcept;
+  std::uint64_t total_dropped() const noexcept;
+
+  const billing_meter& billing() const noexcept { return billing_; }
+
+ private:
+  sim::simulation& sim_;
+  util::rng rng_;
+  instance::options instance_opts_;
+  instance_id next_id_ = 1;
+  std::map<group_id, std::vector<std::unique_ptr<instance>>> groups_;
+  billing_meter billing_;
+  std::uint64_t retired_completed_ = 0;
+  std::uint64_t retired_dropped_ = 0;
+};
+
+}  // namespace mca::cloud

@@ -1,0 +1,62 @@
+#include "cloud/billing.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mca::cloud {
+
+double billing_meter::billed_hours(util::time_ms start, util::time_ms end) {
+  const double hours = util::to_hours(std::max(end - start, 0.0));
+  return std::max(std::ceil(hours), 1.0);  // a started hour is a billed hour
+}
+
+void billing_meter::on_launch(instance_id id, const instance_type& type,
+                              util::time_ms at) {
+  const auto [it, inserted] =
+      open_.emplace(id, record{type.name, type.cost_per_hour, at});
+  (void)it;
+  if (!inserted) throw std::logic_error{"billing: instance already active"};
+}
+
+void billing_meter::on_terminate(instance_id id, util::time_ms at) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) throw std::logic_error{"billing: unknown instance"};
+  closed_.emplace_back(it->second, at);
+  open_.erase(it);
+}
+
+double billing_meter::total_cost(util::time_ms now) const {
+  double cost = 0.0;
+  for (const auto& [rec, end] : closed_) {
+    cost += rec.cost_per_hour * billed_hours(rec.start, end);
+  }
+  for (const auto& [id, rec] : open_) {
+    cost += rec.cost_per_hour * billed_hours(rec.start, now);
+  }
+  return cost;
+}
+
+double billing_meter::cost_for_type(const std::string& type_name,
+                                    util::time_ms now) const {
+  double cost = 0.0;
+  for (const auto& [rec, end] : closed_) {
+    if (rec.type_name == type_name) {
+      cost += rec.cost_per_hour * billed_hours(rec.start, end);
+    }
+  }
+  for (const auto& [id, rec] : open_) {
+    if (rec.type_name == type_name) {
+      cost += rec.cost_per_hour * billed_hours(rec.start, now);
+    }
+  }
+  return cost;
+}
+
+double billing_meter::total_instance_hours(util::time_ms now) const {
+  double hours = 0.0;
+  for (const auto& [rec, end] : closed_) hours += billed_hours(rec.start, end);
+  for (const auto& [id, rec] : open_) hours += billed_hours(rec.start, now);
+  return hours;
+}
+
+}  // namespace mca::cloud

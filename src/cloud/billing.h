@@ -1,0 +1,55 @@
+// Instance-hour billing, the cost side of the allocation model.
+//
+// The paper's premise: "a provisioned instance is billed by hour by most of
+// the cloud vendors".  Every launch opens a billing record; cost accrues in
+// started hours (ceil, minimum one) at the type's on-demand price.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/instance_type.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace mca::cloud {
+
+/// Tracks the dollar cost of a fleet over simulated time.
+class billing_meter {
+ public:
+  /// Opens a record for a launched instance.
+  /// Throws std::logic_error when the id is already active.
+  void on_launch(instance_id id, const instance_type& type,
+                 util::time_ms at);
+
+  /// Closes a record.  Throws std::logic_error when the id is not active.
+  void on_terminate(instance_id id, util::time_ms at);
+
+  /// Total cost of all closed records plus the accrued (started-hour) cost
+  /// of instances still running at `now`.
+  double total_cost(util::time_ms now) const;
+
+  /// Same, restricted to one type name.
+  double cost_for_type(const std::string& type_name, util::time_ms now) const;
+
+  /// Number of currently open records.
+  std::size_t active_instances() const noexcept { return open_.size(); }
+
+  /// Total billed instance-hours (closed + accrued).
+  double total_instance_hours(util::time_ms now) const;
+
+ private:
+  struct record {
+    std::string type_name;
+    double cost_per_hour = 0.0;
+    util::time_ms start = 0.0;
+  };
+
+  static double billed_hours(util::time_ms start, util::time_ms end);
+
+  std::unordered_map<instance_id, record> open_;
+  std::vector<std::pair<record, util::time_ms>> closed_;  // record + end
+};
+
+}  // namespace mca::cloud

@@ -1,0 +1,174 @@
+#include "cloud/instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mca::cloud {
+
+namespace {
+/// Work below this is considered finished (guards float drift).
+constexpr double kWorkEpsilon = 1e-6;
+/// Cap on banked credits: 24 hours of baseline accrual.
+constexpr double kCreditCapHours = 24.0;
+}  // namespace
+
+instance::instance(sim::simulation& sim, instance_id id,
+                   const instance_type& type, util::rng rng, options opts)
+    : sim_{sim},
+      id_{id},
+      type_{type},
+      rng_{rng},
+      opts_{opts},
+      last_update_{sim.now()},
+      launched_at_{sim.now()},
+      credits_{opts.initial_credits_core_ms} {}
+
+instance::~instance() {
+  if (pending_completion_.valid()) sim_.cancel(pending_completion_);
+}
+
+double instance::steal(std::size_t n) const noexcept {
+  if (type_.steal_max <= 0.0 || n == 0) return 0.0;
+  // Contention-dependent steal: negligible solo, approaching steal_max as
+  // neighbours pile on (the t2.micro oversubscription anomaly of Fig. 6).
+  const double x = static_cast<double>(n);
+  return type_.steal_max * x / (x + 8.0);
+}
+
+double instance::effective_cores() const noexcept {
+  if (opts_.enable_cpu_credits && credits_ <= 0.0) {
+    return std::max(type_.baseline_fraction * type_.vcpus, 0.05);
+  }
+  return type_.vcpus;
+}
+
+double instance::rate_per_job(std::size_t n) const noexcept {
+  if (n == 0) return 0.0;
+  const double cores = effective_cores();
+  const double share = std::min(1.0, cores / static_cast<double>(n));
+  return type_.speed_factor * (1.0 - steal(n)) * share;
+}
+
+void instance::advance() {
+  const util::time_ms now = sim_.now();
+  const double elapsed = now - last_update_;
+  if (elapsed <= 0.0) {
+    last_update_ = now;
+    return;
+  }
+  const std::size_t n = jobs_.size();
+  if (n > 0) {
+    const double rate = rate_per_job(n);
+    const double done = elapsed * rate;
+    for (auto& [id, j] : jobs_) j.remaining_wu -= done;
+    const double busy_cores =
+        std::min(static_cast<double>(n), effective_cores());
+    busy_core_ms_ += elapsed * busy_cores;
+    if (opts_.enable_cpu_credits) {
+      const double accrual = type_.baseline_fraction * type_.vcpus;
+      credits_ += elapsed * (accrual - busy_cores);
+      credits_ = std::clamp(
+          credits_, 0.0,
+          kCreditCapHours * 3'600'000.0 * type_.baseline_fraction * type_.vcpus);
+    }
+  } else if (opts_.enable_cpu_credits) {
+    credits_ += elapsed * type_.baseline_fraction * type_.vcpus;
+    credits_ = std::min(credits_, kCreditCapHours * 3'600'000.0 *
+                                      type_.baseline_fraction * type_.vcpus);
+  }
+  last_update_ = now;
+}
+
+void instance::reschedule() {
+  if (pending_completion_.valid()) {
+    sim_.cancel(pending_completion_);
+    pending_completion_ = {};
+  }
+  if (jobs_.empty()) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, j] : jobs_) {
+    min_remaining = std::min(min_remaining, j.remaining_wu);
+  }
+  const double rate = rate_per_job(jobs_.size());
+  double eta = std::max(min_remaining, 0.0) / rate;
+  if (opts_.enable_cpu_credits && credits_ > 0.0) {
+    // If the balance empties before the next completion, wake up at the
+    // exhaustion moment so the throttled rate takes effect from there on
+    // (on_completion_event tolerates firing with nothing finished).
+    const double busy_cores =
+        std::min(static_cast<double>(jobs_.size()), type_.vcpus);
+    const double accrual = type_.baseline_fraction * type_.vcpus;
+    if (busy_cores > accrual) {
+      const double exhaustion = credits_ / (busy_cores - accrual);
+      if (exhaustion + 1e-9 < eta) eta = std::max(exhaustion, 1e-6);
+    }
+  }
+  pending_completion_ =
+      sim_.schedule_after(eta, [this] { on_completion_event(); });
+}
+
+void instance::on_completion_event() {
+  pending_completion_ = {};
+  advance();
+  // Complete every job that has (numerically) finished; callbacks run after
+  // internal state is consistent so they may immediately submit again.
+  std::vector<std::pair<util::time_ms, completion_fn>> finished;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining_wu <= kWorkEpsilon) {
+      finished.emplace_back(sim_.now() - it->second.submitted_at,
+                            std::move(it->second.on_complete));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [service_time, fn] : finished) {
+    ++completed_;
+    stats_.add(service_time);
+    if (fn) fn(service_time);
+  }
+  reschedule();
+}
+
+bool instance::submit(double work_units, completion_fn on_complete) {
+  if (work_units < 0.0) throw std::invalid_argument{"submit: negative work"};
+  if (draining_ || jobs_.size() >= type_.max_concurrent()) {
+    ++dropped_;
+    return false;
+  }
+  advance();
+  // Multi-tenancy jitter multiplies the compute portion; the dalvikvm spawn
+  // cost is paid per request on top.
+  const double noisy =
+      work_units * rng_.lognormal(0.0, type_.jitter_sigma) +
+      k_spawn_overhead_wu;
+  job j;
+  j.remaining_wu = noisy;
+  j.submitted_at = sim_.now();
+  j.on_complete = std::move(on_complete);
+  jobs_.emplace(next_job_id_++, std::move(j));
+  reschedule();
+  return true;
+}
+
+double instance::mean_utilization() const noexcept {
+  // Include the interval since the last event so callers can sample at any
+  // simulated moment without forcing an advance().
+  double busy = busy_core_ms_;
+  const double tail = sim_.now() - last_update_;
+  if (tail > 0.0 && !jobs_.empty()) {
+    busy += tail * std::min(static_cast<double>(jobs_.size()),
+                            static_cast<double>(type_.vcpus));
+  }
+  const double lifetime = sim_.now() - launched_at_;
+  if (lifetime <= 0.0) return 0.0;
+  return busy / (lifetime * type_.vcpus);
+}
+
+bool instance::throttled() const noexcept {
+  return opts_.enable_cpu_credits && credits_ <= 0.0;
+}
+
+}  // namespace mca::cloud

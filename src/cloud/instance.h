@@ -1,0 +1,123 @@
+// A simulated cloud server executing offloaded tasks.
+//
+// Service model: egalitarian processor sharing.  With `n` active requests
+// on `c` cores each request progresses at
+//
+//     speed_factor * (1 - steal(n)) * min(1, c/n)   work units per ms,
+//
+// which yields exactly the behaviour the paper characterizes in §VI-A: flat
+// response time until concurrency exceeds the core count, then linear
+// degradation whose slope flattens as the type gets wider/faster (Fig. 4).
+// Each request additionally pays the dalvikvm spawn overhead and a
+// lognormal multi-tenancy jitter on its total work.  Admission is capped at
+// `instance_type::max_concurrent()`; beyond it requests are dropped, which
+// produces the success/fail split of Fig. 8c.
+//
+// An optional t2 CPU-credit model (off by default, matching the paper's
+// cool-down methodology) throttles the instance to its baseline share when
+// the credit balance empties; `bench/ablation_credits` exercises it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "cloud/instance_type.h"
+#include "sim/simulation.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+#include "util/stats.h"
+
+namespace mca::cloud {
+
+/// One provisioned server inside the discrete-event simulation.
+class instance {
+ public:
+  struct options {
+    /// Enables the t2 CPU-credit throttling model.
+    bool enable_cpu_credits = false;
+    /// Initial credit balance in core-milliseconds (30 credit-minutes of a
+    /// full core by default, roughly EC2's launch allotment).
+    double initial_credits_core_ms = 30.0 * 60'000.0;
+  };
+
+  /// Invoked when a request finishes; `service_time` is the in-server time
+  /// (spawn + compute under sharing), excluding network.
+  using completion_fn = std::function<void(util::time_ms service_time)>;
+
+  instance(sim::simulation& sim, instance_id id, const instance_type& type,
+           util::rng rng, options opts);
+  instance(sim::simulation& sim, instance_id id, const instance_type& type,
+           util::rng rng)
+      : instance{sim, id, type, rng, options{}} {}
+
+  instance(const instance&) = delete;
+  instance& operator=(const instance&) = delete;
+  ~instance();
+
+  /// Submits `work_units` of compute.  Returns false when the admission cap
+  /// is hit or the instance is draining (the callback is then never run).
+  bool submit(double work_units, completion_fn on_complete);
+
+  /// Stops accepting new work; running requests finish normally.
+  void drain() noexcept { draining_ = true; }
+  bool draining() const noexcept { return draining_; }
+  bool idle() const noexcept { return jobs_.empty(); }
+
+  instance_id id() const noexcept { return id_; }
+  const instance_type& type() const noexcept { return type_; }
+  std::size_t active_jobs() const noexcept { return jobs_.size(); }
+
+  std::uint64_t completed() const noexcept { return completed_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  /// In-server response-time statistics over all completed requests.
+  const util::running_stats& service_stats() const noexcept { return stats_; }
+  /// Mean number of busy cores since launch (time-averaged).
+  double mean_utilization() const noexcept;
+  /// Remaining CPU-credit balance in core-ms (meaningful when the credit
+  /// model is enabled).
+  double credit_balance() const noexcept { return credits_; }
+  /// True while the credit model has the instance throttled to baseline.
+  bool throttled() const noexcept;
+
+ private:
+  struct job {
+    double remaining_wu = 0.0;
+    util::time_ms submitted_at = 0.0;
+    completion_fn on_complete;
+  };
+
+  /// Per-job progress rate (wu/ms) for `n` active jobs under current state.
+  double rate_per_job(std::size_t n) const noexcept;
+  /// Cores actually usable right now (credit throttling applied).
+  double effective_cores() const noexcept;
+  /// Steal fraction under `n`-way contention.
+  double steal(std::size_t n) const noexcept;
+  /// Accrues progress/credits/utilization from `last_update_` to now.
+  void advance();
+  /// (Re)schedules the completion event for the closest-to-done job.
+  void reschedule();
+  void on_completion_event();
+
+  sim::simulation& sim_;
+  instance_id id_;
+  instance_type type_;
+  util::rng rng_;
+  options opts_;
+
+  std::unordered_map<std::uint64_t, job> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  sim::event_handle pending_completion_{};
+  util::time_ms last_update_ = 0.0;
+  util::time_ms launched_at_ = 0.0;
+  double busy_core_ms_ = 0.0;
+  double credits_ = 0.0;
+  bool draining_ = false;
+
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
+  util::running_stats stats_;
+};
+
+}  // namespace mca::cloud

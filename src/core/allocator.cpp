@@ -1,0 +1,306 @@
+#include "core/allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mca::core {
+namespace {
+
+/// Flattened variable: one ILP column per (group, candidate).
+struct column {
+  group_id group = 0;
+  std::size_t candidate = 0;
+};
+
+std::vector<column> flatten(const allocation_request& request) {
+  std::vector<column> columns;
+  for (group_id g = 0; g < request.candidates_per_group.size(); ++g) {
+    for (std::size_t c = 0; c < request.candidates_per_group[g].size(); ++c) {
+      columns.push_back({g, c});
+    }
+  }
+  return columns;
+}
+
+allocation_plan plan_from_counts(const allocation_request& request,
+                                 const std::vector<column>& columns,
+                                 const std::vector<std::size_t>& counts) {
+  allocation_plan plan;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const auto& cand =
+        request.candidates_per_group[columns[i].group][columns[i].candidate];
+    plan.entries.push_back({columns[i].group, cand.type_name, counts[i]});
+    plan.total_cost_per_hour +=
+        cand.cost_per_hour * static_cast<double>(counts[i]);
+  }
+  return plan;
+}
+
+/// Capacity bought for a group by a counts vector.
+double group_capacity(const allocation_request& request,
+                      const std::vector<column>& columns,
+                      const std::vector<std::size_t>& counts, group_id g) {
+  double capacity = 0.0;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].group != g) continue;
+    const auto& cand =
+        request.candidates_per_group[g][columns[i].candidate];
+    capacity += cand.capacity_per_instance * static_cast<double>(counts[i]);
+  }
+  return capacity;
+}
+
+}  // namespace
+
+std::size_t allocation_plan::total_instances() const noexcept {
+  std::size_t total = 0;
+  for (const auto& e : entries) total += e.count;
+  return total;
+}
+
+std::size_t allocation_plan::count_of(group_id group,
+                                      const std::string& type_name) const {
+  for (const auto& e : entries) {
+    if (e.group == group && e.type_name == type_name) return e.count;
+  }
+  return 0;
+}
+
+void validate(const allocation_request& request) {
+  if (request.workload_per_group.size() !=
+      request.candidates_per_group.size()) {
+    throw std::invalid_argument{
+        "allocation_request: workload/candidate group counts differ"};
+  }
+  if (request.workload_per_group.empty()) {
+    throw std::invalid_argument{"allocation_request: no groups"};
+  }
+  if (request.max_total_instances == 0) {
+    throw std::invalid_argument{"allocation_request: zero instance cap"};
+  }
+  for (const auto& group : request.candidates_per_group) {
+    for (const auto& cand : group) {
+      if (cand.capacity_per_instance <= 0.0) {
+        throw std::invalid_argument{
+            "allocation_request: non-positive candidate capacity"};
+      }
+      if (cand.cost_per_hour < 0.0) {
+        throw std::invalid_argument{
+            "allocation_request: negative candidate cost"};
+      }
+    }
+  }
+  for (double w : request.workload_per_group) {
+    if (w < 0.0) {
+      throw std::invalid_argument{"allocation_request: negative workload"};
+    }
+  }
+}
+
+allocation_plan allocate_ilp(const allocation_request& request) {
+  validate(request);
+  const auto columns = flatten(request);
+  if (columns.empty()) {
+    throw std::invalid_argument{"allocate_ilp: no candidates at all"};
+  }
+
+  ilp::problem model;
+  for (const auto& col : columns) {
+    const auto& cand = request.candidates_per_group[col.group][col.candidate];
+    model.add_integer_variable(
+        cand.cost_per_hour, 0.0,
+        static_cast<double>(request.max_total_instances),
+        cand.type_name + "@g" + std::to_string(col.group));
+  }
+
+  const std::size_t group_count = request.workload_per_group.size();
+  for (group_id g = 0; g < group_count; ++g) {
+    std::vector<ilp::linear_term> terms;
+    double demand = 0.0;
+    if (request.cumulative_capacity) {
+      // Faster groups may absorb this group's demand: sum capacity and
+      // workload over groups >= g.
+      for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i].group < g) continue;
+        const auto& cand =
+            request.candidates_per_group[columns[i].group][columns[i].candidate];
+        terms.push_back({i, cand.capacity_per_instance});
+      }
+      for (group_id h = g; h < group_count; ++h) {
+        demand += request.workload_per_group[h];
+      }
+    } else {
+      for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i].group != g) continue;
+        const auto& cand =
+            request.candidates_per_group[g][columns[i].candidate];
+        terms.push_back({i, cand.capacity_per_instance});
+      }
+      demand = request.workload_per_group[g];
+    }
+    if (terms.empty()) {
+      if (demand > 0.0) {
+        // Demand with no candidates is structurally infeasible.
+        allocation_plan plan = allocate_best_effort(request);
+        plan.status = ilp::solve_status::infeasible;
+        return plan;
+      }
+      continue;
+    }
+    model.add_constraint(std::move(terms), ilp::relation::greater_equal,
+                         demand + request.capacity_margin,
+                         "workload_g" + std::to_string(g));
+  }
+
+  {
+    std::vector<ilp::linear_term> cap_terms;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      cap_terms.push_back({i, 1.0});
+    }
+    model.add_constraint(std::move(cap_terms), ilp::relation::less_equal,
+                         static_cast<double>(request.max_total_instances),
+                         "account_cap");
+  }
+
+  const ilp::solution solved = ilp::solve_ilp(model);
+  if (solved.status != ilp::solve_status::optimal) {
+    allocation_plan plan = allocate_best_effort(request);
+    plan.status = solved.status;
+    return plan;
+  }
+
+  std::vector<std::size_t> counts(columns.size(), 0);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    counts[i] = static_cast<std::size_t>(std::llround(solved.values[i]));
+  }
+  allocation_plan plan = plan_from_counts(request, columns, counts);
+  plan.feasible = true;
+  plan.status = ilp::solve_status::optimal;
+  return plan;
+}
+
+allocation_plan allocate_greedy(const allocation_request& request) {
+  validate(request);
+  const auto columns = flatten(request);
+  std::vector<std::size_t> counts(columns.size(), 0);
+  std::size_t budget = request.max_total_instances;
+  bool feasible = true;
+
+  const std::size_t group_count = request.workload_per_group.size();
+  for (group_id g = 0; g < group_count; ++g) {
+    const double demand =
+        request.workload_per_group[g] + request.capacity_margin;
+    double covered = 0.0;
+    // Candidate order: best capacity-per-dollar first (free capacity counts
+    // as infinitely good).
+    std::vector<std::size_t> group_columns;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].group == g) group_columns.push_back(i);
+    }
+    std::sort(group_columns.begin(), group_columns.end(),
+              [&](std::size_t a, std::size_t b) {
+                const auto& ca =
+                    request.candidates_per_group[g][columns[a].candidate];
+                const auto& cb =
+                    request.candidates_per_group[g][columns[b].candidate];
+                const double va = ca.cost_per_hour <= 0.0
+                                      ? 1e18
+                                      : ca.capacity_per_instance / ca.cost_per_hour;
+                const double vb = cb.cost_per_hour <= 0.0
+                                      ? 1e18
+                                      : cb.capacity_per_instance / cb.cost_per_hour;
+                return va > vb;
+              });
+    for (const std::size_t i : group_columns) {
+      const auto& cand = request.candidates_per_group[g][columns[i].candidate];
+      while (covered < demand && budget > 0) {
+        ++counts[i];
+        --budget;
+        covered += cand.capacity_per_instance;
+      }
+      if (covered >= demand) break;
+    }
+    if (covered < demand) feasible = false;
+  }
+  allocation_plan plan = plan_from_counts(request, columns, counts);
+  plan.feasible = feasible;
+  plan.best_effort = !feasible;
+  plan.status =
+      feasible ? ilp::solve_status::optimal : ilp::solve_status::infeasible;
+  return plan;
+}
+
+allocation_plan allocate_static_peak(const allocation_request& request,
+                                     double peak_workload) {
+  if (peak_workload < 0.0) {
+    throw std::invalid_argument{"allocate_static_peak: negative peak"};
+  }
+  allocation_request peaked = request;
+  for (auto& w : peaked.workload_per_group) w = peak_workload;
+  return allocate_greedy(peaked);
+}
+
+allocation_plan allocate_best_effort(const allocation_request& request) {
+  validate(request);
+  const auto columns = flatten(request);
+  std::vector<std::size_t> counts(columns.size(), 0);
+  std::size_t budget = request.max_total_instances;
+
+  // Round-robin over groups by remaining uncovered demand, always buying
+  // the group's best capacity-per-dollar candidate, until the cap is spent
+  // or everything is covered.
+  const std::size_t group_count = request.workload_per_group.size();
+  std::vector<double> covered(group_count, 0.0);
+  while (budget > 0) {
+    group_id worst = group_count;
+    double worst_gap = 0.0;
+    for (group_id g = 0; g < group_count; ++g) {
+      const double gap =
+          request.workload_per_group[g] + request.capacity_margin - covered[g];
+      if (gap > worst_gap && !request.candidates_per_group[g].empty()) {
+        worst_gap = gap;
+        worst = g;
+      }
+    }
+    if (worst == group_count) break;  // all demand covered
+    // Best capacity-per-dollar candidate of the neediest group.
+    std::size_t best_column = columns.size();
+    double best_value = -1.0;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].group != worst) continue;
+      const auto& cand =
+          request.candidates_per_group[worst][columns[i].candidate];
+      const double value =
+          cand.cost_per_hour <= 0.0
+              ? 1e18
+              : cand.capacity_per_instance / cand.cost_per_hour;
+      if (value > best_value) {
+        best_value = value;
+        best_column = i;
+      }
+    }
+    if (best_column == columns.size()) break;
+    ++counts[best_column];
+    --budget;
+    covered[worst] +=
+        request.candidates_per_group[worst][columns[best_column].candidate]
+            .capacity_per_instance;
+  }
+
+  allocation_plan plan = plan_from_counts(request, columns, counts);
+  plan.feasible = true;
+  for (group_id g = 0; g < group_count; ++g) {
+    if (group_capacity(request, columns, counts, g) <
+        request.workload_per_group[g] + request.capacity_margin) {
+      plan.feasible = false;
+    }
+  }
+  plan.best_effort = true;
+  plan.status = plan.feasible ? ilp::solve_status::optimal
+                              : ilp::solve_status::infeasible;
+  return plan;
+}
+
+}  // namespace mca::core

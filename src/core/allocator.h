@@ -1,0 +1,92 @@
+// Dynamic resource allocation (§IV-C): the cheapest instance mix covering
+// the predicted workload.
+//
+//     min  Σ x_s · c_s
+//     s.t. Σ_{s ∈ group n} x_s · K_s  >  W_{a_n}      ∀ groups n    (2)
+//          Σ x_s ≤ CC                                               (3)
+//
+// solved exactly with the in-repo branch-and-bound ILP solver (the paper
+// uses R's lpSolveAPI).  Besides the ILP, three baselines are provided for
+// the ablation bench: a cost-greedy heuristic, static peak provisioning,
+// and best-effort filling for the infeasible case (workload beyond what CC
+// instances can carry).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ilp/branch_bound.h"
+#include "util/ids.h"
+
+namespace mca::core {
+
+/// One allocatable instance type inside a group.
+struct allocation_candidate {
+  std::string type_name;
+  double capacity_per_instance = 0.0;  ///< Ks: users/requests-per-min
+  double cost_per_hour = 0.0;          ///< cs
+};
+
+/// The allocator's input for one provisioning period.
+struct allocation_request {
+  /// W_{a_n}: predicted workload per group, indexed by group id.
+  std::vector<double> workload_per_group;
+  /// Allocatable types per group, same indexing.
+  std::vector<std::vector<allocation_candidate>> candidates_per_group;
+  /// CC: the cloud account's instance cap (Amazon's default is 20).
+  std::size_t max_total_instances = 20;
+  /// Strict-inequality margin of constraint (2): bought capacity must be
+  /// at least W + margin.  Workloads are integer user counts, so the
+  /// default of 1 is exactly the paper's strict ">": a group with W=0
+  /// still gets one instance and capacity exactly equal to W is not
+  /// enough.
+  double capacity_margin = 1.0;
+  /// Cumulative reading of constraint (2): instances of faster groups may
+  /// absorb slower groups' workload (see DESIGN.md §5).  Default strict
+  /// per-group.
+  bool cumulative_capacity = false;
+};
+
+/// Chosen instance counts.
+struct allocation_plan {
+  struct entry {
+    group_id group = 0;
+    std::string type_name;
+    std::size_t count = 0;
+  };
+  std::vector<entry> entries;
+  double total_cost_per_hour = 0.0;
+  bool feasible = false;
+  /// True when the plan is a best-effort fill of an infeasible request.
+  bool best_effort = false;
+  ilp::solve_status status = ilp::solve_status::infeasible;
+
+  std::size_t total_instances() const noexcept;
+  std::size_t count_of(group_id group, const std::string& type_name) const;
+};
+
+/// Validates a request (consistent sizes, positive capacities).
+/// Throws std::invalid_argument on malformed input.
+void validate(const allocation_request& request);
+
+/// Exact ILP allocation.  When the request is infeasible under CC, falls
+/// back to the best-effort fill (flagged in the plan).
+allocation_plan allocate_ilp(const allocation_request& request);
+
+/// Greedy baseline: per group, pick the candidate with the best
+/// capacity-per-dollar and buy enough of it; spill to the next-best type
+/// when the account cap binds.
+allocation_plan allocate_greedy(const allocation_request& request);
+
+/// Static peak baseline: provision every group for `peak_workload` users
+/// regardless of the prediction (what a deployment without the adaptive
+/// model must do to stay safe).
+allocation_plan allocate_static_peak(const allocation_request& request,
+                                     double peak_workload);
+
+/// Best-effort fill: maximize covered workload under the account cap,
+/// then minimize cost among maximal covers (greedy approximation).
+allocation_plan allocate_best_effort(const allocation_request& request);
+
+}  // namespace mca::core

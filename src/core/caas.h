@@ -1,0 +1,63 @@
+// Code acceleration as a service (CaaS) — the §VII-4 monetization model.
+//
+// "A user can acquire from the cloud a service to improve the response
+// time of a game instead of buying a new higher capability device."  This
+// module turns the classifier's output into a price sheet: for each
+// acceleration level, the provider's per-user cost follows from the
+// cheapest backing instance and its benchmarked multi-tenant capacity;
+// a margin turns cost into price; and the subscriber-side economics
+// (months of CaaS vs the price of a new device) fall out.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/instance_type.h"
+#include "core/acceleration.h"
+
+namespace mca::core {
+
+/// Provider-side pricing knobs.
+struct caas_config {
+  /// Gross margin on top of infrastructure cost (0.4 = 40%).
+  double margin = 0.4;
+  /// Hours per month a subscriber actively offloads (screen-on time).
+  double active_hours_per_month = 120.0;
+  /// Fraction of an instance's benchmarked capacity the provider dares to
+  /// sell (headroom for bursts; 0.8 = oversell nothing, keep 20% spare).
+  double utilization_target = 0.8;
+};
+
+/// One subscription tier.
+struct caas_plan {
+  group_id level = 0;
+  std::string backing_type;         ///< cheapest type providing the level
+  double users_per_instance = 0.0;  ///< sellable capacity after headroom
+  double cost_per_user_month = 0.0; ///< provider's infrastructure cost
+  double price_per_user_month = 0.0;///< subscriber price (cost x margin)
+  /// Solo response time of the level (what the subscriber buys).
+  double solo_response_ms = 0.0;
+};
+
+/// Builds the price sheet for every regular level (group 0 is not sold).
+/// `types` must contain every type named by the map.
+/// Throws std::invalid_argument on empty maps, unknown types, or
+/// non-positive config values.
+std::vector<caas_plan> build_price_sheet(
+    const acceleration_map& map,
+    const std::vector<cloud::instance_type>& types,
+    const caas_config& config = {});
+
+/// Subscriber-side economics of "accelerate instead of upgrade".
+struct upgrade_comparison {
+  double device_price = 0.0;
+  double caas_price_per_month = 0.0;
+  /// How many months of CaaS the device price buys.
+  double months_of_service = 0.0;
+};
+
+/// Throws std::invalid_argument on non-positive prices.
+upgrade_comparison caas_vs_device_upgrade(double device_price,
+                                          const caas_plan& plan);
+
+}  // namespace mca::core

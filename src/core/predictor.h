@@ -1,0 +1,91 @@
+// Workload prediction (§IV-B): edit-distance nearest neighbour over the
+// knowledge base of time slots.
+//
+// Given the current slot t_h, the predictor computes P = { Δ(t_h, t_i) }
+// over the stored history and approximates the next slot from the best
+// match.  Two readings of the paper's §IV-B.2 are implemented (see
+// DESIGN.md §5):
+//   * successor — predict the slot *after* the best match (default);
+//   * match     — predict the best-matching slot itself (the literal text).
+// Because the forecast is always a slot drawn from history, "dramatically
+// growing loads are only ever matched to the largest load seen in the near
+// history", making allocation conservative — exactly the paper's remark.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "trace/time_slot.h"
+
+namespace mca::core {
+
+/// Which slot the nearest-neighbour lookup forecasts.
+enum class prediction_mode { successor, match };
+
+const char* to_string(prediction_mode m) noexcept;
+
+/// The adaptive model's prediction half.
+class workload_predictor {
+ public:
+  explicit workload_predictor(prediction_mode mode = prediction_mode::successor)
+      : mode_{mode} {}
+
+  /// Replaces the knowledge base.
+  void set_history(std::vector<trace::time_slot> history);
+  /// Appends one observed slot to the knowledge base.
+  void observe(trace::time_slot slot);
+
+  std::size_t history_size() const noexcept { return history_.size(); }
+  prediction_mode mode() const noexcept { return mode_; }
+
+  /// Forecast for the slot following `current`; nullopt when the knowledge
+  /// base is too small (empty, or single-slot in successor mode).
+  std::optional<trace::time_slot> predict_next(
+      const trace::time_slot& current) const;
+
+  /// Same forecast reduced to per-group user counts (the allocator input).
+  std::optional<std::vector<std::size_t>> predict_counts(
+      const trace::time_slot& current) const;
+
+  /// Index of the history slot nearest to `current` (ties -> most recent);
+  /// nullopt on an empty knowledge base.
+  std::optional<std::size_t> nearest_index(
+      const trace::time_slot& current) const;
+
+ private:
+  prediction_mode mode_;
+  std::vector<trace::time_slot> history_;
+};
+
+/// Accuracy of one slot forecast: mean over groups of
+/// 1 - |pred - actual| / max(pred, actual, 1), in [0,1].
+/// Throws std::invalid_argument when the vectors' sizes differ or both are
+/// empty.
+double prediction_accuracy(std::span<const std::size_t> predicted,
+                           std::span<const std::size_t> actual);
+
+/// Walk-forward evaluation: using the chronologically first
+/// `knowledge_size` slots as the knowledge base, forecast each following
+/// transition and average the accuracy.  This is the Fig. 10a
+/// "accuracy vs size of the data" curve.  Returns nullopt when history is
+/// too short to score at least one transition.
+std::optional<double> walk_forward_accuracy(
+    std::span<const trace::time_slot> history, std::size_t knowledge_size,
+    prediction_mode mode = prediction_mode::successor);
+
+/// k-fold chronological cross-validation (the paper's 10-fold evaluation):
+/// each fold is held out, the rest is the knowledge base, and transitions
+/// inside the held-out fold are forecast and scored.
+struct cross_validation_result {
+  double mean_accuracy = 0.0;
+  std::vector<double> fold_accuracy;
+};
+
+/// Throws std::invalid_argument when folds < 2 or history is too short.
+cross_validation_result cross_validate(
+    std::span<const trace::time_slot> history, std::size_t folds,
+    prediction_mode mode = prediction_mode::successor);
+
+}  // namespace mca::core

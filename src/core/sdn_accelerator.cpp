@@ -1,0 +1,133 @@
+#include "core/sdn_accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace mca::core {
+
+sdn_accelerator::sdn_accelerator(sim::simulation& sim,
+                                 cloud::backend_pool& backend,
+                                 net::rtt_model mobile_link,
+                                 trace::log_store* log, sdn_config config,
+                                 util::rng rng)
+    : sim_{sim},
+      backend_{backend},
+      mobile_link_{std::move(mobile_link)},
+      log_{log},
+      config_{config},
+      rng_{rng} {
+  if (config.routing_overhead_mean_ms < 0.0 || config.backend_one_way_ms < 0.0) {
+    throw std::invalid_argument{"sdn_config: negative latency"};
+  }
+}
+
+double sdn_accelerator::sample_routing_overhead() {
+  const double overhead = rng_.normal(config_.routing_overhead_mean_ms,
+                                      config_.routing_overhead_sd_ms);
+  // Handler work cannot go below a few ms no matter the jitter draw.
+  return std::max(overhead, 5.0);
+}
+
+double sdn_accelerator::hour_of_day() const noexcept {
+  return std::fmod(util::to_hours(sim_.now()), 24.0);
+}
+
+void sdn_accelerator::submit(const workload::offload_request& request,
+                             group_id group, double battery,
+                             response_fn on_response) {
+  ++received_;
+  // The channel stays open for the whole operation, so both external legs
+  // see the same half-RTT (§VI-B.2).
+  const double external_one_way =
+      mobile_link_.sample(rng_, hour_of_day()) / 2.0;
+
+  // Shared mutable timing filled in along the event chain.
+  auto timing = std::make_shared<request_timing>();
+  timing->mobile_to_front = external_one_way;
+  timing->front_to_mobile = external_one_way;
+
+  auto finish = [this, request, timing,
+                 on_response = std::move(on_response)](bool success) {
+    timing->success = success;
+    sim_.schedule_after(timing->front_to_mobile, [this, request, timing,
+                                                  on_response, success] {
+      if (success) {
+        ++succeeded_;
+      } else {
+        ++failed_;
+      }
+      if (on_response) on_response(request, *timing);
+    });
+  };
+  // Wrap on_response so the lambda above stays copyable for std::function.
+  auto finish_shared = std::make_shared<decltype(finish)>(std::move(finish));
+
+  sim_.schedule_after(timing->mobile_to_front, [this, request, group, battery,
+                                                timing, finish_shared] {
+    // Front-end: Request Handler picks a worker thread, Code Offloader
+    // resolves the target acceleration group.
+    const double overhead = sample_routing_overhead();
+    timing->routing = overhead;
+    routing_stats_[group].add(overhead);
+    if (config_.keep_routing_samples) {
+      routing_samples_[group].push_back(overhead);
+    }
+    sim_.schedule_after(overhead, [this, request, group, battery, timing,
+                                   finish_shared] {
+      timing->front_to_back = config_.backend_one_way_ms;
+      sim_.schedule_after(config_.backend_one_way_ms, [this, request, group,
+                                                       battery, timing,
+                                                       finish_shared] {
+        const util::time_ms dispatched_at = sim_.now();
+        const auto status = backend_.route(
+            group, request.work.work_units(),
+            [this, request, group, battery, timing, finish_shared,
+             dispatched_at](util::time_ms service_time) {
+              timing->cloud = service_time;
+              timing->back_to_front = config_.backend_one_way_ms;
+              sim_.schedule_after(config_.backend_one_way_ms,
+                                  [this, request, group, battery, timing,
+                                   finish_shared, dispatched_at] {
+                                    if (log_ != nullptr && config_.log_traces) {
+                                      log_->append({request.created_at,
+                                                    request.user, group,
+                                                    battery, timing->total()});
+                                    }
+                                    (void)dispatched_at;
+                                    (*finish_shared)(true);
+                                  });
+            });
+        if (status != cloud::route_status::ok) {
+          // Rejected at the back-end: the failure notice still pays the
+          // return hops.
+          timing->cloud = 0.0;
+          timing->back_to_front = config_.backend_one_way_ms;
+          sim_.schedule_after(config_.backend_one_way_ms,
+                              [finish_shared] { (*finish_shared)(false); });
+        }
+      });
+    });
+  });
+}
+
+namespace {
+const util::running_stats kEmptyStats{};
+const std::vector<double> kEmptySamples{};
+}  // namespace
+
+const util::running_stats& sdn_accelerator::routing_stats(
+    group_id group) const {
+  const auto it = routing_stats_.find(group);
+  return it == routing_stats_.end() ? kEmptyStats : it->second;
+}
+
+const std::vector<double>& sdn_accelerator::routing_samples(
+    group_id group) const {
+  const auto it = routing_samples_.find(group);
+  return it == routing_samples_.end() ? kEmptySamples : it->second;
+}
+
+}  // namespace mca::core

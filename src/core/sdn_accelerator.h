@@ -1,0 +1,106 @@
+// The SDN-accelerator: the cloud-side front-end that routes offloaded code
+// into acceleration groups (§IV, §V).
+//
+// A request's life (Fig. 7a): the mobile uplink (T_m→f, half the sampled
+// LTE round trip), the Request Handler + Code Offloader routing work
+// (≈150 ms, Fig. 8a), the internal hop to the chosen back-end instance
+// (T_f→b), cloud execution under processor sharing (T_cloud), and the two
+// return hops (T_b→f, T_f→m).  The paper assumes the channel stays open
+// both ways, so T_m→f = T_f→m and T_f→b = T_b→f.  Every processed request
+// is logged as a trace record — the knowledge base of the predictor.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cloud/backend_pool.h"
+#include "net/rtt_model.h"
+#include "sim/simulation.h"
+#include "trace/log_store.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/request.h"
+
+namespace mca::core {
+
+/// Front-end behaviour knobs.
+struct sdn_config {
+  /// Request Handler + Code Offloader processing (the paper's ≈150 ms).
+  double routing_overhead_mean_ms = 150.0;
+  double routing_overhead_sd_ms = 20.0;
+  /// Front-end <-> back-end one-way latency (same private network).
+  double backend_one_way_ms = 3.0;
+  /// Log every processed request into the trace store.
+  bool log_traces = true;
+  /// Keep raw per-group routing-time samples (Fig. 8a series).
+  bool keep_routing_samples = false;
+};
+
+/// Per-request timing decomposition (Fig. 7a/7b vocabulary).
+struct request_timing {
+  util::time_ms mobile_to_front = 0.0;
+  util::time_ms routing = 0.0;
+  util::time_ms front_to_back = 0.0;
+  util::time_ms cloud = 0.0;
+  util::time_ms back_to_front = 0.0;
+  util::time_ms front_to_mobile = 0.0;
+  bool success = false;
+
+  /// T1 = T_m→f + T_f→m (external, over LTE).
+  util::time_ms t1() const noexcept {
+    return mobile_to_front + front_to_mobile;
+  }
+  /// T2 = front-end handling + both internal hops.
+  util::time_ms t2() const noexcept {
+    return routing + front_to_back + back_to_front;
+  }
+  /// T_response = T1 + T2 + T_cloud.
+  util::time_ms total() const noexcept { return t1() + t2() + cloud; }
+};
+
+/// Invoked at the mobile when the result (or the failure notice) arrives.
+using response_fn = std::function<void(const workload::offload_request&,
+                                       const request_timing&)>;
+
+/// The front-end component.
+class sdn_accelerator {
+ public:
+  /// `log` may be nullptr to disable persistence regardless of config.
+  sdn_accelerator(sim::simulation& sim, cloud::backend_pool& backend,
+                  net::rtt_model mobile_link, trace::log_store* log,
+                  sdn_config config, util::rng rng);
+
+  /// Accepts one offloading request destined for acceleration `group`.
+  /// `battery` is the device's charge level, logged with the trace.
+  void submit(const workload::offload_request& request, group_id group,
+              double battery, response_fn on_response);
+
+  std::uint64_t received() const noexcept { return received_; }
+  std::uint64_t succeeded() const noexcept { return succeeded_; }
+  std::uint64_t failed() const noexcept { return failed_; }
+
+  /// Routing-time statistics per group (Fig. 8a).
+  const util::running_stats& routing_stats(group_id group) const;
+  /// Raw samples when `keep_routing_samples` is on.
+  const std::vector<double>& routing_samples(group_id group) const;
+
+ private:
+  double sample_routing_overhead();
+  double hour_of_day() const noexcept;
+
+  sim::simulation& sim_;
+  cloud::backend_pool& backend_;
+  net::rtt_model mobile_link_;
+  trace::log_store* log_;
+  sdn_config config_;
+  util::rng rng_;
+
+  std::uint64_t received_ = 0;
+  std::uint64_t succeeded_ = 0;
+  std::uint64_t failed_ = 0;
+  std::map<group_id, util::running_stats> routing_stats_;
+  std::map<group_id, std::vector<double>> routing_samples_;
+};
+
+}  // namespace mca::core

@@ -1,0 +1,245 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/operators.h"
+
+namespace mca::core {
+
+std::optional<double> system_metrics::mean_prediction_accuracy() const {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : slots) {
+    if (s.accuracy) {
+      total += *s.accuracy;
+      ++n;
+    }
+  }
+  if (n == 0) return std::nullopt;
+  return total / static_cast<double>(n);
+}
+
+std::vector<double> system_metrics::user_response_series(user_id user) const {
+  std::vector<double> series;
+  for (const auto& r : requests) {
+    if (r.user == user && r.success) series.push_back(r.response_ms);
+  }
+  return series;
+}
+
+std::vector<group_id> system_metrics::user_group_series(user_id user) const {
+  std::vector<group_id> series;
+  for (const auto& r : requests) {
+    if (r.user == user && r.success) series.push_back(r.group);
+  }
+  return series;
+}
+
+offloading_system::offloading_system(system_config config,
+                                     const tasks::task_pool& pool)
+    : config_{std::move(config)}, pool_{pool}, rng_{config_.seed},
+      background_rng_{config_.seed ^ 0xbadc0ffeULL} {
+  if (config_.groups.empty()) {
+    throw std::invalid_argument{"system: no backend groups"};
+  }
+  if (!config_.tasks || !config_.gaps) {
+    throw std::invalid_argument{"system: task source and gaps are required"};
+  }
+  if (config_.user_count == 0) {
+    throw std::invalid_argument{"system: zero users"};
+  }
+  if (config_.device_mix.empty()) {
+    throw std::invalid_argument{"system: empty device mix"};
+  }
+
+  group_id max_group = config_.initial_group;
+  for (const auto& spec : config_.groups) {
+    max_group = std::max(max_group, spec.group);
+  }
+  group_count_ = max_group + 1;
+
+  backend_ = std::make_unique<cloud::backend_pool>(sim_, rng_.fork(),
+                                                   config_.instance_options);
+  for (const auto& spec : config_.groups) {
+    const auto& type = cloud::type_by_name(spec.type_name);
+    for (std::size_t i = 0; i < spec.initial_count; ++i) {
+      backend_->launch(spec.group, type);
+    }
+  }
+
+  sdn_ = std::make_unique<sdn_accelerator>(
+      sim_, *backend_,
+      config_.mobile_link ? *config_.mobile_link : net::default_lte_model(),
+      &log_, config_.sdn, rng_.fork());
+
+  auto policy = config_.policy_factory
+                    ? config_.policy_factory()
+                    : std::make_unique<client::static_probability_promotion>();
+  moderator_ = std::make_unique<client::moderator>(
+      std::move(policy), config_.initial_group, max_group, rng_.fork(),
+      config_.allow_demotion);
+
+  devices_.reserve(config_.user_count);
+  for (user_id u = 0; u < config_.user_count; ++u) {
+    const auto cls = config_.device_mix[u % config_.device_mix.size()];
+    devices_.emplace_back(u, cls);
+  }
+  user_seq_.assign(config_.user_count, 0);
+
+  predictor_ = workload_predictor{config_.predictor_mode};
+  predictor_.set_history(config_.seed_history);
+}
+
+trace::time_slot offloading_system::slot_from_log(
+    std::size_t slot_index) const {
+  const util::time_ms from =
+      static_cast<double>(slot_index) * config_.slot_length;
+  const util::time_ms to = from + config_.slot_length;
+  trace::time_slot slot{group_count_};
+  for (const auto& record : log_.in_range(from, to)) {
+    if (record.group < group_count_) slot.add_user(record.group, record.user);
+  }
+  return slot;
+}
+
+void offloading_system::handle_request(
+    const workload::offload_request& request) {
+  const group_id group = moderator_->group_of(request.user);
+  auto& device = devices_[request.user % devices_.size()];
+  const double battery = device.battery();
+  sdn_->submit(request, group, battery,
+               [this, group](const workload::offload_request& req,
+                             const request_timing& timing) {
+                 auto& dev = devices_[req.user % devices_.size()];
+                 dev.account_offload(timing.total());
+                 if (timing.success) {
+                   moderator_->record_response(req.user, timing.total(),
+                                               dev.battery());
+                 }
+                 request_metric metric;
+                 metric.id = req.id;
+                 metric.user = req.user;
+                 metric.user_seq = user_seq_[req.user % user_seq_.size()]++;
+                 metric.group = group;
+                 metric.response_ms = timing.total();
+                 metric.issued_at = req.created_at;
+                 metric.success = timing.success;
+                 metrics_.requests.push_back(metric);
+               });
+}
+
+void offloading_system::inject_background() {
+  for (const auto& spec : config_.groups) {
+    for (cloud::instance* server :
+         backend_->mutable_instances_in(spec.group)) {
+      for (std::size_t i = 0; i < config_.background_requests_per_burst; ++i) {
+        const auto work = pool_.random_request(background_rng_).work_units();
+        if (server->submit(work, {})) ++metrics_.background_submitted;
+      }
+    }
+  }
+}
+
+void offloading_system::apply_plan(const allocation_plan& plan) {
+  for (const auto& spec : config_.groups) {
+    const auto& type = cloud::type_by_name(spec.type_name);
+    const std::size_t want = plan.count_of(spec.group, spec.type_name);
+    const std::size_t have =
+        backend_->instance_count(spec.group, spec.type_name);
+    if (want > have) {
+      for (std::size_t i = have; i < want; ++i) {
+        backend_->launch(spec.group, type);
+      }
+    } else if (want < have) {
+      backend_->retire(spec.group, type, have - want);
+    }
+  }
+}
+
+void offloading_system::on_slot_boundary(std::size_t slot_index) {
+  // The slot that just ended becomes evidence.
+  trace::time_slot finished = slot_from_log(slot_index);
+  const auto actual_counts = finished.group_counts();
+
+  // Score the forecast made one boundary ago.
+  if (!metrics_.slots.empty()) {
+    auto& previous = metrics_.slots.back();
+    if (previous.predicted_counts) {
+      previous.accuracy =
+          prediction_accuracy(*previous.predicted_counts, actual_counts);
+    }
+  }
+
+  slot_report report;
+  report.slot_index = slot_index;
+  report.actual_counts = actual_counts;
+
+  predictor_.observe(finished);
+  const auto predicted = predictor_.predict_counts(finished);
+  if (predicted) {
+    report.predicted_counts = predicted;
+    if (config_.enable_adaptation) {
+      allocation_request request;
+      request.workload_per_group.assign(group_count_, 0.0);
+      request.candidates_per_group.assign(group_count_, {});
+      for (group_id g = 0; g < group_count_ && g < predicted->size(); ++g) {
+        request.workload_per_group[g] =
+            static_cast<double>((*predicted)[g]);
+      }
+      for (const auto& spec : config_.groups) {
+        const auto& type = cloud::type_by_name(spec.type_name);
+        request.candidates_per_group[spec.group].push_back(
+            {spec.type_name, spec.capacity_per_instance, type.cost_per_hour});
+      }
+      request.max_total_instances = config_.max_total_instances;
+      request.cumulative_capacity = config_.cumulative_capacity;
+      allocation_plan plan = allocate_ilp(request);
+      apply_plan(plan);
+      report.plan = std::move(plan);
+    }
+  }
+  metrics_.slots.push_back(std::move(report));
+}
+
+void offloading_system::run(util::time_ms duration) {
+  if (duration <= 0.0) throw std::invalid_argument{"run: duration <= 0"};
+
+  workload::interarrival_config load;
+  load.devices = config_.user_count;
+  load.active_duration = duration;
+  generator_ = std::make_unique<workload::interarrival_generator>(
+      sim_, config_.tasks,
+      [this](const workload::offload_request& r) { handle_request(r); },
+      config_.gaps, load, rng_.fork());
+
+  if (config_.background_requests_per_burst > 0) {
+    background_ticker_ = std::make_unique<sim::periodic_process>(
+        sim_, config_.background_burst_period, config_.background_burst_period,
+        [this](std::uint64_t) {
+          inject_background();
+          return true;
+        });
+  }
+
+  const auto total_slots = static_cast<std::size_t>(
+      std::max(1.0, duration / config_.slot_length));
+  slot_ticker_ = std::make_unique<sim::periodic_process>(
+      sim_, config_.slot_length, config_.slot_length,
+      [this, total_slots](std::uint64_t tick) {
+        on_slot_boundary(static_cast<std::size_t>(tick));
+        return tick + 1 < total_slots;
+      });
+
+  sim_.run_until(duration);
+  if (background_ticker_) background_ticker_->stop();
+  if (slot_ticker_) slot_ticker_->stop();
+  // Let in-flight requests complete so metrics cover the whole workload.
+  sim_.run_until(duration + util::minutes(10.0));
+
+  metrics_.promotions = moderator_->promotions();
+  metrics_.demotions = moderator_->demotions();
+  metrics_.total_cost_usd = backend_->billing().total_cost(sim_.now());
+}
+
+}  // namespace mca::core

@@ -1,0 +1,172 @@
+// The end-to-end deployment: workload → moderator → SDN-accelerator →
+// acceleration groups, closed by the adaptive model.
+//
+// This is the harness behind the paper's §VI-C experiments (Fig. 9/10):
+// a population of devices issues offloading requests following a
+// trace-driven inter-arrival process; each device's moderator decides its
+// acceleration group (promotions); the SDN front-end routes and logs; and
+// at every provisioning-slot boundary the predictor forecasts the next
+// slot's per-group workload and the ILP allocator reshapes the fleet —
+// all against hourly billing and the account instance cap.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "client/device.h"
+#include "client/moderator.h"
+#include "cloud/backend_pool.h"
+#include "core/allocator.h"
+#include "core/predictor.h"
+#include "core/sdn_accelerator.h"
+#include "net/rtt_model.h"
+#include "sim/simulation.h"
+#include "tasks/task.h"
+#include "trace/log_store.h"
+#include "workload/generator.h"
+
+namespace mca::core {
+
+/// One acceleration group's backing in the deployment (Fig. 9a style:
+/// group 1 = t2.nano, group 2 = t2.large, group 3 = m4.4xlarge).
+struct group_backend_spec {
+  group_id group = 1;
+  std::string type_name;
+  std::size_t initial_count = 1;
+  /// Ks for the allocator: users one instance carries under the bound
+  /// (from the classifier's characterization).
+  double capacity_per_instance = 10.0;
+};
+
+/// Full experiment description.
+struct system_config {
+  std::vector<group_backend_spec> groups;
+  group_id initial_group = 1;
+
+  // --- workload ---
+  std::size_t user_count = 100;
+  workload::task_source tasks;        ///< required
+  workload::interarrival_fn gaps;     ///< required
+  /// Device hardware mix, cycled over users.
+  std::vector<client::device_class> device_mix = {
+      client::device_class::flagship, client::device_class::midrange,
+      client::device_class::budget, client::device_class::wearable};
+
+  // --- promotion ---
+  /// Built if `policy_factory` is empty: the paper's static 1/50 policy.
+  std::function<std::unique_ptr<client::promotion_policy>()> policy_factory;
+  /// Let the policy also demote users (never below the initial group).
+  bool allow_demotion = false;
+
+  // --- adaptive model ---
+  bool enable_adaptation = true;
+  util::time_ms slot_length = util::hours(1);
+  std::size_t max_total_instances = 20;  ///< CC
+  prediction_mode predictor_mode = prediction_mode::successor;
+  /// Pre-trained knowledge base (e.g. from a warm-up run).
+  std::vector<trace::time_slot> seed_history;
+  bool cumulative_capacity = false;
+
+  // --- induced background load (§VI-C.1) ---
+  /// Requests injected into every back-end server per burst.
+  std::size_t background_requests_per_burst = 50;
+  util::time_ms background_burst_period = util::seconds(2);
+
+  // --- plumbing ---
+  sdn_config sdn;
+  /// Mobile <-> front-end link; defaults to the paper's assumption
+  /// (operator beta's calibrated LTE).  Supply a 3G model to study the
+  /// §VI-C.4 technology gap end to end.
+  std::optional<net::rtt_model> mobile_link;
+  cloud::instance::options instance_options;
+  std::uint64_t seed = 7;
+};
+
+/// One completed (or failed) foreground request.
+struct request_metric {
+  request_id id = 0;
+  user_id user = 0;
+  std::uint32_t user_seq = 0;  ///< per-user request index, 0-based
+  group_id group = 0;
+  double response_ms = 0.0;
+  util::time_ms issued_at = 0.0;
+  bool success = false;
+};
+
+/// Outcome of one provisioning slot.
+struct slot_report {
+  std::size_t slot_index = 0;
+  std::vector<std::size_t> actual_counts;  ///< users per group, observed
+  std::optional<std::vector<std::size_t>> predicted_counts;
+  std::optional<double> accuracy;  ///< prediction vs next slot's actual
+  std::optional<allocation_plan> plan;
+};
+
+/// Aggregated run results.
+struct system_metrics {
+  std::vector<request_metric> requests;
+  std::vector<slot_report> slots;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t background_submitted = 0;
+  double total_cost_usd = 0.0;
+
+  /// Mean accuracy over slots that had both a prediction and an outcome.
+  std::optional<double> mean_prediction_accuracy() const;
+  /// All response times of successful requests for one user, in order.
+  std::vector<double> user_response_series(user_id user) const;
+  /// The group each successful request of a user ran in, in order.
+  std::vector<group_id> user_group_series(user_id user) const;
+};
+
+/// Owns the whole simulated deployment.
+class offloading_system {
+ public:
+  /// Validates the config (groups present, callbacks set).
+  /// Throws std::invalid_argument on a malformed config.
+  offloading_system(system_config config, const tasks::task_pool& pool);
+
+  /// Runs the experiment for `duration` of simulated time.
+  void run(util::time_ms duration);
+
+  const system_metrics& metrics() const noexcept { return metrics_; }
+  cloud::backend_pool& backend() noexcept { return *backend_; }
+  const trace::log_store& log() const noexcept { return log_; }
+  sdn_accelerator& sdn() noexcept { return *sdn_; }
+  const workload_predictor& predictor() const noexcept { return predictor_; }
+  client::moderator& moderator() noexcept { return *moderator_; }
+  sim::simulation& simulation() noexcept { return sim_; }
+  std::size_t group_count() const noexcept { return group_count_; }
+
+ private:
+  void handle_request(const workload::offload_request& request);
+  void on_slot_boundary(std::size_t slot_index);
+  void inject_background();
+  void apply_plan(const allocation_plan& plan);
+  trace::time_slot slot_from_log(std::size_t slot_index) const;
+
+  system_config config_;
+  const tasks::task_pool& pool_;
+  std::size_t group_count_ = 0;
+
+  sim::simulation sim_;
+  util::rng rng_;
+  trace::log_store log_;
+  std::unique_ptr<cloud::backend_pool> backend_;
+  std::unique_ptr<sdn_accelerator> sdn_;
+  std::unique_ptr<client::moderator> moderator_;
+  std::vector<client::mobile_device> devices_;
+  workload_predictor predictor_;
+
+  std::unique_ptr<workload::interarrival_generator> generator_;
+  std::unique_ptr<sim::periodic_process> slot_ticker_;
+  std::unique_ptr<sim::periodic_process> background_ticker_;
+
+  std::vector<std::uint32_t> user_seq_;
+  util::rng background_rng_;
+  system_metrics metrics_;
+};
+
+}  // namespace mca::core

@@ -1,0 +1,143 @@
+#include "ilp/branch_bound.h"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace mca::ilp {
+namespace {
+
+struct node {
+  // Box-bound overrides accumulated along this branch.
+  std::vector<std::pair<std::size_t, std::pair<double, double>>> bounds;
+};
+
+/// Index of the integer variable whose relaxation value is farthest from
+/// integral, or nullopt if all are integral within tol.
+std::optional<std::size_t> most_fractional(const problem& p,
+                                           const std::vector<double>& x,
+                                           double tol) {
+  std::optional<std::size_t> best;
+  double best_frac_distance = tol;
+  for (std::size_t j = 0; j < p.variable_count(); ++j) {
+    if (!p.variable(j).is_integer) continue;
+    const double frac = x[j] - std::floor(x[j]);
+    const double distance = std::min(frac, 1.0 - frac);
+    if (distance > best_frac_distance) {
+      best_frac_distance = distance;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+solution solve_ilp(const problem& p, const ilp_options& opts) {
+  if (!p.has_integer_variables()) return solve_lp(p, opts.lp);
+
+  solution incumbent;
+  incumbent.status = solve_status::infeasible;
+  incumbent.objective = std::numeric_limits<double>::infinity();
+
+  std::vector<node> stack;
+  stack.push_back({});
+  std::size_t explored = 0;
+  bool root_unbounded = false;
+  bool budget_exhausted = false;
+
+  problem scratch = p;
+  while (!stack.empty()) {
+    if (explored >= opts.max_nodes) {
+      budget_exhausted = true;
+      break;
+    }
+    ++explored;
+    const node current = std::move(stack.back());
+    stack.pop_back();
+
+    // Apply this node's bounds on a fresh copy of the base problem.
+    scratch = p;
+    bool empty_box = false;
+    for (const auto& [var, box] : current.bounds) {
+      if (box.first > box.second) {
+        empty_box = true;
+        break;
+      }
+      // Intersect with existing bounds.
+      const auto& v = scratch.variable(var);
+      const double lo = std::max(v.lower, box.first);
+      const double hi = std::min(v.upper, box.second);
+      if (lo > hi) {
+        empty_box = true;
+        break;
+      }
+      scratch.set_bounds(var, lo, hi);
+    }
+    if (empty_box) continue;
+
+    const solution relaxed = solve_lp(scratch, opts.lp);
+    if (relaxed.status == solve_status::unbounded) {
+      // An unbounded relaxation at the root means the MIP is unbounded or
+      // infeasible; report unbounded (callers here always bound variables).
+      if (current.bounds.empty()) root_unbounded = true;
+      continue;
+    }
+    if (relaxed.status != solve_status::optimal) continue;
+    if (relaxed.objective >= incumbent.objective - 1e-9) continue;  // bound
+
+    const auto branch_var =
+        most_fractional(p, relaxed.values, opts.integrality_tolerance);
+    if (!branch_var) {
+      // Integral within tolerance: round and accept as incumbent.
+      solution candidate = relaxed;
+      for (std::size_t j = 0; j < p.variable_count(); ++j) {
+        if (p.variable(j).is_integer) {
+          candidate.values[j] = std::round(candidate.values[j]);
+        }
+      }
+      candidate.objective = p.objective_value(candidate.values);
+      if (p.is_feasible(candidate.values) &&
+          candidate.objective < incumbent.objective) {
+        incumbent = candidate;
+        incumbent.status = solve_status::optimal;
+      }
+      continue;
+    }
+
+    const std::size_t j = *branch_var;
+    const double value = relaxed.values[j];
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    node down = current;
+    down.bounds.emplace_back(j, std::make_pair(-kInf, std::floor(value)));
+    node up = current;
+    up.bounds.emplace_back(j, std::make_pair(std::ceil(value), kInf));
+    // Explore the branch nearer the relaxation first (DFS: push it last).
+    if (value - std::floor(value) < 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  if (budget_exhausted && incumbent.status != solve_status::optimal) {
+    incumbent.status = solve_status::iteration_limit;
+    return incumbent;
+  }
+  if (budget_exhausted) {
+    // Return the incumbent but flag that optimality was not proven.
+    incumbent.status = solve_status::iteration_limit;
+    return incumbent;
+  }
+  if (incumbent.status != solve_status::optimal && root_unbounded) {
+    incumbent.status = solve_status::unbounded;
+  }
+  return incumbent;
+}
+
+}  // namespace mca::ilp

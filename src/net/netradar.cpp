@@ -1,0 +1,71 @@
+#include "net/netradar.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mca::net {
+namespace {
+
+/// Probability weight of a measurement landing at a given hour: phones are
+/// mostly quiet at night, active through the day with an evening maximum.
+double activity_weight(double hour) noexcept {
+  auto bump = [hour](double center, double width) {
+    double d = std::abs(hour - center);
+    d = std::min(d, 24.0 - d);
+    return std::exp(-d * d / (2.0 * width * width));
+  };
+  return 0.15 + bump(12.0, 4.0) + 1.2 * bump(19.5, 3.5);
+}
+
+/// Samples an hour of day by rejection against the activity profile.
+double sample_hour(util::rng& rng) {
+  // max weight is a bit over 2.3; 2.5 upper-bounds it.
+  for (;;) {
+    const double hour = rng.uniform(0.0, 24.0);
+    if (rng.uniform(0.0, 2.5) < activity_weight(hour)) return hour;
+  }
+}
+
+}  // namespace
+
+std::vector<rtt_sample> generate_campaign(const operator_profile& profile,
+                                          technology tech, std::size_t count,
+                                          util::rng& rng) {
+  const rtt_model model = calibrated_model(profile, tech);
+  std::vector<rtt_sample> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double hour = sample_hour(rng);
+    samples.push_back({hour, model.sample(rng, hour)});
+  }
+  return samples;
+}
+
+hourly_series aggregate_hourly(const std::vector<rtt_sample>& samples) {
+  hourly_series series;
+  series.mean_rtt_ms.assign(24, 0.0);
+  series.sample_count.assign(24, 0);
+  std::vector<util::running_stats> buckets(24);
+  for (const auto& s : samples) {
+    auto bucket = static_cast<std::size_t>(s.hour_of_day);
+    if (bucket >= 24) bucket = 23;
+    buckets[bucket].add(s.rtt_ms);
+  }
+  for (std::size_t h = 0; h < 24; ++h) {
+    series.mean_rtt_ms[h] = buckets[h].mean();
+    series.sample_count[h] = buckets[h].count();
+  }
+  return series;
+}
+
+util::summary campaign_summary(const std::vector<rtt_sample>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument{"campaign_summary: no samples"};
+  }
+  std::vector<double> rtts;
+  rtts.reserve(samples.size());
+  for (const auto& s : samples) rtts.push_back(s.rtt_ms);
+  return util::summary_of(rtts);
+}
+
+}  // namespace mca::net

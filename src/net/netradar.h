@@ -1,0 +1,41 @@
+// NetRadar-like synthetic measurement campaign.
+//
+// The paper analyzes ~1.7M crowdsourced RTT samples.  This generator
+// replays such a campaign against the calibrated operator models: samples
+// are spread over the day following a plausible measurement-activity
+// profile, and the aggregator reproduces the Fig. 11 hour-of-day curves
+// and the per-operator summary statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/operators.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mca::net {
+
+/// One synthetic measurement.
+struct rtt_sample {
+  double hour_of_day = 0.0;  ///< [0, 24)
+  double rtt_ms = 0.0;
+};
+
+/// Generates `count` samples for one operator+technology.
+std::vector<rtt_sample> generate_campaign(const operator_profile& profile,
+                                          technology tech, std::size_t count,
+                                          util::rng& rng);
+
+/// Mean RTT per hour-of-day bucket (24 buckets), as plotted in Fig. 11.
+struct hourly_series {
+  std::vector<double> mean_rtt_ms;      // size 24
+  std::vector<std::size_t> sample_count;  // size 24
+};
+
+hourly_series aggregate_hourly(const std::vector<rtt_sample>& samples);
+
+/// Overall mean/median/SD of a campaign, for calibration checks.
+util::summary campaign_summary(const std::vector<rtt_sample>& samples);
+
+}  // namespace mca::net

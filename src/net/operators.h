@@ -1,0 +1,45 @@
+// The three anonymized Finnish mobile operators of the paper's Fig. 11.
+//
+// Profiles carry the exact per-technology aggregate statistics the paper
+// reports; `calibrated_model` turns a profile into a samplable rtt_model
+// whose analytic statistics match those numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/rtt_model.h"
+
+namespace mca::net {
+
+/// Radio access technology, as compared in Fig. 11.
+enum class technology { threeg, lte };
+
+const char* to_string(technology t) noexcept;
+
+/// One operator's published NetRadar aggregates.
+struct operator_profile {
+  std::string name;                 ///< "alpha" | "beta" | "gamma"
+  rtt_target_stats threeg;
+  rtt_target_stats lte;
+  std::size_t samples_threeg = 0;   ///< dataset sizes reported by the paper
+  std::size_t samples_lte = 0;
+};
+
+/// α, β, γ with the paper's §VI-C.4 numbers.
+const std::vector<operator_profile>& netradar_operators();
+
+/// Profile lookup; throws std::out_of_range on unknown name.
+const operator_profile& operator_by_name(const std::string& name);
+
+/// Calibrated samplable model for one operator+technology.  3G carries a
+/// stronger diurnal congestion modulation than LTE, matching the paper's
+/// hour-of-day curves.
+rtt_model calibrated_model(const operator_profile& profile, technology tech);
+
+/// The paper's system assumption (§IV-c): offloading happens over LTE.  A
+/// convenient default link: operator β's calibrated LTE model.
+rtt_model default_lte_model();
+
+}  // namespace mca::net

@@ -1,0 +1,101 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mca::sim {
+
+event_handle simulation::schedule_at(util::time_ms at, callback fn) {
+  if (!fn) throw std::invalid_argument{"schedule_at: empty callback"};
+  const std::uint64_t id = next_id_++;
+  queue_.push(scheduled{std::max(at, now_), next_sequence_++, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return event_handle{id};
+}
+
+event_handle simulation::schedule_after(util::time_ms delay, callback fn) {
+  if (delay < 0) throw std::invalid_argument{"schedule_after: negative delay"};
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void simulation::cancel(event_handle handle) noexcept {
+  // Only a genuinely pending event can be cancelled; unknown or already
+  // fired handles are ignored.
+  if (handle.valid() && pending_ids_.erase(handle.id) > 0) {
+    cancelled_.insert(handle.id);
+  }
+}
+
+void simulation::skip_cancelled() {
+  while (!queue_.empty() && cancelled_.count(queue_.top().id) != 0) {
+    cancelled_.erase(queue_.top().id);
+    queue_.pop();
+  }
+}
+
+bool simulation::step() {
+  skip_cancelled();
+  if (queue_.empty()) return false;
+  // Move the callback out before popping so the event may schedule others.
+  scheduled next = std::move(const_cast<scheduled&>(queue_.top()));
+  queue_.pop();
+  pending_ids_.erase(next.id);
+  now_ = next.at;
+  ++executed_;
+  next.fn();
+  return true;
+}
+
+void simulation::run_until(util::time_ms deadline) {
+  for (;;) {
+    skip_cancelled();
+    if (queue_.empty() || queue_.top().at > deadline) break;
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void simulation::run() {
+  while (step()) {
+  }
+}
+
+void simulation::clear() noexcept {
+  while (!queue_.empty()) queue_.pop();
+  pending_ids_.clear();
+  cancelled_.clear();
+}
+
+std::size_t simulation::pending_events() const noexcept {
+  return pending_ids_.size();
+}
+
+periodic_process::periodic_process(simulation& sim, util::time_ms start,
+                                   util::time_ms period, tick_fn fn)
+    : sim_{sim}, period_{period}, fn_{std::move(fn)} {
+  if (period <= 0) throw std::invalid_argument{"periodic_process: period <= 0"};
+  if (!fn_) throw std::invalid_argument{"periodic_process: empty callback"};
+  arm(start);
+}
+
+void periodic_process::arm(util::time_ms at) {
+  pending_ = sim_.schedule_at(at, [this] {
+    if (stopped_) return;
+    const bool keep_going = fn_(tick_++);
+    if (keep_going && !stopped_) {
+      arm(sim_.now() + period_);
+    } else {
+      pending_ = {};
+    }
+  });
+}
+
+void periodic_process::stop() noexcept {
+  stopped_ = true;
+  if (pending_.valid()) {
+    sim_.cancel(pending_);
+    pending_ = {};
+  }
+}
+
+}  // namespace mca::sim

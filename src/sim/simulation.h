@@ -1,0 +1,120 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop over simulated milliseconds: every testbed
+// experiment in the paper (3-hour server characterizations, 8-hour
+// closed-loop runs) executes against this clock in well under a second of
+// wall time.  Events at the same timestamp run in scheduling (FIFO) order,
+// which makes runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace mca::sim {
+
+/// Token identifying a scheduled event, usable for cancellation.
+struct event_handle {
+  std::uint64_t id = 0;
+  bool valid() const noexcept { return id != 0; }
+};
+
+/// The event loop.  Not thread-safe; one simulation per experiment.
+class simulation {
+ public:
+  using callback = std::function<void()>;
+
+  /// Current simulated time (ms).  Starts at 0.
+  util::time_ms now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `at` (>= now, else it fires
+  /// immediately at the current time).  Returns a cancellation handle.
+  event_handle schedule_at(util::time_ms at, callback fn);
+
+  /// Schedules `fn` after `delay` milliseconds of simulated time.
+  /// Throws std::invalid_argument on negative delay.
+  event_handle schedule_after(util::time_ms delay, callback fn);
+
+  /// Cancels a pending event; cancelling an already-fired or unknown
+  /// handle is a harmless no-op.
+  void cancel(event_handle handle) noexcept;
+
+  /// Runs the next pending event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty or the next event is later than
+  /// `deadline`; afterwards the clock reads min(deadline, last event time)
+  /// advanced to `deadline`.
+  void run_until(util::time_ms deadline);
+
+  /// Runs until no events remain.
+  void run();
+
+  /// Drops every pending event (the clock is left where it is).
+  void clear() noexcept;
+
+  std::size_t pending_events() const noexcept;
+  std::size_t executed_events() const noexcept { return executed_; }
+
+ private:
+  struct scheduled {
+    util::time_ms at = 0;
+    std::uint64_t sequence = 0;  // FIFO tie-break for equal times
+    std::uint64_t id = 0;
+    callback fn;
+  };
+  struct later {
+    bool operator()(const scheduled& a, const scheduled& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Pops cancelled entries off the top of the queue.
+  void skip_cancelled();
+
+  util::time_ms now_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_sequence_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<scheduled, std::vector<scheduled>, later> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// Repeats a callback at a fixed simulated period until cancelled.
+///
+/// The callback receives the tick index (0-based) and returns `true` to
+/// keep going, `false` to stop.
+class periodic_process {
+ public:
+  using tick_fn = std::function<bool(std::uint64_t tick)>;
+
+  /// Starts ticking at `start` and then every `period` ms.
+  /// Throws std::invalid_argument if period <= 0.
+  periodic_process(simulation& sim, util::time_ms start, util::time_ms period,
+                   tick_fn fn);
+  ~periodic_process() { stop(); }
+
+  periodic_process(const periodic_process&) = delete;
+  periodic_process& operator=(const periodic_process&) = delete;
+
+  void stop() noexcept;
+  std::uint64_t ticks() const noexcept { return tick_; }
+
+ private:
+  void arm(util::time_ms at);
+
+  simulation& sim_;
+  util::time_ms period_;
+  tick_fn fn_;
+  std::uint64_t tick_ = 0;
+  event_handle pending_{};
+  bool stopped_ = false;
+};
+
+}  // namespace mca::sim

@@ -1,0 +1,110 @@
+// Dense linear-algebra / signal kernels: matrix multiply and radix-2 FFT.
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "tasks/task.h"
+
+namespace mca::tasks {
+namespace {
+
+class matrix_multiply_task final : public task {
+ public:
+  std::string_view name() const noexcept override { return "matmul"; }
+  std::uint32_t default_size() const noexcept override { return 128; }
+  std::uint32_t min_size() const noexcept override { return 64; }
+  std::uint32_t max_size() const noexcept override { return 192; }
+
+  std::uint64_t execute(std::uint32_t size, util::rng& rng) const override {
+    if (size == 0) throw std::invalid_argument{"matmul: size == 0"};
+    const std::size_t n = size;
+    std::vector<double> a(n * n);
+    std::vector<double> b(n * n);
+    std::vector<double> c(n * n, 0.0);
+    for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+    for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double aik = a[i * n + k];
+        for (std::size_t j = 0; j < n; ++j) {
+          c[i * n + j] += aik * b[k * n + j];
+        }
+      }
+    }
+    double trace = 0.0;
+    for (std::size_t i = 0; i < n; ++i) trace += c[i * n + i];
+    return static_cast<std::uint64_t>(std::llround(trace * 1e6)) ^
+           (static_cast<std::uint64_t>(n) << 48);
+  }
+
+  double work_units(std::uint32_t size) const noexcept override {
+    const double n = size;
+    return n * n * n / 80'000.0;  // default ≈ 26 wu
+  }
+};
+
+class fft_task final : public task {
+ public:
+  std::string_view name() const noexcept override { return "fft"; }
+  std::uint32_t default_size() const noexcept override { return 1u << 16; }
+  std::uint32_t min_size() const noexcept override { return 1u << 14; }
+  std::uint32_t max_size() const noexcept override { return 1u << 17; }
+
+  std::uint64_t execute(std::uint32_t size, util::rng& rng) const override {
+    if (size < 2 || (size & (size - 1)) != 0) {
+      throw std::invalid_argument{"fft: size must be a power of two >= 2"};
+    }
+    std::vector<std::complex<double>> data(size);
+    for (auto& x : data) x = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    fft_in_place(data);
+    // Parseval-style checksum over spectrum magnitudes.
+    double energy = 0.0;
+    for (const auto& x : data) energy += std::norm(x);
+    return static_cast<std::uint64_t>(std::llround(energy * 1e3)) ^
+           (static_cast<std::uint64_t>(size) << 40);
+  }
+
+  double work_units(std::uint32_t size) const noexcept override {
+    const double n = size;
+    return n * std::log2(std::max(n, 2.0)) / 100'000.0;  // default ≈ 10 wu
+  }
+
+ private:
+  static void fft_in_place(std::vector<std::complex<double>>& a) {
+    const std::size_t n = a.size();
+    // Bit reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+      std::size_t bit = n >> 1;
+      for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+      j ^= bit;
+      if (i < j) std::swap(a[i], a[j]);
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const double angle =
+          -2.0 * std::numbers::pi / static_cast<double>(len);
+      const std::complex<double> root{std::cos(angle), std::sin(angle)};
+      for (std::size_t block = 0; block < n; block += len) {
+        std::complex<double> w{1.0, 0.0};
+        for (std::size_t k = 0; k < len / 2; ++k) {
+          const auto even = a[block + k];
+          const auto odd = a[block + k + len / 2] * w;
+          a[block + k] = even + odd;
+          a[block + k + len / 2] = even - odd;
+          w *= root;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<task> make_matrix_multiply() {
+  return std::make_unique<matrix_multiply_task>();
+}
+std::unique_ptr<task> make_fft() { return std::make_unique<fft_task>(); }
+
+}  // namespace mca::tasks

@@ -1,0 +1,94 @@
+// Minimax over the tic-tac-toe game tree — the paper's canonical "complex
+// decision-making routine" and its static benchmark load.
+#include <array>
+#include <stdexcept>
+
+#include "tasks/task.h"
+
+namespace mca::tasks {
+namespace {
+
+// Board cells: 0 empty, 1 max player, 2 min player.
+using board = std::array<int, 9>;
+
+constexpr std::array<std::array<int, 3>, 8> kLines{{{0, 1, 2},
+                                                    {3, 4, 5},
+                                                    {6, 7, 8},
+                                                    {0, 3, 6},
+                                                    {1, 4, 7},
+                                                    {2, 5, 8},
+                                                    {0, 4, 8},
+                                                    {2, 4, 6}}};
+
+int winner(const board& b) noexcept {
+  for (const auto& line : kLines) {
+    const int v = b[static_cast<std::size_t>(line[0])];
+    if (v != 0 && v == b[static_cast<std::size_t>(line[1])] &&
+        v == b[static_cast<std::size_t>(line[2])]) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+// Plain minimax (no alpha-beta: the paper's routine is the expensive,
+// unpruned decision tree).  Returns the score; `nodes` counts visits.
+int minimax(board& b, int depth, bool maximizing, std::uint64_t& nodes) {
+  ++nodes;
+  const int w = winner(b);
+  if (w == 1) return 10 + depth;
+  if (w == 2) return -10 - depth;
+  if (depth == 0) return 0;
+  bool moved = false;
+  int best = maximizing ? -1000 : 1000;
+  for (std::size_t cell = 0; cell < b.size(); ++cell) {
+    if (b[cell] != 0) continue;
+    moved = true;
+    b[cell] = maximizing ? 1 : 2;
+    const int score = minimax(b, depth - 1, !maximizing, nodes);
+    b[cell] = 0;
+    best = maximizing ? std::max(best, score) : std::min(best, score);
+  }
+  return moved ? best : 0;  // draw on a full board
+}
+
+class minimax_task final : public task {
+ public:
+  std::string_view name() const noexcept override { return "minimax"; }
+  std::uint32_t default_size() const noexcept override { return 9; }
+  std::uint32_t min_size() const noexcept override { return 5; }
+  std::uint32_t max_size() const noexcept override { return 7; }
+
+  std::uint64_t execute(std::uint32_t size, util::rng& rng) const override {
+    if (size < 1 || size > 9) {
+      throw std::invalid_argument{"minimax: depth must be in [1,9]"};
+    }
+    (void)rng;  // the game tree from the empty board is deterministic
+    board b{};
+    std::uint64_t nodes = 0;
+    const int score = minimax(b, static_cast<int>(size), true, nodes);
+    return nodes ^ (static_cast<std::uint64_t>(score + 1000) << 48);
+  }
+
+  double work_units(std::uint32_t size) const noexcept override {
+    // Visited-node estimate: sum of falling-factorial path counts up to the
+    // requested depth, scaled so the full-depth (size 9) static benchmark
+    // costs ~280 wu (≈280 ms on the reference core, matching the Fig. 5
+    // single-user response-time band).
+    double nodes = 1.0;
+    double product = 1.0;
+    for (std::uint32_t level = 0; level < size && level < 9; ++level) {
+      product *= static_cast<double>(9 - level);
+      nodes += product;
+    }
+    return nodes * (280.0 / 986'410.0);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<task> make_minimax() {
+  return std::make_unique<minimax_task>();
+}
+
+}  // namespace mca::tasks

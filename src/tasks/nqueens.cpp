@@ -1,0 +1,58 @@
+// N-queens solution counting — the second "decision making algorithm"
+// named by the paper's introduction (alongside minimax).
+#include <stdexcept>
+
+#include "tasks/task.h"
+
+namespace mca::tasks {
+namespace {
+
+// Bitmask backtracking counter.
+std::uint64_t count_solutions(unsigned n, std::uint32_t columns,
+                              std::uint32_t diag_left, std::uint32_t diag_right,
+                              std::uint32_t full) {
+  if (columns == full) return 1;
+  std::uint64_t count = 0;
+  std::uint32_t available = full & ~(columns | diag_left | diag_right);
+  while (available != 0) {
+    const std::uint32_t bit = available & (0u - available);
+    available -= bit;
+    count += count_solutions(n, columns | bit, (diag_left | bit) << 1,
+                             (diag_right | bit) >> 1, full);
+  }
+  return count;
+}
+
+class nqueens_task final : public task {
+ public:
+  std::string_view name() const noexcept override { return "nqueens"; }
+  std::uint32_t default_size() const noexcept override { return 9; }
+  std::uint32_t min_size() const noexcept override { return 6; }
+  std::uint32_t max_size() const noexcept override { return 10; }
+
+  std::uint64_t execute(std::uint32_t size, util::rng& rng) const override {
+    if (size < 1 || size > 16) {
+      throw std::invalid_argument{"nqueens: board size must be in [1,16]"};
+    }
+    (void)rng;  // exact enumeration; no randomness
+    const std::uint32_t full = (1u << size) - 1;
+    return count_solutions(size, 0, 0, 0, full);
+  }
+
+  double work_units(std::uint32_t size) const noexcept override {
+    // Search-tree size grows roughly ~3.1x per added row in this range;
+    // anchored so the default (9-queens) costs ~22 wu.
+    double units = 22.0;
+    for (std::uint32_t n = size; n < 9; ++n) units /= 3.1;
+    for (std::uint32_t n = 9; n < size; ++n) units *= 3.1;
+    return units;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<task> make_nqueens() {
+  return std::make_unique<nqueens_task>();
+}
+
+}  // namespace mca::tasks

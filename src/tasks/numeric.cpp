@@ -1,0 +1,113 @@
+// Numeric kernels: naive recursive Fibonacci (the classic offloading
+// micro-benchmark), sieve of Eratosthenes, and 0/1 knapsack DP.
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "tasks/task.h"
+
+namespace mca::tasks {
+namespace {
+
+std::uint64_t naive_fib(std::uint32_t n) noexcept {
+  if (n < 2) return n;
+  return naive_fib(n - 1) + naive_fib(n - 2);
+}
+
+class fibonacci_task final : public task {
+ public:
+  std::string_view name() const noexcept override { return "fibonacci"; }
+  std::uint32_t default_size() const noexcept override { return 27; }
+  std::uint32_t min_size() const noexcept override { return 22; }
+  std::uint32_t max_size() const noexcept override { return 30; }
+
+  std::uint64_t execute(std::uint32_t size, util::rng& rng) const override {
+    if (size > 45) throw std::invalid_argument{"fibonacci: n > 45"};
+    (void)rng;
+    return naive_fib(size);
+  }
+
+  double work_units(std::uint32_t size) const noexcept override {
+    // Call count of naive fib is ~2*fib(n+1)-1 ~ phi^n; anchored so the
+    // default (n=27) costs ~15 wu.
+    constexpr double phi = 1.6180339887498949;
+    return 15.0 * std::pow(phi, static_cast<double>(size) - 27.0);
+  }
+};
+
+class sieve_task final : public task {
+ public:
+  std::string_view name() const noexcept override { return "sieve"; }
+  std::uint32_t default_size() const noexcept override { return 1'000'000; }
+  std::uint32_t min_size() const noexcept override { return 100'000; }
+  std::uint32_t max_size() const noexcept override { return 2'000'000; }
+
+  std::uint64_t execute(std::uint32_t size, util::rng& rng) const override {
+    if (size < 2) throw std::invalid_argument{"sieve: limit < 2"};
+    (void)rng;
+    std::vector<bool> composite(size + 1, false);
+    std::uint64_t count = 0;
+    std::uint64_t checksum = 0;
+    for (std::uint32_t p = 2; p <= size; ++p) {
+      if (composite[p]) continue;
+      ++count;
+      checksum = checksum * 31 + p;
+      for (std::uint64_t multiple = static_cast<std::uint64_t>(p) * p;
+           multiple <= size; multiple += p) {
+        composite[static_cast<std::size_t>(multiple)] = true;
+      }
+    }
+    // Prime count in the high bits, hash of the primes in the low bits.
+    return (count << 40) | (checksum & ((1ULL << 40) - 1));
+  }
+
+  double work_units(std::uint32_t size) const noexcept override {
+    const double n = size;
+    return n * std::log(std::log(std::max(n, 16.0))) / 100'000.0;  // ≈ 26 wu
+  }
+};
+
+class knapsack_task final : public task {
+ public:
+  std::string_view name() const noexcept override { return "knapsack"; }
+  std::uint32_t default_size() const noexcept override { return 200; }
+  std::uint32_t min_size() const noexcept override { return 100; }
+  std::uint32_t max_size() const noexcept override { return 400; }
+
+  std::uint64_t execute(std::uint32_t size, util::rng& rng) const override {
+    if (size == 0) throw std::invalid_argument{"knapsack: no items"};
+    // `size` items, capacity 10x items; weights/values drawn from rng.
+    const std::uint32_t capacity = size * 10;
+    std::vector<std::uint32_t> weight(size);
+    std::vector<std::uint32_t> value(size);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      weight[i] = static_cast<std::uint32_t>(rng.uniform_int(1, 30));
+      value[i] = static_cast<std::uint32_t>(rng.uniform_int(1, 100));
+    }
+    std::vector<std::uint64_t> best(capacity + 1, 0);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      for (std::uint32_t c = capacity; c >= weight[i]; --c) {
+        best[c] = std::max(best[c], best[c - weight[i]] + value[i]);
+      }
+    }
+    return best[capacity];
+  }
+
+  double work_units(std::uint32_t size) const noexcept override {
+    const double cells = static_cast<double>(size) * (size * 10.0);
+    return cells / 30'000.0;  // default ≈ 13 wu
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<task> make_fibonacci() {
+  return std::make_unique<fibonacci_task>();
+}
+std::unique_ptr<task> make_sieve() { return std::make_unique<sieve_task>(); }
+std::unique_ptr<task> make_knapsack() {
+  return std::make_unique<knapsack_task>();
+}
+
+}  // namespace mca::tasks

@@ -1,0 +1,65 @@
+#include <stdexcept>
+
+#include "tasks/task.h"
+
+namespace mca::tasks {
+
+void task::check_size(std::uint32_t size) const {
+  if (size < min_size() || size > max_size()) {
+    throw std::invalid_argument{std::string{name()} +
+                                ": size outside generator range"};
+  }
+}
+
+task_pool::task_pool() {
+  tasks_.push_back(make_minimax());
+  tasks_.push_back(make_nqueens());
+  tasks_.push_back(make_quicksort());
+  tasks_.push_back(make_bubblesort());
+  tasks_.push_back(make_mergesort());
+  tasks_.push_back(make_fibonacci());
+  tasks_.push_back(make_sieve());
+  tasks_.push_back(make_knapsack());
+  tasks_.push_back(make_matrix_multiply());
+  tasks_.push_back(make_fft());
+}
+
+const task* task_pool::find(std::string_view name) const noexcept {
+  for (const auto& t : tasks_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+task_request task_pool::random_request(util::rng& rng) const {
+  const auto index = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(tasks_.size()) - 1));
+  const task& chosen = *tasks_[index];
+  auto size = static_cast<std::uint32_t>(
+      rng.uniform_int(chosen.min_size(), chosen.max_size()));
+  if (chosen.name() == "fft") {
+    // FFT sizes must stay powers of two; round down to the nearest one.
+    std::uint32_t pow2 = chosen.min_size();
+    while (pow2 * 2 <= size) pow2 *= 2;
+    size = pow2;
+  }
+  return {&chosen, size};
+}
+
+task_request task_pool::static_minimax_request() const {
+  const task* minimax = find("minimax");
+  if (minimax == nullptr) throw std::logic_error{"pool: minimax missing"};
+  return {minimax, minimax->default_size()};
+}
+
+double task_pool::mean_random_work_units(std::size_t samples,
+                                         std::uint64_t seed) const {
+  util::rng rng{seed};
+  double total = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    total += random_request(rng).work_units();
+  }
+  return total / static_cast<double>(samples);
+}
+
+}  // namespace mca::tasks

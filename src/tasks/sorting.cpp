@@ -1,0 +1,168 @@
+// Sorting kernels from the paper's example pool: quicksort, bubblesort,
+// and mergesort over randomly generated integer arrays.
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "tasks/task.h"
+
+namespace mca::tasks {
+namespace {
+
+std::vector<std::uint32_t> random_array(std::uint32_t n, util::rng& rng) {
+  std::vector<std::uint32_t> data(n);
+  for (auto& x : data) x = static_cast<std::uint32_t>(rng());
+  return data;
+}
+
+/// FNV-1a over the sorted output; order-sensitive so a mis-sort changes it.
+std::uint64_t checksum(const std::vector<std::uint32_t>& data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::uint32_t x : data) {
+    hash ^= x;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void quicksort_impl(std::vector<std::uint32_t>& a, std::int64_t lo,
+                    std::int64_t hi) {
+  while (lo < hi) {
+    // Median-of-three pivot to dodge quadratic behaviour on sorted input.
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    std::uint32_t pivot = a[static_cast<std::size_t>(mid)];
+    const std::uint32_t a_lo = a[static_cast<std::size_t>(lo)];
+    const std::uint32_t a_hi = a[static_cast<std::size_t>(hi)];
+    if ((a_lo <= pivot && pivot <= a_hi) || (a_hi <= pivot && pivot <= a_lo)) {
+      // pivot already the median
+    } else if ((pivot <= a_lo && a_lo <= a_hi) ||
+               (a_hi <= a_lo && a_lo <= pivot)) {
+      pivot = a_lo;
+    } else {
+      pivot = a_hi;
+    }
+    std::int64_t i = lo;
+    std::int64_t j = hi;
+    while (i <= j) {
+      while (a[static_cast<std::size_t>(i)] < pivot) ++i;
+      while (a[static_cast<std::size_t>(j)] > pivot) --j;
+      if (i <= j) {
+        std::swap(a[static_cast<std::size_t>(i)], a[static_cast<std::size_t>(j)]);
+        ++i;
+        --j;
+      }
+    }
+    // Recurse on the smaller half, loop on the larger (bounded stack).
+    if (j - lo < hi - i) {
+      quicksort_impl(a, lo, j);
+      lo = i;
+    } else {
+      quicksort_impl(a, i, hi);
+      hi = j;
+    }
+  }
+}
+
+class quicksort_task final : public task {
+ public:
+  std::string_view name() const noexcept override { return "quicksort"; }
+  std::uint32_t default_size() const noexcept override { return 100'000; }
+  std::uint32_t min_size() const noexcept override { return 20'000; }
+  std::uint32_t max_size() const noexcept override { return 200'000; }
+
+  std::uint64_t execute(std::uint32_t size, util::rng& rng) const override {
+    if (size == 0) throw std::invalid_argument{"quicksort: size == 0"};
+    auto data = random_array(size, rng);
+    quicksort_impl(data, 0, static_cast<std::int64_t>(data.size()) - 1);
+    return checksum(data);
+  }
+
+  double work_units(std::uint32_t size) const noexcept override {
+    const double n = size;
+    return n * std::log2(std::max(n, 2.0)) / 120'000.0;  // default ≈ 14 wu
+  }
+};
+
+class bubblesort_task final : public task {
+ public:
+  std::string_view name() const noexcept override { return "bubblesort"; }
+  std::uint32_t default_size() const noexcept override { return 3'000; }
+  std::uint32_t min_size() const noexcept override { return 1'000; }
+  std::uint32_t max_size() const noexcept override { return 5'000; }
+
+  std::uint64_t execute(std::uint32_t size, util::rng& rng) const override {
+    if (size == 0) throw std::invalid_argument{"bubblesort: size == 0"};
+    auto data = random_array(size, rng);
+    for (std::size_t pass = 0; pass + 1 < data.size(); ++pass) {
+      bool swapped = false;
+      for (std::size_t i = 0; i + 1 < data.size() - pass; ++i) {
+        if (data[i] > data[i + 1]) {
+          std::swap(data[i], data[i + 1]);
+          swapped = true;
+        }
+      }
+      if (!swapped) break;
+    }
+    return checksum(data);
+  }
+
+  double work_units(std::uint32_t size) const noexcept override {
+    const double n = size;
+    return n * n / 300'000.0;  // default ≈ 30 wu
+  }
+};
+
+class mergesort_task final : public task {
+ public:
+  std::string_view name() const noexcept override { return "mergesort"; }
+  std::uint32_t default_size() const noexcept override { return 100'000; }
+  std::uint32_t min_size() const noexcept override { return 20'000; }
+  std::uint32_t max_size() const noexcept override { return 200'000; }
+
+  std::uint64_t execute(std::uint32_t size, util::rng& rng) const override {
+    if (size == 0) throw std::invalid_argument{"mergesort: size == 0"};
+    auto data = random_array(size, rng);
+    std::vector<std::uint32_t> scratch(data.size());
+    merge_sort(data, scratch, 0, data.size());
+    return checksum(data);
+  }
+
+  double work_units(std::uint32_t size) const noexcept override {
+    const double n = size;
+    return n * std::log2(std::max(n, 2.0)) / 100'000.0;  // default ≈ 17 wu
+  }
+
+ private:
+  static void merge_sort(std::vector<std::uint32_t>& a,
+                         std::vector<std::uint32_t>& scratch, std::size_t lo,
+                         std::size_t hi) {
+    if (hi - lo < 2) return;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    merge_sort(a, scratch, lo, mid);
+    merge_sort(a, scratch, mid, hi);
+    std::size_t i = lo;
+    std::size_t j = mid;
+    std::size_t k = lo;
+    while (i < mid && j < hi) {
+      scratch[k++] = (a[i] <= a[j]) ? a[i++] : a[j++];
+    }
+    while (i < mid) scratch[k++] = a[i++];
+    while (j < hi) scratch[k++] = a[j++];
+    for (std::size_t m = lo; m < hi; ++m) a[m] = scratch[m];
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<task> make_quicksort() {
+  return std::make_unique<quicksort_task>();
+}
+std::unique_ptr<task> make_bubblesort() {
+  return std::make_unique<bubblesort_task>();
+}
+std::unique_ptr<task> make_mergesort() {
+  return std::make_unique<mergesort_task>();
+}
+
+}  // namespace mca::tasks

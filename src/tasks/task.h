@@ -1,0 +1,108 @@
+// Offloadable computational tasks.
+//
+// The paper's simulator offloads "common algorithms found in apps, e.g.,
+// quicksort, bubblesort" plus the minimax routine used as the static
+// benchmark load.  Each task here exists twice over:
+//
+//  * `execute` — the real C++ implementation, runnable on the spot (used by
+//    examples, correctness tests, and work-unit calibration);
+//  * `work_units` — an analytic cost in *work units* consumed by the cloud
+//    simulator.  By convention 1 work unit costs 1 ms on the reference
+//    core (speed factor 1.0, the t2 baseline core).
+//
+// A task's `size` parameter is task-specific (search depth, element count,
+// matrix dimension, ...) and constrained to [min_size, max_size];
+// `default_size` reproduces the paper's "static input" runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mca::tasks {
+
+/// One offloadable algorithm (stateless; safe to share across threads).
+class task {
+ public:
+  virtual ~task() = default;
+
+  /// Stable identifier, e.g. "minimax".
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Runs the real computation and returns a checksum of the result (so
+  /// optimizers cannot elide the work and tests can assert correctness).
+  /// Throws std::invalid_argument if `size` lies outside the valid range.
+  virtual std::uint64_t execute(std::uint32_t size, util::rng& rng) const = 0;
+
+  /// Analytic cost of `execute(size)` in work units (1 wu = 1 ms on the
+  /// reference core).
+  virtual double work_units(std::uint32_t size) const noexcept = 0;
+
+  /// The paper's static-input size for this task.
+  virtual std::uint32_t default_size() const noexcept = 0;
+
+  /// Smallest / largest size the random workload generator may draw.
+  virtual std::uint32_t min_size() const noexcept = 0;
+  virtual std::uint32_t max_size() const noexcept = 0;
+
+ protected:
+  void check_size(std::uint32_t size) const;
+};
+
+/// A concrete unit of offloadable work: which algorithm and what input size.
+struct task_request {
+  const task* algorithm = nullptr;
+  std::uint32_t size = 0;
+
+  double work_units() const noexcept {
+    return algorithm == nullptr ? 0.0 : algorithm->work_units(size);
+  }
+};
+
+// Factories for the ten pool members (definitions spread over the
+// per-family translation units).
+std::unique_ptr<task> make_minimax();
+std::unique_ptr<task> make_nqueens();
+std::unique_ptr<task> make_quicksort();
+std::unique_ptr<task> make_bubblesort();
+std::unique_ptr<task> make_mergesort();
+std::unique_ptr<task> make_fibonacci();
+std::unique_ptr<task> make_sieve();
+std::unique_ptr<task> make_knapsack();
+std::unique_ptr<task> make_matrix_multiply();
+std::unique_ptr<task> make_fft();
+
+/// The paper's pool of 10 independent tasks.
+class task_pool {
+ public:
+  /// Builds the standard 10-task pool.
+  task_pool();
+
+  std::size_t size() const noexcept { return tasks_.size(); }
+  const task& at(std::size_t i) const { return *tasks_.at(i); }
+
+  /// Finds a task by name; nullptr when absent.
+  const task* find(std::string_view name) const noexcept;
+
+  /// Draws a random task with a uniformly random size in its valid range
+  /// ("each request ... is taken randomly from the pool; the processing
+  /// required for each task is also determined randomly").
+  task_request random_request(util::rng& rng) const;
+
+  /// The paper's static benchmark request: minimax at its default size.
+  task_request static_minimax_request() const;
+
+  /// Mean work units of a random draw (Monte-Carlo estimate, deterministic
+  /// for a given seed); used for load calibration in benches.
+  double mean_random_work_units(std::size_t samples = 10'000,
+                                std::uint64_t seed = 42) const;
+
+ private:
+  std::vector<std::unique_ptr<task>> tasks_;
+};
+
+}  // namespace mca::tasks

@@ -1,0 +1,60 @@
+#include "trace/log_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mca::trace {
+
+void log_store::append(trace_record record) {
+  if (!records_.empty() && record.timestamp < records_.back().timestamp) {
+    sorted_ = false;
+  }
+  records_.push_back(record);
+}
+
+void log_store::ensure_sorted() const {
+  if (sorted_) return;
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const trace_record& a, const trace_record& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  sorted_ = true;
+}
+
+std::vector<trace_record> log_store::in_range(util::time_ms from,
+                                              util::time_ms to) const {
+  ensure_sorted();
+  const auto lo = std::lower_bound(
+      records_.begin(), records_.end(), from,
+      [](const trace_record& r, util::time_ms t) { return r.timestamp < t; });
+  const auto hi = std::lower_bound(
+      lo, records_.end(), to,
+      [](const trace_record& r, util::time_ms t) { return r.timestamp < t; });
+  return {lo, hi};
+}
+
+std::vector<time_slot> log_store::build_slots(util::time_ms slot_length,
+                                              std::size_t group_count,
+                                              util::time_ms origin) const {
+  if (slot_length <= 0.0) {
+    throw std::invalid_argument{"build_slots: slot_length <= 0"};
+  }
+  if (group_count == 0) {
+    throw std::invalid_argument{"build_slots: group_count == 0"};
+  }
+  ensure_sorted();
+  std::vector<time_slot> slots;
+  for (const auto& r : records_) {
+    if (r.timestamp < origin) continue;
+    const auto index =
+        static_cast<std::size_t>((r.timestamp - origin) / slot_length);
+    while (slots.size() <= index) slots.emplace_back(group_count);
+    if (r.group < group_count) {
+      slots[index].add_user(r.group, r.user);
+    }
+  }
+  return slots;
+}
+
+}  // namespace mca::trace

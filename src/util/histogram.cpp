@@ -1,0 +1,73 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mca::util {
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, width_{(hi - lo) / static_cast<double>(bins)}, counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument{"histogram: bins == 0"};
+  if (hi <= lo) throw std::invalid_argument{"histogram: hi <= lo"};
+}
+
+void histogram::add(double x) noexcept {
+  const double offset = (x - lo_) / width_;
+  std::size_t bin = 0;
+  if (offset > 0) {
+    bin = std::min(static_cast<std::size_t>(offset), counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+double histogram::bin_lower(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range{"histogram: bin index"};
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double histogram::quantile(double q) const {
+  if (total_ == 0) throw std::logic_error{"histogram: quantile of empty"};
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"histogram: q outside [0,1]"};
+  const auto target = static_cast<std::size_t>(
+      q * static_cast<double>(total_ - 1));
+  std::size_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (seen > target) return bin_lower(b) + width_ / 2.0;
+  }
+  return bin_lower(counts_.size() - 1) + width_ / 2.0;
+}
+
+log_histogram::log_histogram(std::size_t max_buckets)
+    : counts_(std::max<std::size_t>(max_buckets, 2), 0) {}
+
+void log_histogram::add(double x) noexcept {
+  std::size_t bucket = 0;
+  if (x >= 1.0) {
+    bucket = std::min(static_cast<std::size_t>(std::log2(x)) + 1,
+                      counts_.size() - 1);
+  }
+  ++counts_[bucket];
+  ++total_;
+}
+
+double log_histogram::bucket_lower(std::size_t b) const noexcept {
+  if (b == 0) return 0.0;
+  return std::pow(2.0, static_cast<double>(b - 1));
+}
+
+std::string log_histogram::to_string() const {
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    out << "[" << bucket_lower(b) << ","
+        << (b + 1 < counts_.size() ? bucket_lower(b + 1) : -1.0) << "): "
+        << counts_[b] << " ";
+  }
+  return out.str();
+}
+
+}  // namespace mca::util

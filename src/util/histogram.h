@@ -1,0 +1,53 @@
+// Fixed-width and logarithmic histograms for latency distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mca::util {
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples land in
+/// saturating edge bins so no observation is silently dropped.
+class histogram {
+ public:
+  /// Throws std::invalid_argument if bins == 0 or hi <= lo.
+  histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t total() const noexcept { return total_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count_in_bin(std::size_t bin) const { return counts_.at(bin); }
+  /// Inclusive lower edge of a bin.
+  double bin_lower(std::size_t bin) const;
+  double bin_width() const noexcept { return width_; }
+  /// Approximate quantile from bin midpoints; q in [0,1].
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Power-of-two bucketed histogram (HdrHistogram-lite) for long-tailed
+/// latency data; bucket i covers [2^i, 2^{i+1}) with a shared [0,1) bucket.
+class log_histogram {
+ public:
+  explicit log_histogram(std::size_t max_buckets = 32);
+
+  void add(double x) noexcept;
+  std::size_t total() const noexcept { return total_; }
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count_in_bucket(std::size_t b) const { return counts_.at(b); }
+  double bucket_lower(std::size_t b) const noexcept;
+  /// One-line textual rendering ("[lo,hi): n ..."), for debug output.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mca::util

@@ -1,0 +1,298 @@
+#include "core/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace mca::core {
+namespace {
+
+/// One group backed by nano-like (cap 10, $1) and large-like (cap 40, $3).
+allocation_request single_group_request(double workload) {
+  allocation_request request;
+  request.workload_per_group = {workload};
+  request.candidates_per_group = {
+      {{"small", 10.0, 1.0}, {"large", 40.0, 3.0}}};
+  return request;
+}
+
+TEST(AllocatorIlp, PicksCheapestCover) {
+  // W=35: 4 smalls = $4 vs 1 large = $3 -> large wins.
+  const auto plan = allocate_ilp(single_group_request(35.0));
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.count_of(0, "large"), 1u);
+  EXPECT_EQ(plan.count_of(0, "small"), 0u);
+  EXPECT_DOUBLE_EQ(plan.total_cost_per_hour, 3.0);
+}
+
+TEST(AllocatorIlp, SmallWorkloadUsesSmallInstance) {
+  const auto plan = allocate_ilp(single_group_request(8.0));
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.count_of(0, "small"), 1u);
+  EXPECT_DOUBLE_EQ(plan.total_cost_per_hour, 1.0);
+}
+
+TEST(AllocatorIlp, MixesTypesWhenOptimal) {
+  // W=50: large(40) + small(10) = $4 beats 2 large ($6) and 5 small ($5)...
+  // actually 5 small = $5 > $4, 2 large = $6. Mixed is optimal.
+  const auto plan = allocate_ilp(single_group_request(50.0 - 1.0));
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.total_cost_per_hour, 4.0);
+  EXPECT_EQ(plan.total_instances(), 2u);
+}
+
+TEST(AllocatorIlp, StrictInequalityForcesInstanceOnZeroWorkload) {
+  // The paper's constraint is capacity > W; with W=0 each group still gets
+  // one instance (the group must exist to serve promotions).
+  const auto plan = allocate_ilp(single_group_request(0.0));
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.total_instances(), 1u);
+}
+
+TEST(AllocatorIlp, ExactCapacityBoundaryNeedsMore) {
+  // W=40 with strict inequality: one large (cap 40) is NOT enough.
+  const auto plan = allocate_ilp(single_group_request(40.0));
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GT(plan.total_cost_per_hour, 3.0);
+}
+
+TEST(AllocatorIlp, MultiGroupAllocation) {
+  allocation_request request;
+  request.workload_per_group = {0.0, 25.0, 70.0};
+  request.candidates_per_group = {
+      {{"micro", 5.0, 0.5}},
+      {{"nano", 10.0, 1.0}},
+      {{"m4", 90.0, 9.0}, {"large", 40.0, 3.0}},
+  };
+  const auto plan = allocate_ilp(request);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.count_of(0, "micro"), 1u);   // W=0 -> one instance
+  EXPECT_EQ(plan.count_of(1, "nano"), 3u);    // 25 -> 3x10
+  // Group 2: 2 large = 80 cap at $6 beats 1 m4 at $9.
+  EXPECT_EQ(plan.count_of(2, "large"), 2u);
+  EXPECT_EQ(plan.count_of(2, "m4"), 0u);
+}
+
+TEST(AllocatorIlp, AccountCapTriggersBestEffort) {
+  auto request = single_group_request(500.0);  // needs 13 large > cap
+  request.max_total_instances = 5;
+  const auto plan = allocate_ilp(request);
+  EXPECT_TRUE(plan.best_effort);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_LE(plan.total_instances(), 5u);
+  // Best effort fills the cap with the highest-capacity-per-dollar type.
+  EXPECT_EQ(plan.total_instances(), 5u);
+}
+
+TEST(AllocatorIlp, CapExactlySufficientStaysExact) {
+  auto request = single_group_request(119.0);  // 3 large = 120 > 119
+  request.max_total_instances = 3;
+  const auto plan = allocate_ilp(request);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_FALSE(plan.best_effort);
+  EXPECT_EQ(plan.count_of(0, "large"), 3u);
+}
+
+TEST(AllocatorIlp, CumulativeModeLetsFastGroupsAbsorb) {
+  allocation_request request;
+  request.workload_per_group = {30.0, 20.0};
+  request.candidates_per_group = {
+      {{"slow", 10.0, 10.0}},   // expensive slow tier
+      {{"fast", 100.0, 2.0}},   // cheap fast tier
+  };
+  request.cumulative_capacity = true;
+  const auto plan = allocate_ilp(request);
+  ASSERT_TRUE(plan.feasible);
+  // One fast instance (cap 100) covers both demands cumulatively; the slow
+  // tier needs nothing.
+  EXPECT_EQ(plan.count_of(1, "fast"), 1u);
+  EXPECT_EQ(plan.count_of(0, "slow"), 0u);
+  EXPECT_DOUBLE_EQ(plan.total_cost_per_hour, 2.0);
+}
+
+TEST(AllocatorIlp, StrictModeCannotBorrowAcrossGroups) {
+  allocation_request request;
+  request.workload_per_group = {30.0, 20.0};
+  request.candidates_per_group = {
+      {{"slow", 10.0, 10.0}},
+      {{"fast", 100.0, 2.0}},
+  };
+  const auto plan = allocate_ilp(request);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.count_of(0, "slow"), 4u);  // 30 -> strict > needs 4x10
+  EXPECT_EQ(plan.count_of(1, "fast"), 1u);
+}
+
+TEST(AllocatorGreedy, CoversDemandButMayPayMore) {
+  const auto ilp = allocate_ilp(single_group_request(35.0));
+  const auto greedy = allocate_greedy(single_group_request(35.0));
+  ASSERT_TRUE(greedy.feasible);
+  EXPECT_GE(greedy.total_cost_per_hour, ilp.total_cost_per_hour);
+}
+
+TEST(AllocatorGreedy, InfeasibleUnderTinyCap) {
+  auto request = single_group_request(1'000.0);
+  request.max_total_instances = 2;
+  const auto plan = allocate_greedy(request);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_TRUE(plan.best_effort);
+}
+
+TEST(AllocatorStaticPeak, ProvisionsEveryGroupForPeak) {
+  allocation_request request;
+  request.workload_per_group = {1.0, 2.0};
+  request.candidates_per_group = {
+      {{"a", 10.0, 1.0}},
+      {{"b", 10.0, 1.0}},
+  };
+  const auto plan = allocate_static_peak(request, 35.0);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.count_of(0, "a"), 4u);
+  EXPECT_EQ(plan.count_of(1, "b"), 4u);
+  EXPECT_THROW(allocate_static_peak(request, -1.0), std::invalid_argument);
+}
+
+TEST(AllocatorBestEffort, SpreadsCapAcrossNeediestGroups) {
+  allocation_request request;
+  request.workload_per_group = {100.0, 100.0};
+  request.candidates_per_group = {
+      {{"a", 10.0, 1.0}},
+      {{"b", 10.0, 1.0}},
+  };
+  request.max_total_instances = 10;
+  const auto plan = allocate_best_effort(request);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_EQ(plan.total_instances(), 10u);
+  EXPECT_EQ(plan.count_of(0, "a"), 5u);
+  EXPECT_EQ(plan.count_of(1, "b"), 5u);
+}
+
+TEST(AllocatorValidation, RejectsMalformedRequests) {
+  allocation_request mismatch;
+  mismatch.workload_per_group = {1.0};
+  mismatch.candidates_per_group = {};
+  EXPECT_THROW(validate(mismatch), std::invalid_argument);
+
+  allocation_request empty;
+  EXPECT_THROW(validate(empty), std::invalid_argument);
+
+  auto zero_cap = single_group_request(1.0);
+  zero_cap.max_total_instances = 0;
+  EXPECT_THROW(validate(zero_cap), std::invalid_argument);
+
+  auto bad_capacity = single_group_request(1.0);
+  bad_capacity.candidates_per_group[0][0].capacity_per_instance = 0.0;
+  EXPECT_THROW(validate(bad_capacity), std::invalid_argument);
+
+  auto negative_cost = single_group_request(1.0);
+  negative_cost.candidates_per_group[0][0].cost_per_hour = -1.0;
+  EXPECT_THROW(validate(negative_cost), std::invalid_argument);
+
+  auto negative_workload = single_group_request(-5.0);
+  EXPECT_THROW(validate(negative_workload), std::invalid_argument);
+}
+
+TEST(AllocationPlan, CountHelpers) {
+  allocation_plan plan;
+  plan.entries = {{0, "a", 2}, {1, "b", 3}};
+  EXPECT_EQ(plan.total_instances(), 5u);
+  EXPECT_EQ(plan.count_of(0, "a"), 2u);
+  EXPECT_EQ(plan.count_of(0, "b"), 0u);
+  EXPECT_EQ(plan.count_of(9, "a"), 0u);
+}
+
+/// Property sweep: the ILP plan must always be (a) demand-covering when
+/// feasible, (b) never more expensive than greedy, (c) within the cap.
+class IlpDominatesGreedy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IlpDominatesGreedy, OnRandomRequests) {
+  util::rng rng{GetParam()};
+  allocation_request request;
+  const auto groups = static_cast<std::size_t>(rng.uniform_int(1, 3));
+  for (std::size_t g = 0; g < groups; ++g) {
+    request.workload_per_group.push_back(rng.uniform(0.0, 60.0));
+    std::vector<allocation_candidate> candidates;
+    const auto types = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    for (std::size_t t = 0; t < types; ++t) {
+      candidates.push_back({"type" + std::to_string(g) + std::to_string(t),
+                            rng.uniform(5.0, 60.0), rng.uniform(0.5, 5.0)});
+    }
+    request.candidates_per_group.push_back(std::move(candidates));
+  }
+  request.max_total_instances = 20;
+
+  const auto ilp = allocate_ilp(request);
+  const auto greedy = allocate_greedy(request);
+  EXPECT_LE(ilp.total_instances(), request.max_total_instances);
+  if (ilp.feasible && greedy.feasible) {
+    EXPECT_LE(ilp.total_cost_per_hour, greedy.total_cost_per_hour + 1e-9);
+  }
+  if (ilp.feasible) {
+    // Verify demand coverage per group.
+    for (std::size_t g = 0; g < groups; ++g) {
+      double capacity = 0.0;
+      for (const auto& entry : ilp.entries) {
+        if (entry.group != g) continue;
+        for (const auto& cand : request.candidates_per_group[g]) {
+          if (cand.type_name == entry.type_name) {
+            capacity +=
+                cand.capacity_per_instance * static_cast<double>(entry.count);
+          }
+        }
+      }
+      EXPECT_GT(capacity, request.workload_per_group[g]) << "group " << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRequests, IlpDominatesGreedy,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+/// Property sweep: cumulative mode can only help — it relaxes the strict
+/// per-group constraints, so its optimum never costs more, and its plans
+/// satisfy the suffix-coverage inequality.
+class CumulativeRelaxation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CumulativeRelaxation, NeverCostsMoreThanStrict) {
+  util::rng rng{GetParam()};
+  allocation_request request;
+  const std::size_t groups = 3;
+  for (std::size_t g = 0; g < groups; ++g) {
+    request.workload_per_group.push_back(rng.uniform(0.0, 50.0));
+    request.candidates_per_group.push_back(
+        {{"type" + std::to_string(g), rng.uniform(10.0, 80.0),
+          rng.uniform(0.5, 4.0)}});
+  }
+  auto strict_request = request;
+  auto cumulative_request = request;
+  cumulative_request.cumulative_capacity = true;
+  const auto strict = allocate_ilp(strict_request);
+  const auto cumulative = allocate_ilp(cumulative_request);
+  if (strict.feasible && cumulative.feasible) {
+    EXPECT_LE(cumulative.total_cost_per_hour,
+              strict.total_cost_per_hour + 1e-9);
+    // Suffix coverage: for each g, capacity over groups >= g must exceed
+    // workload over groups >= g.
+    for (std::size_t g = 0; g < groups; ++g) {
+      double capacity = 0.0;
+      double demand = 0.0;
+      for (std::size_t h = g; h < groups; ++h) {
+        demand += request.workload_per_group[h];
+        for (const auto& entry : cumulative.entries) {
+          if (entry.group != h) continue;
+          capacity += request.candidates_per_group[h][0].capacity_per_instance *
+                      static_cast<double>(entry.count);
+        }
+      }
+      EXPECT_GT(capacity, demand) << "suffix " << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CumulativeRelaxation,
+                         ::testing::Range<std::uint64_t>(50, 70));
+
+}  // namespace
+}  // namespace mca::core

@@ -1,0 +1,166 @@
+#include "cloud/backend_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace mca::cloud {
+namespace {
+
+instance_type plain_type(const char* name = "test.plain", double vcpus = 1.0) {
+  instance_type t;
+  t.name = name;
+  t.vcpus = vcpus;
+  t.memory_gb = 64.0;
+  t.cost_per_hour = 1.0;
+  t.speed_factor = 1.0;
+  t.jitter_sigma = 0.0;
+  return t;
+}
+
+class BackendPoolTest : public ::testing::Test {
+ protected:
+  sim::simulation sim_;
+  backend_pool pool_{sim_, util::rng{42}};
+};
+
+TEST_F(BackendPoolTest, LaunchAssignsUniqueIds) {
+  const auto a = pool_.launch(1, plain_type());
+  const auto b = pool_.launch(1, plain_type());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool_.instance_count(1), 2u);
+}
+
+TEST_F(BackendPoolTest, RouteToEmptyGroupFails) {
+  EXPECT_EQ(pool_.route(3, 1.0, {}), route_status::no_instances);
+}
+
+TEST_F(BackendPoolTest, RoutePrefersLeastLoadedInstance) {
+  pool_.launch(1, plain_type());
+  pool_.launch(1, plain_type());
+  // Four submissions should spread 2/2 across the two instances.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(pool_.route(1, 100.0, {}), route_status::ok);
+  }
+  const auto members = pool_.instances_in(1);
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0]->active_jobs(), 2u);
+  EXPECT_EQ(members[1]->active_jobs(), 2u);
+}
+
+TEST_F(BackendPoolTest, GroupsAreIsolated) {
+  pool_.launch(1, plain_type());
+  pool_.launch(2, plain_type());
+  ASSERT_EQ(pool_.route(2, 5.0, {}), route_status::ok);
+  EXPECT_EQ(pool_.instances_in(1)[0]->active_jobs(), 0u);
+  EXPECT_EQ(pool_.instances_in(2)[0]->active_jobs(), 1u);
+}
+
+TEST_F(BackendPoolTest, RetireDrainsIdleImmediately) {
+  pool_.launch(1, plain_type());
+  pool_.launch(1, plain_type());
+  EXPECT_EQ(pool_.retire(1, plain_type(), 1), 1u);
+  EXPECT_EQ(pool_.instance_count(1), 1u);
+  // The idle retired instance is reaped (billing record closed).
+  EXPECT_EQ(pool_.billing().active_instances(), 1u);
+}
+
+TEST_F(BackendPoolTest, RetireBusyInstanceWaitsForDrain) {
+  pool_.launch(1, plain_type());
+  ASSERT_EQ(pool_.route(1, 100.0, {}), route_status::ok);
+  EXPECT_EQ(pool_.retire(1, plain_type(), 1), 1u);
+  // Still draining: counted out of accepting capacity but not reaped.
+  EXPECT_EQ(pool_.instance_count(1), 0u);
+  EXPECT_EQ(pool_.billing().active_instances(), 1u);
+  sim_.run();
+  pool_.sweep();
+  EXPECT_EQ(pool_.billing().active_instances(), 0u);
+}
+
+TEST_F(BackendPoolTest, RetireMoreThanExistingMarksAll) {
+  pool_.launch(1, plain_type());
+  EXPECT_EQ(pool_.retire(1, plain_type(), 5), 1u);
+  EXPECT_EQ(pool_.retire(2, plain_type(), 1), 0u);
+}
+
+TEST_F(BackendPoolTest, RetireMatchesTypeName) {
+  pool_.launch(1, plain_type("a"));
+  pool_.launch(1, plain_type("b"));
+  EXPECT_EQ(pool_.retire(1, plain_type("a"), 2), 1u);
+  EXPECT_EQ(pool_.instance_count(1, "b"), 1u);
+  EXPECT_EQ(pool_.instance_count(1, "a"), 0u);
+}
+
+TEST_F(BackendPoolTest, RouteAfterAllDrainingFails) {
+  pool_.launch(1, plain_type());
+  ASSERT_EQ(pool_.route(1, 50.0, {}), route_status::ok);
+  pool_.retire(1, plain_type(), 1);
+  EXPECT_EQ(pool_.route(1, 1.0, {}), route_status::no_instances);
+}
+
+TEST_F(BackendPoolTest, DroppedWhenInstancesFull) {
+  auto tiny = plain_type();
+  tiny.memory_gb = 0.1;  // floor admission cap applies
+  const auto cap = tiny.max_concurrent();
+  pool_.launch(1, tiny);
+  std::size_t ok = 0;
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < cap + 2; ++i) {
+    const auto status = pool_.route(1, 10.0, {});
+    if (status == route_status::ok) ++ok;
+    if (status == route_status::dropped) ++dropped;
+  }
+  EXPECT_EQ(ok, cap);
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(pool_.total_dropped(), 2u);
+}
+
+TEST_F(BackendPoolTest, GroupsListsNonEmptyGroups) {
+  pool_.launch(2, plain_type());
+  pool_.launch(5, plain_type());
+  const auto groups = pool_.groups();
+  EXPECT_EQ(groups, (std::vector<group_id>{2, 5}));
+}
+
+TEST_F(BackendPoolTest, CompletionCountsAggregate) {
+  pool_.launch(1, plain_type());
+  int completions = 0;
+  pool_.route(1, 1.0, [&](double) { ++completions; });
+  pool_.route(1, 1.0, [&](double) { ++completions; });
+  sim_.run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(pool_.total_completed(), 2u);
+}
+
+TEST_F(BackendPoolTest, RetiredInstanceStatsSurvive) {
+  pool_.launch(1, plain_type());
+  pool_.route(1, 1.0, {});
+  sim_.run();
+  pool_.retire(1, plain_type(), 1);
+  pool_.sweep();
+  EXPECT_EQ(pool_.total_completed(), 1u);
+}
+
+TEST_F(BackendPoolTest, BillingAccruesWhileRunning) {
+  pool_.launch(1, plain_type());
+  sim_.run_until(util::hours(2.5));
+  EXPECT_DOUBLE_EQ(pool_.billing().total_cost(sim_.now()), 3.0);
+}
+
+TEST_F(BackendPoolTest, MutableAccessSkipsDraining) {
+  pool_.launch(1, plain_type());
+  pool_.launch(1, plain_type());
+  pool_.route(1, 100.0, {});
+  pool_.route(1, 100.0, {});
+  pool_.retire(1, plain_type(), 1);
+  EXPECT_EQ(pool_.mutable_instances_in(1).size(), 1u);
+}
+
+TEST(RouteStatus, Names) {
+  EXPECT_STREQ(to_string(route_status::ok), "ok");
+  EXPECT_STREQ(to_string(route_status::dropped), "dropped");
+  EXPECT_STREQ(to_string(route_status::no_instances), "no_instances");
+}
+
+}  // namespace
+}  // namespace mca::cloud

@@ -1,0 +1,111 @@
+#include "core/caas.h"
+
+#include <gtest/gtest.h>
+
+namespace mca::core {
+namespace {
+
+acceleration_map demo_map() {
+  acceleration_group g0;
+  g0.id = 0;
+  g0.type_names = {"t2.micro"};
+  g0.capacity_users = 10.0;
+  acceleration_group g1;
+  g1.id = 1;
+  g1.type_names = {"t2.nano", "t2.small"};
+  g1.capacity_users = 20.0;
+  g1.solo_mean_ms = 30.0;
+  acceleration_group g2;
+  g2.id = 2;
+  g2.type_names = {"t2.large"};
+  g2.capacity_users = 60.0;
+  g2.solo_mean_ms = 24.0;
+  return acceleration_map{{g0, g1, g2}};
+}
+
+TEST(Caas, GroupZeroIsNotSold) {
+  const auto plans = build_price_sheet(demo_map(), cloud::ec2_catalog());
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].level, 1u);
+  EXPECT_EQ(plans[1].level, 2u);
+}
+
+TEST(Caas, PicksCheapestBackingType) {
+  const auto plans = build_price_sheet(demo_map(), cloud::ec2_catalog());
+  // Level 1 can be backed by nano ($0.0063) or small ($0.025): nano wins.
+  EXPECT_EQ(plans[0].backing_type, "t2.nano");
+}
+
+TEST(Caas, PriceArithmeticIsConsistent) {
+  caas_config config;
+  config.margin = 0.5;
+  config.active_hours_per_month = 100.0;
+  config.utilization_target = 0.8;
+  const auto plans = build_price_sheet(demo_map(), cloud::ec2_catalog(), config);
+  const auto& level1 = plans[0];
+  // sellable = 20 * 0.8 = 16 users; cost/user/hour = 0.0063/16.
+  EXPECT_NEAR(level1.users_per_instance, 16.0, 1e-9);
+  EXPECT_NEAR(level1.cost_per_user_month, 0.0063 / 16.0 * 100.0, 1e-9);
+  EXPECT_NEAR(level1.price_per_user_month, level1.cost_per_user_month * 1.5,
+              1e-9);
+}
+
+TEST(Caas, HigherLevelsCostMorePerUser) {
+  const auto plans = build_price_sheet(demo_map(), cloud::ec2_catalog());
+  // t2.large at $0.101/h over 48 sellable users is pricier per user than
+  // nano at $0.0063/h over 16.
+  EXPECT_GT(plans[1].price_per_user_month, plans[0].price_per_user_month);
+}
+
+TEST(Caas, SoloResponseTimeCarriedIntoPlan) {
+  const auto plans = build_price_sheet(demo_map(), cloud::ec2_catalog());
+  EXPECT_DOUBLE_EQ(plans[0].solo_response_ms, 30.0);
+  EXPECT_DOUBLE_EQ(plans[1].solo_response_ms, 24.0);
+}
+
+TEST(Caas, ValidatesConfig) {
+  caas_config bad_margin;
+  bad_margin.margin = -0.1;
+  EXPECT_THROW(build_price_sheet(demo_map(), cloud::ec2_catalog(), bad_margin),
+               std::invalid_argument);
+  caas_config bad_hours;
+  bad_hours.active_hours_per_month = 0.0;
+  EXPECT_THROW(build_price_sheet(demo_map(), cloud::ec2_catalog(), bad_hours),
+               std::invalid_argument);
+  caas_config bad_util;
+  bad_util.utilization_target = 1.5;
+  EXPECT_THROW(build_price_sheet(demo_map(), cloud::ec2_catalog(), bad_util),
+               std::invalid_argument);
+}
+
+TEST(Caas, UnknownTypeThrows) {
+  acceleration_group g1;
+  g1.id = 0;
+  acceleration_group g2;
+  g2.id = 1;
+  g2.type_names = {"made.up"};
+  g2.capacity_users = 5.0;
+  acceleration_map map{{g1, g2}};
+  EXPECT_THROW(build_price_sheet(map, cloud::ec2_catalog()),
+               std::invalid_argument);
+}
+
+TEST(Caas, EmptyMapThrows) {
+  acceleration_map map{{}};
+  EXPECT_THROW(build_price_sheet(map, cloud::ec2_catalog()),
+               std::invalid_argument);
+}
+
+TEST(Caas, UpgradeComparison) {
+  caas_plan plan;
+  plan.price_per_user_month = 2.5;
+  const auto cmp = caas_vs_device_upgrade(600.0, plan);
+  EXPECT_DOUBLE_EQ(cmp.months_of_service, 240.0);
+  EXPECT_DOUBLE_EQ(cmp.device_price, 600.0);
+  EXPECT_THROW(caas_vs_device_upgrade(0.0, plan), std::invalid_argument);
+  caas_plan unpriced;
+  EXPECT_THROW(caas_vs_device_upgrade(100.0, unpriced), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mca::core

@@ -1,0 +1,93 @@
+#include "client/device.h"
+
+#include <gtest/gtest.h>
+
+namespace mca::client {
+namespace {
+
+TEST(DeviceProfile, ClassesOrderedBySpeed) {
+  EXPECT_LT(profile_for(device_class::wearable).local_speed_wu_per_ms,
+            profile_for(device_class::budget).local_speed_wu_per_ms);
+  EXPECT_LT(profile_for(device_class::budget).local_speed_wu_per_ms,
+            profile_for(device_class::midrange).local_speed_wu_per_ms);
+  EXPECT_LT(profile_for(device_class::midrange).local_speed_wu_per_ms,
+            profile_for(device_class::flagship).local_speed_wu_per_ms);
+}
+
+TEST(DeviceProfile, WeakerHardwareBurnsMoreEnergyPerUnit) {
+  EXPECT_GT(profile_for(device_class::wearable).cpu_drain_per_wu,
+            profile_for(device_class::flagship).cpu_drain_per_wu);
+}
+
+TEST(DeviceProfile, Names) {
+  EXPECT_STREQ(to_string(device_class::wearable), "wearable");
+  EXPECT_STREQ(to_string(device_class::budget), "budget");
+  EXPECT_STREQ(to_string(device_class::midrange), "midrange");
+  EXPECT_STREQ(to_string(device_class::flagship), "flagship");
+}
+
+TEST(MobileDevice, LocalExecutionScalesWithSpeed) {
+  mobile_device wearable{1, device_class::wearable};
+  mobile_device flagship{2, device_class::flagship};
+  // 280 wu (the static minimax) on a wearable: 5.6 s; flagship: 0.4 s.
+  EXPECT_NEAR(wearable.local_execution_ms(280.0), 5'600.0, 1.0);
+  EXPECT_NEAR(flagship.local_execution_ms(280.0), 400.0, 1.0);
+}
+
+TEST(MobileDevice, OffloadDecisionFollowsEnergyInequality) {
+  mobile_device device{1, device_class::midrange};
+  const double work = 100.0;
+  const double local_energy = device.local_energy(work);
+  // A response fast enough to cost less radio energy than the local run.
+  const double cheap_ms = local_energy / device.profile().radio_drain_per_ms * 0.5;
+  const double pricey_ms = local_energy / device.profile().radio_drain_per_ms * 2.0;
+  EXPECT_TRUE(device.should_offload(work, cheap_ms));
+  EXPECT_FALSE(device.should_offload(work, pricey_ms));
+}
+
+TEST(MobileDevice, WeakDevicesOffloadMoreEagerly) {
+  mobile_device wearable{1, device_class::wearable};
+  mobile_device flagship{2, device_class::flagship};
+  const double work = 50.0;
+  const double response = 1'500.0;
+  // The wearable's local energy is far higher, so offloading at this
+  // response time pays off for it but not for the flagship.
+  EXPECT_TRUE(wearable.should_offload(work, response));
+  EXPECT_FALSE(flagship.should_offload(work, response));
+}
+
+TEST(MobileDevice, FasterRemotelyComparesLatency) {
+  mobile_device wearable{1, device_class::wearable};
+  // 280 wu locally = 5.6 s; a 2 s cloud response is faster.
+  EXPECT_TRUE(wearable.faster_remotely(280.0, 2'000.0));
+  EXPECT_FALSE(wearable.faster_remotely(280.0, 6'000.0));
+}
+
+TEST(MobileDevice, BatteryDrainsAndClampsAtZero) {
+  mobile_device device{1, device_class::budget, 1.0};
+  EXPECT_DOUBLE_EQ(device.battery(), 1.0);
+  device.account_local_run(1'000.0);
+  const double after_local = device.battery();
+  EXPECT_LT(after_local, 1.0);
+  device.account_offload(10'000.0);
+  EXPECT_LT(device.battery(), after_local);
+  // Massive drain clamps at zero instead of going negative.
+  device.account_local_run(1e12);
+  EXPECT_DOUBLE_EQ(device.battery(), 0.0);
+}
+
+TEST(MobileDevice, InitialBatteryClamped) {
+  mobile_device over{1, device_class::budget, 1.7};
+  mobile_device under{2, device_class::budget, -0.5};
+  EXPECT_DOUBLE_EQ(over.battery(), 1.0);
+  EXPECT_DOUBLE_EQ(under.battery(), 0.0);
+}
+
+TEST(MobileDevice, IdAndClassAccessors) {
+  mobile_device device{42, device_class::flagship};
+  EXPECT_EQ(device.id(), 42u);
+  EXPECT_EQ(device.cls(), device_class::flagship);
+}
+
+}  // namespace
+}  // namespace mca::client

@@ -1,0 +1,164 @@
+#include "trace/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mca::trace {
+namespace {
+
+using users = std::vector<user_id>;
+
+TEST(EditDistance, EmptySequences) {
+  EXPECT_EQ(edit_distance(users{}, users{}), 0u);
+  EXPECT_EQ(edit_distance(users{1, 2, 3}, users{}), 3u);
+  EXPECT_EQ(edit_distance(users{}, users{7}), 1u);
+}
+
+TEST(EditDistance, IdenticalIsZero) {
+  const users a{1, 2, 3, 4};
+  EXPECT_EQ(edit_distance(a, a), 0u);
+}
+
+TEST(EditDistance, KnownSmallCases) {
+  EXPECT_EQ(edit_distance(users{1}, users{2}), 1u);                 // sub
+  EXPECT_EQ(edit_distance(users{1, 2}, users{2}), 1u);              // del
+  EXPECT_EQ(edit_distance(users{2}, users{1, 2}), 1u);              // ins
+  EXPECT_EQ(edit_distance(users{1, 2}, users{2, 3}), 2u);
+  EXPECT_EQ(edit_distance(users{1, 2, 3}, users{1, 9, 3}), 1u);
+}
+
+TEST(EditDistance, KittenSittingAnalogue) {
+  // The classic kitten/sitting distance of 3 encoded as ids:
+  // k=1 i=2 t=3 e=4 n=5 / s=6 g=7.
+  const users kitten{1, 2, 3, 3, 4, 5};
+  const users sitting{6, 2, 3, 3, 2, 5, 7};
+  EXPECT_EQ(edit_distance(kitten, sitting), 3u);
+}
+
+TEST(EditDistance, DisjointSetsCostMaxLength) {
+  EXPECT_EQ(edit_distance(users{1, 2, 3}, users{4, 5, 6}), 3u);
+  EXPECT_EQ(edit_distance(users{1, 2}, users{4, 5, 6, 7}), 4u);
+}
+
+TEST(PostNormalized, RangeAndSpecialCases) {
+  EXPECT_EQ(post_normalized_edit_distance(users{}, users{}), 0.0);
+  EXPECT_EQ(post_normalized_edit_distance(users{1}, users{1}), 0.0);
+  EXPECT_EQ(post_normalized_edit_distance(users{1}, users{2}), 1.0);
+  EXPECT_DOUBLE_EQ(post_normalized_edit_distance(users{1, 2}, users{1, 2, 3, 4}),
+                   0.5);
+}
+
+TEST(NormalizedMarzalVidal, EmptyAndIdentical) {
+  EXPECT_EQ(normalized_edit_distance(users{}, users{}), 0.0);
+  EXPECT_EQ(normalized_edit_distance(users{1, 2}, users{1, 2}), 0.0);
+}
+
+TEST(NormalizedMarzalVidal, CompletelyDifferentIsOne) {
+  EXPECT_DOUBLE_EQ(normalized_edit_distance(users{1}, users{2}), 1.0);
+}
+
+TEST(NormalizedMarzalVidal, ClassicPaperExampleBeatsPostNormalization) {
+  // Marzal–Vidal's point: path-length normalization can be strictly
+  // smaller than d/max(|a|,|b|) because longer paths with cheap steps may
+  // win.  At minimum it can never exceed the post-normalized value.
+  util::rng rng{3};
+  for (int round = 0; round < 200; ++round) {
+    users a;
+    users b;
+    const int na = static_cast<int>(rng.uniform_int(0, 8));
+    const int nb = static_cast<int>(rng.uniform_int(0, 8));
+    for (int i = 0; i < na; ++i) {
+      a.push_back(static_cast<user_id>(rng.uniform_int(0, 4)));
+    }
+    for (int i = 0; i < nb; ++i) {
+      b.push_back(static_cast<user_id>(rng.uniform_int(0, 4)));
+    }
+    const double mv = normalized_edit_distance(a, b);
+    const double post = post_normalized_edit_distance(a, b);
+    EXPECT_LE(mv, post + 1e-9);
+    EXPECT_GE(mv, 0.0);
+    EXPECT_LE(mv, 1.0);
+  }
+}
+
+// Property sweeps: Levenshtein must satisfy the metric axioms.
+class EditDistanceMetric : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  users random_sequence(util::rng& rng, int max_len, int alphabet) {
+    users s;
+    const int n = static_cast<int>(rng.uniform_int(0, max_len));
+    for (int i = 0; i < n; ++i) {
+      s.push_back(static_cast<user_id>(rng.uniform_int(0, alphabet - 1)));
+    }
+    return s;
+  }
+};
+
+TEST_P(EditDistanceMetric, SymmetryIdentityTriangle) {
+  util::rng rng{GetParam()};
+  for (int round = 0; round < 50; ++round) {
+    const users a = random_sequence(rng, 12, 6);
+    const users b = random_sequence(rng, 12, 6);
+    const users c = random_sequence(rng, 12, 6);
+    const auto dab = edit_distance(a, b);
+    const auto dba = edit_distance(b, a);
+    const auto dac = edit_distance(a, c);
+    const auto dcb = edit_distance(c, b);
+    EXPECT_EQ(dab, dba);                        // symmetry
+    EXPECT_EQ(edit_distance(a, a), 0u);         // identity
+    EXPECT_LE(dab, dac + dcb);                  // triangle inequality
+    // Length-difference lower bound and max-length upper bound.
+    const auto len_diff = a.size() > b.size() ? a.size() - b.size()
+                                              : b.size() - a.size();
+    EXPECT_GE(dab, len_diff);
+    EXPECT_LE(dab, std::max(a.size(), b.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceMetric,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+namespace {
+
+/// Naive exponential reference implementation for cross-checking the DP.
+std::size_t reference_edit_distance(std::span<const user_id> a,
+                                    std::span<const user_id> b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  const std::size_t substitution =
+      reference_edit_distance(a.subspan(1), b.subspan(1)) +
+      (a.front() == b.front() ? 0 : 1);
+  const std::size_t deletion = reference_edit_distance(a.subspan(1), b) + 1;
+  const std::size_t insertion = reference_edit_distance(a, b.subspan(1)) + 1;
+  return std::min({substitution, deletion, insertion});
+}
+
+}  // namespace
+
+class EditDistanceVsReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EditDistanceVsReference, DpMatchesNaiveRecursion) {
+  util::rng rng{GetParam()};
+  for (int round = 0; round < 30; ++round) {
+    users a;
+    users b;
+    const int na = static_cast<int>(rng.uniform_int(0, 7));
+    const int nb = static_cast<int>(rng.uniform_int(0, 7));
+    for (int i = 0; i < na; ++i) {
+      a.push_back(static_cast<user_id>(rng.uniform_int(0, 3)));
+    }
+    for (int i = 0; i < nb; ++i) {
+      b.push_back(static_cast<user_id>(rng.uniform_int(0, 3)));
+    }
+    EXPECT_EQ(edit_distance(a, b), reference_edit_distance(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceVsReference,
+                         ::testing::Range<std::uint64_t>(20, 26));
+
+}  // namespace
+}  // namespace mca::trace

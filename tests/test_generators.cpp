@@ -1,0 +1,253 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mca::workload {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  sim::simulation sim_;
+  tasks::task_pool pool_;
+  std::vector<offload_request> received_;
+
+  request_sink collect() {
+    return [this](const offload_request& r) { received_.push_back(r); };
+  }
+};
+
+TEST_F(GeneratorTest, ConcurrentModeEmitsUsersTimesRounds) {
+  concurrent_config config;
+  config.users = 30;
+  config.rounds = 3;
+  config.gap = util::minutes(1);
+  concurrent_generator gen{sim_, random_pool_source(pool_), collect(), config,
+                           util::rng{1}};
+  sim_.run();
+  EXPECT_EQ(gen.emitted(), 90u);
+  EXPECT_EQ(received_.size(), 90u);
+}
+
+TEST_F(GeneratorTest, ConcurrentRoundsAreSimultaneousBursts) {
+  concurrent_config config;
+  config.users = 10;
+  config.rounds = 2;
+  config.gap = 500.0;
+  concurrent_generator gen{sim_, random_pool_source(pool_), collect(), config,
+                           util::rng{1}};
+  sim_.run();
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(received_[i].created_at, 0.0);
+  }
+  for (std::size_t i = 10; i < 20; ++i) {
+    EXPECT_EQ(received_[i].created_at, 500.0);
+  }
+}
+
+TEST_F(GeneratorTest, ConcurrentUsersAreDistinctPerRound) {
+  concurrent_config config;
+  config.users = 25;
+  config.rounds = 1;
+  config.first_user = 100;
+  concurrent_generator gen{sim_, random_pool_source(pool_), collect(), config,
+                           util::rng{1}};
+  sim_.run();
+  std::set<user_id> users;
+  for (const auto& r : received_) users.insert(r.user);
+  EXPECT_EQ(users.size(), 25u);
+  EXPECT_EQ(*users.begin(), 100u);
+  EXPECT_EQ(*users.rbegin(), 124u);
+}
+
+TEST_F(GeneratorTest, ConcurrentValidation) {
+  concurrent_config bad;
+  bad.users = 0;
+  EXPECT_THROW(concurrent_generator(sim_, random_pool_source(pool_), collect(),
+                                    bad, util::rng{1}),
+               std::invalid_argument);
+  concurrent_config no_rounds;
+  no_rounds.rounds = 0;
+  EXPECT_THROW(concurrent_generator(sim_, random_pool_source(pool_), collect(),
+                                    no_rounds, util::rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(concurrent_generator(sim_, {}, collect(), concurrent_config{},
+                                    util::rng{1}),
+               std::invalid_argument);
+}
+
+TEST_F(GeneratorTest, InterarrivalStopsAtDeadline) {
+  interarrival_config config;
+  config.devices = 5;
+  config.active_duration = util::seconds(10);
+  interarrival_generator gen{sim_,
+                             random_pool_source(pool_),
+                             collect(),
+                             fixed_interarrival(util::seconds(1)),
+                             config,
+                             util::rng{1}};
+  sim_.run();
+  // ~10 requests per device over 10 s at 1 Hz (initial offsets shift it).
+  EXPECT_GT(gen.emitted(), 30u);
+  EXPECT_LT(gen.emitted(), 60u);
+  for (const auto& r : received_) {
+    EXPECT_LT(r.created_at, util::seconds(10));
+  }
+}
+
+TEST_F(GeneratorTest, InterarrivalUsesAllDevices) {
+  interarrival_config config;
+  config.devices = 8;
+  config.active_duration = util::seconds(20);
+  interarrival_generator gen{sim_,
+                             random_pool_source(pool_),
+                             collect(),
+                             fixed_interarrival(util::seconds(1)),
+                             config,
+                             util::rng{2}};
+  sim_.run();
+  std::set<user_id> users;
+  for (const auto& r : received_) users.insert(r.user);
+  EXPECT_EQ(users.size(), 8u);
+}
+
+TEST_F(GeneratorTest, ExponentialInterarrivalApproximatesRate) {
+  interarrival_config config;
+  config.devices = 1;
+  config.active_duration = util::hours(1);
+  interarrival_generator gen{sim_,
+                             random_pool_source(pool_),
+                             collect(),
+                             exponential_interarrival(2.0),
+                             config,
+                             util::rng{3}};
+  sim_.run();
+  // 2 Hz over one hour ~ 7200 requests.
+  EXPECT_NEAR(static_cast<double>(gen.emitted()), 7'200.0, 400.0);
+}
+
+TEST_F(GeneratorTest, InterarrivalValidation) {
+  EXPECT_THROW(fixed_interarrival(0.0), std::invalid_argument);
+  EXPECT_THROW(exponential_interarrival(-1.0), std::invalid_argument);
+  EXPECT_THROW(empirical_interarrival(nullptr), std::invalid_argument);
+  interarrival_config bad;
+  bad.devices = 0;
+  EXPECT_THROW(interarrival_generator(sim_, random_pool_source(pool_),
+                                      collect(), fixed_interarrival(1.0), bad,
+                                      util::rng{1}),
+               std::invalid_argument);
+}
+
+TEST_F(GeneratorTest, RateDoublingDoublesEveryPhase) {
+  rate_doubling_config config;
+  config.initial_hz = 1.0;
+  config.final_hz = 8.0;
+  config.phase_length = util::seconds(10);
+  rate_doubling_generator gen{sim_, random_pool_source(pool_), collect(),
+                              config, util::rng{4}};
+  sim_.run();
+  // Phases: 1, 2, 4, 8 Hz for 10 s each -> ~10+20+40+80 = 150 requests.
+  EXPECT_NEAR(static_cast<double>(gen.emitted()), 150.0, 45.0);
+  EXPECT_GT(gen.current_rate_hz(), 8.0);  // ended past the final phase
+}
+
+TEST_F(GeneratorTest, RateDoublingPhasesRampRequestDensity) {
+  rate_doubling_config config;
+  config.initial_hz = 2.0;
+  config.final_hz = 16.0;
+  config.phase_length = util::seconds(20);
+  rate_doubling_generator gen{sim_, random_pool_source(pool_), collect(),
+                              config, util::rng{5}};
+  sim_.run();
+  std::size_t first_phase = 0;
+  std::size_t last_phase = 0;
+  for (const auto& r : received_) {
+    if (r.created_at < util::seconds(20)) ++first_phase;
+    if (r.created_at >= util::seconds(60)) ++last_phase;
+  }
+  EXPECT_GT(last_phase, first_phase * 3);
+}
+
+TEST_F(GeneratorTest, RateDoublingValidation) {
+  rate_doubling_config bad;
+  bad.initial_hz = 0.0;
+  EXPECT_THROW(rate_doubling_generator(sim_, random_pool_source(pool_),
+                                       collect(), bad, util::rng{1}),
+               std::invalid_argument);
+  rate_doubling_config inverted;
+  inverted.initial_hz = 8.0;
+  inverted.final_hz = 2.0;
+  EXPECT_THROW(rate_doubling_generator(sim_, random_pool_source(pool_),
+                                       collect(), inverted, util::rng{1}),
+               std::invalid_argument);
+}
+
+TEST_F(GeneratorTest, HeavyPoolSourceUsesMaximumSizes) {
+  auto source = heavy_pool_source(pool_);
+  util::rng rng{6};
+  for (int i = 0; i < 50; ++i) {
+    const auto request = source(rng);
+    EXPECT_EQ(request.size, request.algorithm->max_size());
+  }
+}
+
+TEST_F(GeneratorTest, StaticSourceAlwaysSameTask) {
+  auto source = static_source(pool_.static_minimax_request());
+  util::rng rng{6};
+  for (int i = 0; i < 10; ++i) {
+    const auto request = source(rng);
+    EXPECT_EQ(request.algorithm->name(), "minimax");
+    EXPECT_EQ(request.size, 9u);
+  }
+}
+
+TEST_F(GeneratorTest, StaticSourceRejectsNull) {
+  EXPECT_THROW(static_source(tasks::task_request{}), std::invalid_argument);
+}
+
+TEST_F(GeneratorTest, ReplayFiresAtExactTimestamps) {
+  std::vector<replay_event> events = {
+      {500.0, 3}, {100.0, 1}, {900.0, 2}};  // deliberately unsorted
+  replay_generator gen{sim_, random_pool_source(pool_), collect(),
+                       events, util::rng{7}};
+  EXPECT_EQ(gen.scheduled(), 3u);
+  sim_.run();
+  EXPECT_EQ(gen.emitted(), 3u);
+  ASSERT_EQ(received_.size(), 3u);
+  EXPECT_EQ(received_[0].created_at, 100.0);
+  EXPECT_EQ(received_[0].user, 1u);
+  EXPECT_EQ(received_[1].created_at, 500.0);
+  EXPECT_EQ(received_[2].user, 2u);
+}
+
+TEST_F(GeneratorTest, ReplayEmptyEventListIsFine) {
+  replay_generator gen{sim_, random_pool_source(pool_), collect(), {},
+                       util::rng{7}};
+  sim_.run();
+  EXPECT_EQ(gen.emitted(), 0u);
+}
+
+TEST_F(GeneratorTest, ReplayValidation) {
+  EXPECT_THROW(replay_generator(sim_, {}, collect(), {}, util::rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(replay_generator(sim_, random_pool_source(pool_), {}, {},
+                                util::rng{1}),
+               std::invalid_argument);
+}
+
+TEST_F(GeneratorTest, RequestIdsAreUnique) {
+  concurrent_config config;
+  config.users = 50;
+  config.rounds = 2;
+  concurrent_generator gen{sim_, random_pool_source(pool_), collect(), config,
+                           util::rng{1}};
+  sim_.run();
+  std::set<request_id> ids;
+  for (const auto& r : received_) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), received_.size());
+}
+
+}  // namespace
+}  // namespace mca::workload

@@ -1,0 +1,92 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace mca::util {
+namespace {
+
+TEST(Histogram, BinsSamplesCorrectly) {
+  histogram h{0.0, 10.0, 10};
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(9.9);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(1), 2u);
+  EXPECT_EQ(h.count_in_bin(9), 1u);
+}
+
+TEST(Histogram, OutOfRangeSaturatesEdges) {
+  histogram h{0.0, 10.0, 5};
+  h.add(-3.0);
+  h.add(42.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(4), 1u);
+}
+
+TEST(Histogram, BinLowerEdges) {
+  histogram h{10.0, 20.0, 5};
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_THROW(h.bin_lower(5), std::out_of_range);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  histogram h{0.0, 100.0, 100};
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1.5);
+}
+
+TEST(Histogram, QuantileErrors) {
+  histogram h{0.0, 1.0, 2};
+  EXPECT_THROW(h.quantile(0.5), std::logic_error);
+  h.add(0.5);
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Histogram, ConstructorValidation) {
+  EXPECT_THROW(histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(LogHistogram, PowerOfTwoBuckets) {
+  log_histogram h;
+  h.add(0.5);   // bucket 0: [0,1)
+  h.add(1.0);   // bucket 1: [1,2)
+  h.add(3.0);   // bucket 2: [2,4)
+  h.add(1000);  // bucket 10: [512,1024)
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count_in_bucket(0), 1u);
+  EXPECT_EQ(h.count_in_bucket(1), 1u);
+  EXPECT_EQ(h.count_in_bucket(2), 1u);
+  EXPECT_EQ(h.count_in_bucket(10), 1u);
+}
+
+TEST(LogHistogram, BucketLowerBounds) {
+  log_histogram h;
+  EXPECT_DOUBLE_EQ(h.bucket_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(4), 8.0);
+}
+
+TEST(LogHistogram, SaturatesAtLastBucket) {
+  log_histogram h{4};
+  h.add(1e12);
+  EXPECT_EQ(h.count_in_bucket(3), 1u);
+}
+
+TEST(LogHistogram, ToStringListsNonEmpty) {
+  log_histogram h;
+  h.add(3.0);
+  const auto text = h.to_string();
+  EXPECT_NE(text.find("[2,4): 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mca::util

@@ -1,0 +1,263 @@
+#include "client/moderator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace mca::client {
+namespace {
+
+TEST(NeverPromote, StaysPut) {
+  never_promote policy;
+  util::rng rng{1};
+  response_context ctx;
+  ctx.current_group = 1;
+  ctx.max_group = 3;
+  ctx.response_ms = 99'999.0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.next_group(ctx, rng), 1u);
+  }
+}
+
+TEST(StaticProbability, ValidationRejectsBadProbability) {
+  EXPECT_THROW(static_probability_promotion{-0.1}, std::invalid_argument);
+  EXPECT_THROW(static_probability_promotion{1.5}, std::invalid_argument);
+}
+
+TEST(StaticProbability, PromotionRateMatchesProbability) {
+  static_probability_promotion policy{1.0 / 50.0};
+  util::rng rng{7};
+  response_context ctx;
+  ctx.current_group = 1;
+  ctx.max_group = 3;
+  int promotions = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    if (policy.next_group(ctx, rng) == 2u) ++promotions;
+  }
+  EXPECT_NEAR(static_cast<double>(promotions) / n, 0.02, 0.003);
+}
+
+TEST(StaticProbability, NeverExceedsMaxGroup) {
+  static_probability_promotion policy{1.0};
+  util::rng rng{7};
+  response_context ctx;
+  ctx.current_group = 3;
+  ctx.max_group = 3;
+  EXPECT_EQ(policy.next_group(ctx, rng), 3u);
+}
+
+TEST(LatencyThreshold, ValidatesArguments) {
+  EXPECT_THROW(latency_threshold_promotion(0.0, 3), std::invalid_argument);
+  EXPECT_THROW(latency_threshold_promotion(100.0, 0), std::invalid_argument);
+}
+
+TEST(LatencyThreshold, PromotesAfterConsecutiveSlowResponses) {
+  latency_threshold_promotion policy{500.0, 3};
+  util::rng rng{1};
+  response_context ctx;
+  ctx.user = 1;
+  ctx.current_group = 1;
+  ctx.max_group = 3;
+  ctx.response_ms = 600.0;
+  EXPECT_EQ(policy.next_group(ctx, rng), 1u);  // strike 1
+  EXPECT_EQ(policy.next_group(ctx, rng), 1u);  // strike 2
+  EXPECT_EQ(policy.next_group(ctx, rng), 2u);  // strike 3 -> promote
+}
+
+TEST(LatencyThreshold, FastResponseResetsStrikes) {
+  latency_threshold_promotion policy{500.0, 3};
+  util::rng rng{1};
+  response_context ctx;
+  ctx.user = 1;
+  ctx.current_group = 1;
+  ctx.max_group = 3;
+  ctx.response_ms = 600.0;
+  policy.next_group(ctx, rng);
+  policy.next_group(ctx, rng);
+  ctx.response_ms = 100.0;  // fast response wipes the streak
+  EXPECT_EQ(policy.next_group(ctx, rng), 1u);
+  ctx.response_ms = 600.0;
+  EXPECT_EQ(policy.next_group(ctx, rng), 1u);
+  EXPECT_EQ(policy.next_group(ctx, rng), 1u);
+  EXPECT_EQ(policy.next_group(ctx, rng), 2u);
+}
+
+TEST(LatencyThreshold, StrikesTrackedPerUser) {
+  latency_threshold_promotion policy{500.0, 2};
+  util::rng rng{1};
+  response_context a;
+  a.user = 1;
+  a.current_group = 1;
+  a.max_group = 3;
+  a.response_ms = 900.0;
+  response_context b = a;
+  b.user = 2;
+  policy.next_group(a, rng);
+  policy.next_group(b, rng);
+  // Each user has one strike; neither promotes yet.
+  EXPECT_EQ(policy.next_group(a, rng), 2u);  // a reaches 2 strikes
+  EXPECT_EQ(policy.next_group(b, rng), 2u);  // b independently
+}
+
+TEST(BatteryAware, ValidatesFloor) {
+  EXPECT_THROW(battery_aware_promotion{0.0}, std::invalid_argument);
+  EXPECT_THROW(battery_aware_promotion{1.0}, std::invalid_argument);
+}
+
+TEST(BatteryAware, PromotesOnceWhenBatteryLow) {
+  battery_aware_promotion policy{0.3};
+  util::rng rng{1};
+  response_context ctx;
+  ctx.user = 1;
+  ctx.current_group = 1;
+  ctx.max_group = 3;
+  ctx.battery = 0.5;
+  EXPECT_EQ(policy.next_group(ctx, rng), 1u);
+  ctx.battery = 0.2;
+  EXPECT_EQ(policy.next_group(ctx, rng), 2u);
+  ctx.current_group = 2;
+  // Still low, but the one-shot promotion already fired.
+  EXPECT_EQ(policy.next_group(ctx, rng), 2u);
+}
+
+TEST(Moderator, ValidatesConstruction) {
+  EXPECT_THROW(moderator(nullptr, 1, 3, util::rng{1}), std::invalid_argument);
+  EXPECT_THROW(moderator(std::make_unique<never_promote>(), 4, 3, util::rng{1}),
+               std::invalid_argument);
+}
+
+TEST(Moderator, UsersStartInInitialGroup) {
+  moderator mod{std::make_unique<never_promote>(), 1, 3, util::rng{1}};
+  EXPECT_EQ(mod.group_of(17), 1u);
+  EXPECT_EQ(mod.group_of(99), 1u);
+}
+
+TEST(Moderator, RecordResponseAppliesPolicy) {
+  moderator mod{std::make_unique<static_probability_promotion>(1.0), 1, 3,
+                util::rng{1}};
+  EXPECT_EQ(mod.record_response(5, 100.0), 2u);
+  EXPECT_EQ(mod.group_of(5), 2u);
+  EXPECT_EQ(mod.record_response(5, 100.0), 3u);
+  EXPECT_EQ(mod.record_response(5, 100.0), 3u);  // capped at max
+  EXPECT_EQ(mod.promotions(), 2u);
+}
+
+TEST(Moderator, PromotionsAreSequential) {
+  moderator mod{std::make_unique<static_probability_promotion>(1.0), 1, 3,
+                util::rng{1}};
+  // Even with probability 1, each response promotes by exactly one level.
+  EXPECT_EQ(mod.record_response(1, 1.0), 2u);
+  EXPECT_EQ(mod.record_response(1, 1.0), 3u);
+}
+
+TEST(Moderator, PolicyAccessors) {
+  moderator mod{std::make_unique<never_promote>(), 1, 4, util::rng{1}};
+  EXPECT_STREQ(mod.policy().name(), "never");
+  EXPECT_EQ(mod.initial_group(), 1u);
+  EXPECT_EQ(mod.max_group(), 4u);
+}
+
+TEST(LatencyBand, ValidatesArguments) {
+  EXPECT_THROW((latency_band_policy{0.0, 100.0}), std::invalid_argument);
+  EXPECT_THROW((latency_band_policy{200.0, 100.0}), std::invalid_argument);
+  EXPECT_THROW((latency_band_policy{100.0, 200.0, 0}), std::invalid_argument);
+}
+
+TEST(LatencyBand, PromotesAboveUpperBound) {
+  latency_band_policy policy{200.0, 1'000.0, 2};
+  util::rng rng{1};
+  response_context ctx;
+  ctx.user = 1;
+  ctx.current_group = 1;
+  ctx.max_group = 3;
+  ctx.response_ms = 1'500.0;
+  EXPECT_EQ(policy.next_group(ctx, rng), 1u);
+  EXPECT_EQ(policy.next_group(ctx, rng), 2u);
+}
+
+TEST(LatencyBand, DemotesBelowLowerBound) {
+  latency_band_policy policy{200.0, 1'000.0, 2};
+  util::rng rng{1};
+  response_context ctx;
+  ctx.user = 1;
+  ctx.current_group = 3;
+  ctx.max_group = 3;
+  ctx.response_ms = 50.0;
+  EXPECT_EQ(policy.next_group(ctx, rng), 3u);
+  EXPECT_EQ(policy.next_group(ctx, rng), 2u);
+}
+
+TEST(LatencyBand, InBandResetsBothCounters) {
+  latency_band_policy policy{200.0, 1'000.0, 2};
+  util::rng rng{1};
+  response_context ctx;
+  ctx.user = 1;
+  ctx.current_group = 2;
+  ctx.max_group = 3;
+  ctx.response_ms = 1'500.0;
+  policy.next_group(ctx, rng);  // slow strike 1
+  ctx.response_ms = 500.0;      // in band: reset
+  policy.next_group(ctx, rng);
+  ctx.response_ms = 1'500.0;
+  EXPECT_EQ(policy.next_group(ctx, rng), 2u);  // strike 1 again
+  EXPECT_EQ(policy.next_group(ctx, rng), 3u);
+}
+
+TEST(LatencyBand, SlowAndFastStrikesCancel) {
+  latency_band_policy policy{200.0, 1'000.0, 2};
+  util::rng rng{1};
+  response_context ctx;
+  ctx.user = 1;
+  ctx.current_group = 2;
+  ctx.max_group = 3;
+  ctx.response_ms = 1'500.0;
+  policy.next_group(ctx, rng);  // slow strike
+  ctx.response_ms = 100.0;      // fast strike wipes the slow streak
+  policy.next_group(ctx, rng);
+  EXPECT_EQ(policy.next_group(ctx, rng), 1u);  // second fast -> demote
+}
+
+TEST(Moderator, DemotionDisabledClampsDownwardMoves) {
+  // Without allow_demotion a demote-happy policy cannot move users down.
+  moderator mod{std::make_unique<latency_band_policy>(200.0, 1'000.0, 1), 1,
+                3, util::rng{1}};
+  mod.record_response(1, 5'000.0);  // promote to 2
+  EXPECT_EQ(mod.group_of(1), 2u);
+  mod.record_response(1, 50.0);  // demotion suppressed
+  EXPECT_EQ(mod.group_of(1), 2u);
+  EXPECT_EQ(mod.demotions(), 0u);
+  EXPECT_FALSE(mod.allows_demotion());
+}
+
+TEST(Moderator, DemotionEnabledMovesUsersDown) {
+  moderator mod{std::make_unique<latency_band_policy>(200.0, 1'000.0, 1), 1,
+                3, util::rng{1}, /*allow_demotion=*/true};
+  mod.record_response(1, 5'000.0);
+  mod.record_response(1, 5'000.0);
+  EXPECT_EQ(mod.group_of(1), 3u);
+  mod.record_response(1, 50.0);
+  EXPECT_EQ(mod.group_of(1), 2u);
+  EXPECT_EQ(mod.demotions(), 1u);
+  EXPECT_EQ(mod.promotions(), 2u);
+}
+
+TEST(Moderator, DemotionNeverGoesBelowInitialGroup) {
+  moderator mod{std::make_unique<latency_band_policy>(200.0, 1'000.0, 1), 1,
+                3, util::rng{1}, /*allow_demotion=*/true};
+  mod.record_response(1, 50.0);
+  mod.record_response(1, 50.0);
+  EXPECT_EQ(mod.group_of(1), 1u);  // clamped at the initial group
+  EXPECT_EQ(mod.demotions(), 0u);
+}
+
+TEST(PolicyNames, AllDistinct) {
+  EXPECT_STREQ(never_promote{}.name(), "never");
+  EXPECT_STREQ(static_probability_promotion{}.name(), "static_probability");
+  EXPECT_STREQ((latency_threshold_promotion{100.0, 1}.name()),
+               "latency_threshold");
+  EXPECT_STREQ(battery_aware_promotion{}.name(), "battery_aware");
+}
+
+}  // namespace
+}  // namespace mca::client

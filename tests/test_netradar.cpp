@@ -1,0 +1,73 @@
+#include "net/netradar.h"
+
+#include <gtest/gtest.h>
+
+namespace mca::net {
+namespace {
+
+TEST(Netradar, CampaignRespectsSampleCount) {
+  util::rng rng{1};
+  const auto& op = netradar_operators()[0];
+  const auto samples = generate_campaign(op, technology::lte, 5'000, rng);
+  EXPECT_EQ(samples.size(), 5'000u);
+  for (const auto& s : samples) {
+    EXPECT_GE(s.hour_of_day, 0.0);
+    EXPECT_LT(s.hour_of_day, 24.0);
+    EXPECT_GT(s.rtt_ms, 0.0);
+  }
+}
+
+TEST(Netradar, CampaignSummaryNearCalibrationTargets) {
+  util::rng rng{2};
+  const auto& op = operator_by_name("beta");
+  const auto samples = generate_campaign(op, technology::threeg, 200'000, rng);
+  const auto s = campaign_summary(samples);
+  EXPECT_NEAR(s.mean, op.threeg.mean_ms, op.threeg.mean_ms * 0.10);
+  EXPECT_NEAR(s.median, op.threeg.median_ms, op.threeg.median_ms * 0.10);
+  EXPECT_NEAR(s.stddev, op.threeg.stddev_ms, op.threeg.stddev_ms * 0.15);
+}
+
+TEST(Netradar, ThreeGIsSlowerThanLte) {
+  util::rng rng{3};
+  const auto& op = operator_by_name("alpha");
+  const auto threeg = generate_campaign(op, technology::threeg, 50'000, rng);
+  const auto lte = generate_campaign(op, technology::lte, 50'000, rng);
+  EXPECT_GT(campaign_summary(threeg).mean, campaign_summary(lte).mean * 2.0);
+}
+
+TEST(Netradar, HourlyAggregationCoversDay) {
+  util::rng rng{4};
+  const auto& op = netradar_operators()[0];
+  const auto samples = generate_campaign(op, technology::lte, 100'000, rng);
+  const auto series = aggregate_hourly(samples);
+  ASSERT_EQ(series.mean_rtt_ms.size(), 24u);
+  std::size_t total = 0;
+  for (std::size_t h = 0; h < 24; ++h) total += series.sample_count[h];
+  EXPECT_EQ(total, samples.size());
+  // Daytime hours must carry far more measurements than deep night.
+  EXPECT_GT(series.sample_count[20], series.sample_count[3] * 2);
+}
+
+TEST(Netradar, DiurnalCongestionVisibleInHourlyMeans) {
+  util::rng rng{5};
+  const auto& op = operator_by_name("gamma");
+  const auto samples = generate_campaign(op, technology::threeg, 400'000, rng);
+  const auto series = aggregate_hourly(samples);
+  // Evening busy hour should show a higher mean RTT than pre-dawn.
+  EXPECT_GT(series.mean_rtt_ms[20], series.mean_rtt_ms[4]);
+}
+
+TEST(Netradar, EmptySummaryThrows) {
+  EXPECT_THROW(campaign_summary({}), std::invalid_argument);
+}
+
+TEST(Netradar, EmptyAggregationIsAllZero) {
+  const auto series = aggregate_hourly({});
+  for (std::size_t h = 0; h < 24; ++h) {
+    EXPECT_EQ(series.sample_count[h], 0u);
+    EXPECT_EQ(series.mean_rtt_ms[h], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mca::net

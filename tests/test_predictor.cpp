@@ -1,0 +1,202 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mca::core {
+namespace {
+
+/// Slot with `count` users (ids base..base+count-1) in group `g` of `n`.
+trace::time_slot slot_with(std::size_t n_groups, group_id g, std::size_t count,
+                           user_id base = 0) {
+  trace::time_slot slot{n_groups};
+  for (std::size_t i = 0; i < count; ++i) {
+    slot.add_user(g, base + static_cast<user_id>(i));
+  }
+  return slot;
+}
+
+/// A perfectly periodic day: counts cycle over `pattern` per slot.
+std::vector<trace::time_slot> periodic_history(
+    const std::vector<std::size_t>& pattern, std::size_t repetitions) {
+  std::vector<trace::time_slot> history;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    for (const std::size_t count : pattern) {
+      history.push_back(slot_with(2, 1, count));
+    }
+  }
+  return history;
+}
+
+TEST(Predictor, EmptyHistoryPredictsNothing) {
+  workload_predictor p;
+  EXPECT_FALSE(p.predict_next(slot_with(2, 1, 3)).has_value());
+  EXPECT_FALSE(p.nearest_index(slot_with(2, 1, 3)).has_value());
+}
+
+TEST(Predictor, ObserveGrowsHistory) {
+  workload_predictor p;
+  p.observe(slot_with(2, 1, 1));
+  p.observe(slot_with(2, 1, 2));
+  EXPECT_EQ(p.history_size(), 2u);
+}
+
+TEST(Predictor, NearestIndexFindsExactMatch) {
+  workload_predictor p;
+  p.set_history({slot_with(2, 1, 2), slot_with(2, 1, 5), slot_with(2, 1, 9)});
+  const auto idx = p.nearest_index(slot_with(2, 1, 5));
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 1u);
+}
+
+TEST(Predictor, TiesResolveToMostRecent) {
+  workload_predictor p;
+  // Two identical slots: index 2 (most recent) must win over index 0.
+  p.set_history({slot_with(2, 1, 4), slot_with(2, 1, 9), slot_with(2, 1, 4)});
+  const auto idx = p.nearest_index(slot_with(2, 1, 4));
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 2u);
+}
+
+TEST(Predictor, SuccessorModePredictsFollowingSlot) {
+  workload_predictor p{prediction_mode::successor};
+  p.set_history({slot_with(2, 1, 2), slot_with(2, 1, 7), slot_with(2, 1, 3)});
+  const auto predicted = p.predict_next(slot_with(2, 1, 2));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_EQ(predicted->user_count(1), 7u);  // slot after the match
+}
+
+TEST(Predictor, MatchModePredictsTheMatchItself) {
+  workload_predictor p{prediction_mode::match};
+  p.set_history({slot_with(2, 1, 2), slot_with(2, 1, 7), slot_with(2, 1, 3)});
+  const auto predicted = p.predict_next(slot_with(2, 1, 2));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_EQ(predicted->user_count(1), 2u);
+}
+
+TEST(Predictor, SuccessorFallsBackWhenMatchIsLast) {
+  workload_predictor p{prediction_mode::successor};
+  p.set_history({slot_with(2, 1, 2), slot_with(2, 1, 9)});
+  const auto predicted = p.predict_next(slot_with(2, 1, 9));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_EQ(predicted->user_count(1), 9u);  // persistence fallback
+}
+
+TEST(Predictor, SingleSlotHistorySuccessorModeReturnsNothing) {
+  workload_predictor p{prediction_mode::successor};
+  p.set_history({slot_with(2, 1, 2)});
+  EXPECT_FALSE(p.predict_next(slot_with(2, 1, 2)).has_value());
+}
+
+TEST(Predictor, GrowingLoadMatchedToLargestSeen) {
+  // The paper's conservatism remark: a load larger than anything stored is
+  // matched to the largest historical load.
+  workload_predictor p{prediction_mode::match};
+  p.set_history({slot_with(2, 1, 2), slot_with(2, 1, 10)});
+  const auto predicted = p.predict_next(slot_with(2, 1, 60));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_EQ(predicted->user_count(1), 10u);
+}
+
+TEST(Predictor, PredictCountsMatchesSlotCounts) {
+  workload_predictor p{prediction_mode::match};
+  trace::time_slot mixed{3};
+  mixed.add_user(0, 1);
+  mixed.add_user(2, 5);
+  mixed.add_user(2, 6);
+  p.set_history({mixed});
+  const auto counts = p.predict_counts(mixed);
+  ASSERT_TRUE(counts.has_value());
+  EXPECT_EQ(*counts, (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(PredictionAccuracy, PerfectForecastIsOne) {
+  const std::vector<std::size_t> counts{3, 0, 7};
+  EXPECT_DOUBLE_EQ(prediction_accuracy(counts, counts), 1.0);
+}
+
+TEST(PredictionAccuracy, EmptyGroupsScoreFullMarks) {
+  const std::vector<std::size_t> zeros{0, 0};
+  EXPECT_DOUBLE_EQ(prediction_accuracy(zeros, zeros), 1.0);
+}
+
+TEST(PredictionAccuracy, KnownPartialScores) {
+  // Group 0: |5-10|/10 -> 0.5; group 1: exact -> 1.0; mean 0.75.
+  EXPECT_DOUBLE_EQ(
+      prediction_accuracy(std::vector<std::size_t>{5, 4},
+                          std::vector<std::size_t>{10, 4}),
+      0.75);
+}
+
+TEST(PredictionAccuracy, TotallyWrongIsZero) {
+  EXPECT_DOUBLE_EQ(prediction_accuracy(std::vector<std::size_t>{0},
+                                       std::vector<std::size_t>{100}),
+                   0.0);
+}
+
+TEST(PredictionAccuracy, Validation) {
+  EXPECT_THROW(prediction_accuracy(std::vector<std::size_t>{1},
+                                   std::vector<std::size_t>{1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(prediction_accuracy(std::vector<std::size_t>{},
+                                   std::vector<std::size_t>{}),
+               std::invalid_argument);
+}
+
+TEST(WalkForward, PerfectOnPeriodicHistory) {
+  // With a full period of *unambiguous* states in the knowledge base,
+  // nearest-neighbour successor prediction nails a periodic workload.
+  const auto history = periodic_history({2, 5, 9, 13}, 6);
+  const auto accuracy = walk_forward_accuracy(history, 8);
+  ASSERT_TRUE(accuracy.has_value());
+  EXPECT_NEAR(*accuracy, 1.0, 1e-12);
+}
+
+TEST(WalkForward, AccuracyImprovesWithHistory) {
+  // Noisy quasi-periodic data: more knowledge -> better (or equal) score.
+  util::rng rng{5};
+  std::vector<trace::time_slot> history;
+  const std::vector<std::size_t> pattern{3, 8, 15, 22, 15, 8};
+  for (std::size_t i = 0; i < 48; ++i) {
+    const auto noise = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    history.push_back(slot_with(2, 1, pattern[i % pattern.size()] + noise));
+  }
+  const auto early = walk_forward_accuracy(history, 3);
+  const auto late = walk_forward_accuracy(history, 24);
+  ASSERT_TRUE(early.has_value());
+  ASSERT_TRUE(late.has_value());
+  // Noise keeps this from being strictly monotone; allow a small slack.
+  EXPECT_GE(*late + 0.03, *early);
+  EXPECT_GT(*late, 0.8);
+}
+
+TEST(WalkForward, DegenerateSizesReturnNothing) {
+  const auto history = periodic_history({1, 2}, 3);
+  EXPECT_FALSE(walk_forward_accuracy(history, 0).has_value());
+  EXPECT_FALSE(walk_forward_accuracy(history, 1).has_value());
+  EXPECT_FALSE(walk_forward_accuracy(history, history.size()).has_value());
+}
+
+TEST(CrossValidate, TenFoldOnPeriodicDataScoresHigh) {
+  const auto history = periodic_history({2, 5, 9, 5, 3, 7}, 10);  // 60 slots
+  const auto result = cross_validate(history, 10);
+  EXPECT_EQ(result.fold_accuracy.size(), 10u);
+  EXPECT_GT(result.mean_accuracy, 0.9);
+}
+
+TEST(CrossValidate, Validation) {
+  const auto history = periodic_history({1, 2}, 2);
+  EXPECT_THROW(cross_validate(history, 1), std::invalid_argument);
+  EXPECT_THROW(cross_validate(history, 10), std::invalid_argument);
+}
+
+TEST(PredictionModeNames, Stable) {
+  EXPECT_STREQ(to_string(prediction_mode::successor), "successor");
+  EXPECT_STREQ(to_string(prediction_mode::match), "match");
+}
+
+}  // namespace
+}  // namespace mca::core

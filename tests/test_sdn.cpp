@@ -1,0 +1,239 @@
+#include "core/sdn_accelerator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/operators.h"
+#include "tasks/task.h"
+
+namespace mca::core {
+namespace {
+
+/// Deterministic, fast mobile link for exact timing assertions.
+net::rtt_model fixed_link(double rtt_ms) {
+  net::rtt_model_params p;
+  p.log_mu = std::log(rtt_ms);
+  p.log_sigma = 1e-9;  // effectively constant
+  return net::rtt_model{p, 0.0};
+}
+
+cloud::instance_type exact_type() {
+  cloud::instance_type t;
+  t.name = "test.exact";
+  t.vcpus = 1.0;
+  t.memory_gb = 64.0;
+  t.cost_per_hour = 0.1;
+  t.speed_factor = 1.0;
+  t.jitter_sigma = 0.0;
+  return t;
+}
+
+class SdnTest : public ::testing::Test {
+ protected:
+  SdnTest() {
+    config_.routing_overhead_mean_ms = 150.0;
+    config_.routing_overhead_sd_ms = 0.0;
+    config_.backend_one_way_ms = 3.0;
+    config_.keep_routing_samples = true;
+  }
+
+  workload::offload_request make_request(user_id user) {
+    workload::offload_request r;
+    r.id = ++next_id_;
+    r.user = user;
+    r.work = pool_.static_minimax_request();
+    r.created_at = sim_.now();
+    return r;
+  }
+
+  sim::simulation sim_;
+  tasks::task_pool pool_;
+  cloud::backend_pool backend_{sim_, util::rng{1}};
+  trace::log_store log_;
+  sdn_config config_;
+  request_id next_id_ = 0;
+};
+
+TEST_F(SdnTest, TimingDecompositionIsExact) {
+  backend_.launch(1, exact_type());
+  sdn_accelerator sdn{sim_, backend_, fixed_link(40.0), &log_, config_,
+                      util::rng{2}};
+  request_timing observed;
+  sdn.submit(make_request(1), 1, 0.9,
+             [&](const workload::offload_request&, const request_timing& t) {
+               observed = t;
+             });
+  sim_.run();
+  ASSERT_TRUE(observed.success);
+  EXPECT_NEAR(observed.mobile_to_front, 20.0, 0.2);   // RTT/2
+  EXPECT_NEAR(observed.front_to_mobile, 20.0, 0.2);
+  EXPECT_NEAR(observed.routing, 150.0, 1e-9);
+  EXPECT_NEAR(observed.front_to_back, 3.0, 1e-9);
+  EXPECT_NEAR(observed.back_to_front, 3.0, 1e-9);
+  // T_cloud: 280 wu minimax + 8 wu spawn on a 1 wu/ms core.
+  EXPECT_NEAR(observed.cloud, 288.0, 2.5);
+  EXPECT_NEAR(observed.t1(), 40.0, 0.4);
+  EXPECT_NEAR(observed.t2(), 156.0, 1e-9);
+  EXPECT_NEAR(observed.total(),
+              observed.t1() + observed.t2() + observed.cloud, 1e-9);
+}
+
+TEST_F(SdnTest, RoutingOverheadIsAboutOneFiftyMs) {
+  backend_.launch(1, exact_type());
+  config_.routing_overhead_sd_ms = 20.0;
+  sdn_accelerator sdn{sim_, backend_, fixed_link(40.0), &log_, config_,
+                      util::rng{3}};
+  for (int i = 0; i < 200; ++i) {
+    sim_.schedule_at(i * 2'000.0, [&, i] {
+      sdn.submit(make_request(static_cast<user_id>(i)), 1, 1.0, {});
+    });
+  }
+  sim_.run();
+  const auto& stats = sdn.routing_stats(1);
+  EXPECT_EQ(stats.count(), 200u);
+  EXPECT_NEAR(stats.mean(), 150.0, 5.0);
+  EXPECT_GT(stats.stddev(), 5.0);
+  EXPECT_EQ(sdn.routing_samples(1).size(), 200u);
+}
+
+TEST_F(SdnTest, LogsTraceRecordPerSuccess) {
+  backend_.launch(2, exact_type());
+  sdn_accelerator sdn{sim_, backend_, fixed_link(40.0), &log_, config_,
+                      util::rng{4}};
+  sdn.submit(make_request(7), 2, 0.65, {});
+  sim_.run();
+  ASSERT_EQ(log_.size(), 1u);
+  const auto& record = log_.records()[0];
+  EXPECT_EQ(record.user, 7u);
+  EXPECT_EQ(record.group, 2u);
+  EXPECT_DOUBLE_EQ(record.battery_level, 0.65);
+  EXPECT_GT(record.rtt_ms, 400.0);  // T1 + T2 + Tcloud
+}
+
+TEST_F(SdnTest, NoLoggingWhenDisabled) {
+  backend_.launch(1, exact_type());
+  config_.log_traces = false;
+  sdn_accelerator sdn{sim_, backend_, fixed_link(40.0), &log_, config_,
+                      util::rng{5}};
+  sdn.submit(make_request(1), 1, 1.0, {});
+  sim_.run();
+  EXPECT_EQ(log_.size(), 0u);
+}
+
+TEST_F(SdnTest, NullLogPointerIsSafe) {
+  backend_.launch(1, exact_type());
+  sdn_accelerator sdn{sim_, backend_, fixed_link(40.0), nullptr, config_,
+                      util::rng{6}};
+  sdn.submit(make_request(1), 1, 1.0, {});
+  sim_.run();
+  EXPECT_EQ(sdn.succeeded(), 1u);
+}
+
+TEST_F(SdnTest, MissingGroupFailsTheRequest) {
+  sdn_accelerator sdn{sim_, backend_, fixed_link(40.0), &log_, config_,
+                      util::rng{7}};
+  request_timing observed;
+  bool called = false;
+  sdn.submit(make_request(1), 9, 1.0,
+             [&](const workload::offload_request&, const request_timing& t) {
+               observed = t;
+               called = true;
+             });
+  sim_.run();
+  ASSERT_TRUE(called);
+  EXPECT_FALSE(observed.success);
+  EXPECT_EQ(observed.cloud, 0.0);
+  EXPECT_EQ(sdn.failed(), 1u);
+  EXPECT_EQ(sdn.succeeded(), 0u);
+  EXPECT_EQ(log_.size(), 0u);  // failures are not logged as processed
+}
+
+TEST_F(SdnTest, SaturatedBackendDropsAreReported) {
+  auto tiny = exact_type();
+  tiny.memory_gb = 0.1;  // floor admission cap applies
+  const auto burst = tiny.max_concurrent() + 12;
+  backend_.launch(1, tiny);
+  sdn_accelerator sdn{sim_, backend_, fixed_link(40.0), &log_, config_,
+                      util::rng{8}};
+  int failures = 0;
+  for (std::size_t i = 0; i < burst; ++i) {
+    sdn.submit(make_request(static_cast<user_id>(i)), 1, 1.0,
+               [&](const workload::offload_request&,
+                   const request_timing& t) {
+                 if (!t.success) ++failures;
+               });
+  }
+  sim_.run();
+  EXPECT_EQ(sdn.received(), burst);
+  EXPECT_GT(failures, 0);
+  EXPECT_EQ(sdn.succeeded() + sdn.failed(), burst);
+}
+
+TEST_F(SdnTest, CountsMultipleGroupsSeparately) {
+  backend_.launch(1, exact_type());
+  backend_.launch(2, exact_type());
+  sdn_accelerator sdn{sim_, backend_, fixed_link(40.0), &log_, config_,
+                      util::rng{9}};
+  sdn.submit(make_request(1), 1, 1.0, {});
+  sdn.submit(make_request(2), 2, 1.0, {});
+  sdn.submit(make_request(3), 2, 1.0, {});
+  sim_.run();
+  EXPECT_EQ(sdn.routing_stats(1).count(), 1u);
+  EXPECT_EQ(sdn.routing_stats(2).count(), 2u);
+  EXPECT_EQ(sdn.routing_stats(3).count(), 0u);
+}
+
+TEST_F(SdnTest, ThreeGLinkInflatesT1Only) {
+  backend_.launch(1, exact_type());
+  sdn_accelerator lte{sim_, backend_, fixed_link(40.0), nullptr, config_,
+                      util::rng{10}};
+  sdn_accelerator threeg{sim_, backend_, fixed_link(130.0), nullptr, config_,
+                         util::rng{10}};
+  request_timing timing_lte;
+  request_timing timing_threeg;
+  lte.submit(make_request(1), 1, 1.0,
+             [&](const workload::offload_request&, const request_timing& t) {
+               timing_lte = t;
+             });
+  sim_.run();
+  threeg.submit(make_request(2), 1, 1.0,
+                [&](const workload::offload_request&,
+                    const request_timing& t) { timing_threeg = t; });
+  sim_.run();
+  EXPECT_NEAR(timing_threeg.t1() - timing_lte.t1(), 90.0, 2.0);
+  // The internal path is identical: same routing model, same backend hops.
+  EXPECT_NEAR(timing_threeg.front_to_back, timing_lte.front_to_back, 1e-9);
+}
+
+TEST_F(SdnTest, ConcurrentSubmissionsShareTheBackend) {
+  backend_.launch(1, exact_type());
+  sdn_accelerator sdn{sim_, backend_, fixed_link(40.0), &log_, config_,
+                      util::rng{11}};
+  std::vector<double> cloud_times;
+  for (int i = 0; i < 4; ++i) {
+    sdn.submit(make_request(static_cast<user_id>(i)), 1, 1.0,
+               [&](const workload::offload_request&,
+                   const request_timing& t) {
+                 cloud_times.push_back(t.cloud);
+               });
+  }
+  sim_.run();
+  ASSERT_EQ(cloud_times.size(), 4u);
+  // All four arrive (nearly) together and share one core: each sees ~4x
+  // the solo 288 ms service time.
+  for (const double t : cloud_times) {
+    EXPECT_GT(t, 288.0 * 3.0);
+  }
+}
+
+TEST_F(SdnTest, ConfigValidation) {
+  sdn_config bad;
+  bad.routing_overhead_mean_ms = -1.0;
+  EXPECT_THROW(sdn_accelerator(sim_, backend_, fixed_link(40.0), &log_, bad,
+                               util::rng{1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mca::core

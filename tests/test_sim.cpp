@@ -1,0 +1,202 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mca::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  simulation sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30.0, [&] { order.push_back(3); });
+  sim.schedule_at(10.0, [&] { order.push_back(1); });
+  sim.schedule_at(20.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30.0);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulation, SameTimeIsFifo) {
+  simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(10.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(100.0, [&] {
+    sim.schedule_after(50.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150.0);
+}
+
+TEST(Simulation, NegativeDelayThrows) {
+  simulation sim;
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, EmptyCallbackThrows) {
+  simulation sim;
+  EXPECT_THROW(sim.schedule_at(1.0, {}), std::invalid_argument);
+}
+
+TEST(Simulation, PastEventFiresAtCurrentTime) {
+  simulation sim;
+  sim.schedule_at(100.0, [] {});
+  sim.run();
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] { fired_at = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_EQ(fired_at, 100.0);  // clamped to now
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  simulation sim;
+  bool fired = false;
+  const auto handle = sim.schedule_at(10.0, [&] { fired = true; });
+  sim.cancel(handle);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(Simulation, CancelUnknownHandleIsNoop) {
+  simulation sim;
+  sim.cancel(event_handle{12345});
+  sim.cancel(event_handle{});  // invalid handle
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, PendingEventsExcludesCancelled) {
+  simulation sim;
+  const auto a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  simulation sim;
+  int fired = 0;
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.schedule_at(20.0, [&] { ++fired; });
+  sim.schedule_at(30.0, [&] { ++fired; });
+  sim.run_until(25.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 25.0);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithoutEvents) {
+  simulation sim;
+  sim.run_until(500.0);
+  EXPECT_EQ(sim.now(), 500.0);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, ClearDropsPendingEvents) {
+  simulation sim;
+  bool fired = false;
+  sim.schedule_at(1.0, [&] { fired = true; });
+  sim.clear();
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule_after(10.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 40.0);
+}
+
+TEST(PeriodicProcess, TicksAtFixedPeriod) {
+  simulation sim;
+  std::vector<double> tick_times;
+  periodic_process p{sim, 10.0, 5.0, [&](std::uint64_t) {
+                       tick_times.push_back(sim.now());
+                       return tick_times.size() < 4;
+                     }};
+  sim.run();
+  EXPECT_EQ(tick_times, (std::vector<double>{10.0, 15.0, 20.0, 25.0}));
+  EXPECT_EQ(p.ticks(), 4u);
+}
+
+TEST(PeriodicProcess, TickIndexIncrements) {
+  simulation sim;
+  std::vector<std::uint64_t> indices;
+  periodic_process p{sim, 0.0, 1.0, [&](std::uint64_t tick) {
+                       indices.push_back(tick);
+                       return tick < 2;
+                     }};
+  sim.run();
+  EXPECT_EQ(indices, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(PeriodicProcess, StopCancelsFutureTicks) {
+  simulation sim;
+  int ticks = 0;
+  periodic_process p{sim, 0.0, 10.0, [&](std::uint64_t) {
+                       ++ticks;
+                       return true;
+                     }};
+  sim.run_until(35.0);
+  p.stop();
+  sim.run();
+  EXPECT_EQ(ticks, 4);  // t = 0, 10, 20, 30
+}
+
+TEST(PeriodicProcess, ValidatesArguments) {
+  simulation sim;
+  EXPECT_THROW(periodic_process(sim, 0.0, 0.0, [](std::uint64_t) {
+                 return false;
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(periodic_process(sim, 0.0, 1.0, {}), std::invalid_argument);
+}
+
+TEST(PeriodicProcess, DestructorStopsTicking) {
+  simulation sim;
+  int ticks = 0;
+  {
+    periodic_process p{sim, 0.0, 1.0, [&](std::uint64_t) {
+                         ++ticks;
+                         return true;
+                       }};
+    sim.run_until(2.5);
+  }
+  sim.run_until(100.0);
+  EXPECT_EQ(ticks, 3);
+}
+
+}  // namespace
+}  // namespace mca::sim

@@ -1,0 +1,286 @@
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/operators.h"
+
+namespace mca::core {
+namespace {
+
+class SystemTest : public ::testing::Test {
+ protected:
+  system_config base_config() {
+    system_config config;
+    config.groups = {
+        {1, "t2.nano", 1, 10.0},
+        {2, "t2.large", 1, 40.0},
+        {3, "m4.4xlarge", 1, 100.0},
+    };
+    config.user_count = 20;
+    config.tasks = workload::static_source(pool_.static_minimax_request());
+    config.gaps = workload::fixed_interarrival(util::seconds(30));
+    config.slot_length = util::minutes(10);
+    config.background_requests_per_burst = 0;  // off for unit tests
+    config.sdn.routing_overhead_sd_ms = 0.0;
+    // No promotions by default so per-group counts are exact; promotion
+    // tests install their own policy.
+    config.policy_factory = [] {
+      return std::make_unique<client::never_promote>();
+    };
+    config.seed = 11;
+    return config;
+  }
+
+  tasks::task_pool pool_;
+};
+
+TEST_F(SystemTest, ValidatesConfig) {
+  auto no_groups = base_config();
+  no_groups.groups.clear();
+  EXPECT_THROW(offloading_system(no_groups, pool_), std::invalid_argument);
+
+  auto no_tasks = base_config();
+  no_tasks.tasks = nullptr;
+  EXPECT_THROW(offloading_system(no_tasks, pool_), std::invalid_argument);
+
+  auto no_users = base_config();
+  no_users.user_count = 0;
+  EXPECT_THROW(offloading_system(no_users, pool_), std::invalid_argument);
+
+  auto no_mix = base_config();
+  no_mix.device_mix.clear();
+  EXPECT_THROW(offloading_system(no_mix, pool_), std::invalid_argument);
+}
+
+TEST_F(SystemTest, RunRejectsNonPositiveDuration) {
+  offloading_system system{base_config(), pool_};
+  EXPECT_THROW(system.run(0.0), std::invalid_argument);
+}
+
+TEST_F(SystemTest, RequestsFlowEndToEnd) {
+  offloading_system system{base_config(), pool_};
+  system.run(util::minutes(30));
+  const auto& metrics = system.metrics();
+  // 20 users at 1 request / 30 s over 30 min ~ 1200 requests.
+  EXPECT_GT(metrics.requests.size(), 600u);
+  std::size_t successes = 0;
+  for (const auto& r : metrics.requests) {
+    if (r.success) ++successes;
+    EXPECT_LT(r.user, 20u);
+  }
+  EXPECT_EQ(successes, metrics.requests.size());  // no saturation here
+}
+
+TEST_F(SystemTest, AllUsersStartInInitialGroup) {
+  auto config = base_config();
+  config.policy_factory = [] { return std::make_unique<client::never_promote>(); };
+  offloading_system system{config, pool_};
+  system.run(util::minutes(20));
+  for (const auto& r : system.metrics().requests) {
+    EXPECT_EQ(r.group, 1u);
+  }
+  EXPECT_EQ(system.metrics().promotions, 0u);
+}
+
+TEST_F(SystemTest, PromotionsMoveUsersUpward) {
+  auto config = base_config();
+  config.policy_factory = [] {
+    return std::make_unique<client::static_probability_promotion>(0.2);
+  };
+  offloading_system system{config, pool_};
+  system.run(util::minutes(30));
+  EXPECT_GT(system.metrics().promotions, 0u);
+  // Per-user group series must be non-decreasing (promotion only).
+  for (user_id u = 0; u < 20; ++u) {
+    const auto series = system.metrics().user_group_series(u);
+    for (std::size_t i = 1; i < series.size(); ++i) {
+      EXPECT_GE(series[i], series[i - 1]);
+    }
+  }
+}
+
+TEST_F(SystemTest, SlotReportsCoverRun) {
+  offloading_system system{base_config(), pool_};
+  system.run(util::hours(1));
+  // 10-minute slots over an hour -> 6 reports.
+  EXPECT_EQ(system.metrics().slots.size(), 6u);
+  for (const auto& slot : system.metrics().slots) {
+    // All 20 users offload every 30 s, so every slot sees all of them.
+    std::size_t total = 0;
+    for (const auto count : slot.actual_counts) total += count;
+    EXPECT_EQ(total, 20u);
+  }
+}
+
+TEST_F(SystemTest, PredictionsAppearOnceHistoryExists) {
+  offloading_system system{base_config(), pool_};
+  system.run(util::hours(1));
+  const auto& slots = system.metrics().slots;
+  // First slot: knowledge base too small in successor mode.
+  EXPECT_FALSE(slots.front().predicted_counts.has_value());
+  EXPECT_TRUE(slots.back().predicted_counts.has_value());
+  EXPECT_TRUE(system.metrics().mean_prediction_accuracy().has_value());
+  // Stationary workload -> near-perfect prediction.
+  EXPECT_GT(*system.metrics().mean_prediction_accuracy(), 0.95);
+}
+
+TEST_F(SystemTest, AdaptationLaunchesInstancesForLoad) {
+  auto config = base_config();
+  config.user_count = 35;
+  // Each nano carries 10 users; 35 users in group 1 need 4 nanos.
+  offloading_system system{config, pool_};
+  system.run(util::hours(1));
+  EXPECT_GE(system.backend().instance_count(1, "t2.nano"), 4u);
+}
+
+TEST_F(SystemTest, AdaptationDisabledKeepsInitialFleet) {
+  auto config = base_config();
+  config.user_count = 35;
+  config.enable_adaptation = false;
+  offloading_system system{config, pool_};
+  system.run(util::hours(1));
+  EXPECT_EQ(system.backend().instance_count(1, "t2.nano"), 1u);
+  for (const auto& slot : system.metrics().slots) {
+    EXPECT_FALSE(slot.plan.has_value());
+  }
+}
+
+TEST_F(SystemTest, SeedHistoryEnablesImmediatePrediction) {
+  auto config = base_config();
+  // Two seed slots make successor-mode prediction possible from slot 0.
+  trace::time_slot seed{4};
+  for (user_id u = 0; u < 20; ++u) seed.add_user(1, u);
+  config.seed_history = {seed, seed};
+  offloading_system system{config, pool_};
+  system.run(util::minutes(20));
+  ASSERT_FALSE(system.metrics().slots.empty());
+  EXPECT_TRUE(system.metrics().slots.front().predicted_counts.has_value());
+}
+
+TEST_F(SystemTest, CostAccruesWithFleet) {
+  offloading_system system{base_config(), pool_};
+  system.run(util::hours(2));
+  EXPECT_GT(system.metrics().total_cost_usd, 0.0);
+}
+
+TEST_F(SystemTest, BackgroundLoadInflatesResponseTimes) {
+  auto fast = base_config();
+  auto loaded = base_config();
+  loaded.background_requests_per_burst = 40;
+  offloading_system a{fast, pool_};
+  offloading_system b{loaded, pool_};
+  a.run(util::minutes(20));
+  b.run(util::minutes(20));
+  double mean_fast = 0.0;
+  for (const auto& r : a.metrics().requests) mean_fast += r.response_ms;
+  mean_fast /= static_cast<double>(a.metrics().requests.size());
+  double mean_loaded = 0.0;
+  for (const auto& r : b.metrics().requests) mean_loaded += r.response_ms;
+  mean_loaded /= static_cast<double>(b.metrics().requests.size());
+  EXPECT_GT(b.metrics().background_submitted, 0u);
+  EXPECT_GT(mean_loaded, mean_fast * 1.5);
+}
+
+TEST_F(SystemTest, UserSeriesHelpersFilterCorrectly) {
+  offloading_system system{base_config(), pool_};
+  system.run(util::minutes(20));
+  const auto responses = system.metrics().user_response_series(3);
+  const auto groups = system.metrics().user_group_series(3);
+  EXPECT_EQ(responses.size(), groups.size());
+  EXPECT_FALSE(responses.empty());
+  for (const double r : responses) EXPECT_GT(r, 0.0);
+}
+
+TEST_F(SystemTest, ThreeGLinkIsSlowerEndToEnd) {
+  auto lte = base_config();
+  auto threeg = base_config();
+  threeg.mobile_link = net::calibrated_model(net::operator_by_name("beta"),
+                                             net::technology::threeg);
+  offloading_system fast{lte, pool_};
+  offloading_system slow{threeg, pool_};
+  fast.run(util::minutes(20));
+  slow.run(util::minutes(20));
+  auto mean_response = [](const system_metrics& m) {
+    double total = 0.0;
+    for (const auto& r : m.requests) total += r.response_ms;
+    return total / static_cast<double>(m.requests.size());
+  };
+  // 3G adds ~100 ms of mean RTT over LTE (paper Fig. 11).
+  EXPECT_GT(mean_response(slow.metrics()),
+            mean_response(fast.metrics()) + 50.0);
+}
+
+TEST_F(SystemTest, DemotionReturnsIdleUsersToLowerGroups) {
+  auto config = base_config();
+  config.allow_demotion = true;
+  // Heavy background keeps level 1 slow (promote); levels 2/3 answer well
+  // under the lower bound (demote) -> users oscillate, proving demotion.
+  config.background_requests_per_burst = 60;
+  config.policy_factory = [] {
+    return std::make_unique<client::latency_band_policy>(600.0, 1'200.0, 1);
+  };
+  offloading_system system{config, pool_};
+  system.run(util::minutes(40));
+  EXPECT_GT(system.metrics().promotions, 0u);
+  EXPECT_GT(system.metrics().demotions, 0u);
+  for (user_id u = 0; u < 5; ++u) {
+    for (const auto g : system.metrics().user_group_series(u)) {
+      EXPECT_GE(g, 1u);  // never below the initial group
+    }
+  }
+}
+
+TEST_F(SystemTest, CumulativeCapacityModeRuns) {
+  auto config = base_config();
+  config.cumulative_capacity = true;
+  config.user_count = 30;
+  offloading_system system{config, pool_};
+  system.run(util::hours(1));
+  // Plans exist and respect the cap; cumulative mode may buy fewer
+  // low-tier instances because fast groups can absorb slow demand.
+  bool planned = false;
+  for (const auto& slot : system.metrics().slots) {
+    if (slot.plan) {
+      planned = true;
+      EXPECT_LE(slot.plan->total_instances(), config.max_total_instances);
+    }
+  }
+  EXPECT_TRUE(planned);
+}
+
+TEST_F(SystemTest, MatchModePredictorRuns) {
+  auto config = base_config();
+  config.predictor_mode = prediction_mode::match;
+  offloading_system system{config, pool_};
+  system.run(util::hours(1));
+  // Match mode predicts from the first boundary (single slot suffices).
+  EXPECT_TRUE(system.metrics().slots.front().predicted_counts.has_value());
+  EXPECT_GT(*system.metrics().mean_prediction_accuracy(), 0.9);
+}
+
+TEST_F(SystemTest, TraceLogMatchesRequestMetrics) {
+  offloading_system system{base_config(), pool_};
+  system.run(util::minutes(30));
+  std::size_t successes = 0;
+  for (const auto& r : system.metrics().requests) {
+    if (r.success) ++successes;
+  }
+  EXPECT_EQ(system.log().size(), successes);
+}
+
+TEST_F(SystemTest, DeterministicForSeed) {
+  offloading_system a{base_config(), pool_};
+  offloading_system b{base_config(), pool_};
+  a.run(util::minutes(15));
+  b.run(util::minutes(15));
+  ASSERT_EQ(a.metrics().requests.size(), b.metrics().requests.size());
+  for (std::size_t i = 0; i < a.metrics().requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.metrics().requests[i].response_ms,
+                     b.metrics().requests[i].response_ms);
+  }
+}
+
+}  // namespace
+}  // namespace mca::core

@@ -1,0 +1,127 @@
+#include "trace/time_slot.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mca::trace {
+namespace {
+
+TEST(TimeSlot, StartsEmpty) {
+  time_slot slot{3};
+  EXPECT_EQ(slot.group_count(), 3u);
+  EXPECT_TRUE(slot.empty());
+  EXPECT_EQ(slot.total_users(), 0u);
+}
+
+TEST(TimeSlot, AddKeepsUsersSortedAndUnique) {
+  time_slot slot{2};
+  slot.add_user(0, 5);
+  slot.add_user(0, 1);
+  slot.add_user(0, 9);
+  slot.add_user(0, 5);  // duplicate absorbed
+  const auto users = slot.users_in(0);
+  ASSERT_EQ(users.size(), 3u);
+  EXPECT_EQ(users[0], 1u);
+  EXPECT_EQ(users[1], 5u);
+  EXPECT_EQ(users[2], 9u);
+}
+
+TEST(TimeSlot, GroupsAreIndependent) {
+  time_slot slot{3};
+  slot.add_user(0, 1);
+  slot.add_user(2, 1);
+  slot.add_user(2, 2);
+  EXPECT_EQ(slot.user_count(0), 1u);
+  EXPECT_EQ(slot.user_count(1), 0u);
+  EXPECT_EQ(slot.user_count(2), 2u);
+  EXPECT_EQ(slot.total_users(), 3u);
+  EXPECT_EQ(slot.group_counts(), (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(TimeSlot, UnknownGroupThrows) {
+  time_slot slot{2};
+  EXPECT_THROW(slot.add_user(2, 1), std::out_of_range);
+  EXPECT_THROW(slot.users_in(5), std::out_of_range);
+}
+
+TEST(TimeSlot, EqualityComparesContents) {
+  time_slot a{2};
+  time_slot b{2};
+  EXPECT_EQ(a, b);
+  a.add_user(0, 1);
+  EXPECT_NE(a, b);
+  b.add_user(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GroupDistance, ZeroForIdenticalGroups) {
+  time_slot a{1};
+  time_slot b{1};
+  a.add_user(0, 1);
+  a.add_user(0, 2);
+  b.add_user(0, 2);
+  b.add_user(0, 1);  // same set, different insertion order
+  EXPECT_EQ(group_distance(a, b, 0), 0u);
+}
+
+TEST(GroupDistance, CountsUserChurn) {
+  time_slot a{1};
+  time_slot b{1};
+  a.add_user(0, 1);
+  a.add_user(0, 2);
+  b.add_user(0, 2);
+  b.add_user(0, 3);
+  // Sorted sequences {1,2} vs {2,3}: substitute both ends -> 2.
+  EXPECT_EQ(group_distance(a, b, 0), 2u);
+}
+
+TEST(GroupDistance, EmptyVsPopulated) {
+  time_slot a{1};
+  time_slot b{1};
+  b.add_user(0, 1);
+  b.add_user(0, 2);
+  b.add_user(0, 3);
+  EXPECT_EQ(group_distance(a, b, 0), 3u);
+}
+
+TEST(SlotDistance, SumsAcrossGroups) {
+  time_slot a{3};
+  time_slot b{3};
+  a.add_user(0, 1);         // group 0: {1} vs {} -> 1
+  b.add_user(1, 7);         // group 1: {} vs {7} -> 1
+  a.add_user(2, 3);         // group 2: {3} vs {3} -> 0
+  b.add_user(2, 3);
+  EXPECT_EQ(slot_distance(a, b), 2u);
+}
+
+TEST(SlotDistance, ZeroForEqualSlots) {
+  time_slot a{2};
+  a.add_user(0, 1);
+  a.add_user(1, 2);
+  EXPECT_EQ(slot_distance(a, a), 0u);
+}
+
+TEST(SlotDistance, GroupCountMismatchThrows) {
+  time_slot a{2};
+  time_slot b{3};
+  EXPECT_THROW(slot_distance(a, b), std::invalid_argument);
+}
+
+TEST(SlotDistance, SymmetricOverRandomSlots) {
+  mca::util::rng rng{11};
+  for (int round = 0; round < 30; ++round) {
+    time_slot a{4};
+    time_slot b{4};
+    for (int i = 0; i < 20; ++i) {
+      a.add_user(static_cast<group_id>(rng.uniform_int(0, 3)),
+                 static_cast<user_id>(rng.uniform_int(0, 15)));
+      b.add_user(static_cast<group_id>(rng.uniform_int(0, 3)),
+                 static_cast<user_id>(rng.uniform_int(0, 15)));
+    }
+    EXPECT_EQ(slot_distance(a, b), slot_distance(b, a));
+  }
+}
+
+}  // namespace
+}  // namespace mca::trace

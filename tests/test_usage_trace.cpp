@@ -1,0 +1,97 @@
+#include "client/usage_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mca::client {
+namespace {
+
+usage_study_config small_study() {
+  usage_study_config config;
+  config.participants = 2;
+  config.days = 7.0;
+  return config;
+}
+
+TEST(DiurnalActivity, QuietAtNightActiveInEvening) {
+  EXPECT_EQ(diurnal_activity(2.0), 0.0);
+  EXPECT_EQ(diurnal_activity(5.0), 0.0);
+  EXPECT_GT(diurnal_activity(20.5), 0.8);
+  EXPECT_GT(diurnal_activity(12.0), 0.2);
+  EXPECT_GT(diurnal_activity(20.5), diurnal_activity(8.0));
+}
+
+TEST(DiurnalActivity, BoundedByOne) {
+  for (double h = 0.0; h < 24.0; h += 0.25) {
+    EXPECT_GE(diurnal_activity(h), 0.0);
+    EXPECT_LE(diurnal_activity(h), 1.0);
+  }
+}
+
+TEST(UsageTrace, EventsAreSortedAndInStudyWindow) {
+  util::rng rng{5};
+  const auto config = small_study();
+  const auto events = synthesize_participant_events(config, rng);
+  ASSERT_GT(events.size(), 50u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i], events[i - 1]);
+  }
+  EXPECT_GE(events.front(), 0.0);
+  EXPECT_LE(events.back(), util::hours(24.0 * config.days) + util::hours(1));
+}
+
+TEST(UsageTrace, NightsAreQuiet) {
+  util::rng rng{6};
+  const auto events = synthesize_participant_events(small_study(), rng);
+  std::size_t night_events = 0;
+  for (const auto t : events) {
+    const double hour = std::fmod(util::to_hours(t), 24.0);
+    if (hour < 6.5) ++night_events;
+  }
+  // Sessions start only in active hours; a tail of a late session may leak
+  // past midnight but nights must stay essentially empty.
+  EXPECT_LT(static_cast<double>(night_events),
+            0.02 * static_cast<double>(events.size()));
+}
+
+TEST(UsageTrace, InterarrivalsClippedToPaperBand) {
+  util::rng rng{7};
+  const auto config = small_study();
+  const auto gaps = study_interarrivals(config, rng);
+  ASSERT_GT(gaps.size(), 100u);
+  for (const double g : gaps) {
+    EXPECT_GE(g, config.min_interarrival);
+    EXPECT_LE(g, config.max_interarrival);
+  }
+}
+
+TEST(UsageTrace, DistributionMeanIsSubSecondScale) {
+  const auto dist = study_interarrival_distribution(small_study(), 42);
+  const auto stats = dist.stats();
+  // Within-session gaps centre around the lognormal's ~900 ms body.
+  EXPECT_GT(stats.mean, 400.0);
+  EXPECT_LT(stats.mean, 2'500.0);
+  EXPECT_GE(stats.min, 100.0);
+  EXPECT_LE(stats.max, 5'000.0);
+}
+
+TEST(UsageTrace, DeterministicForSeed) {
+  const auto a = study_interarrival_distribution(small_study(), 9);
+  const auto b = study_interarrival_distribution(small_study(), 9);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+}
+
+TEST(UsageTrace, MoreParticipantsMoreData) {
+  auto small = small_study();
+  auto large = small_study();
+  large.participants = 6;
+  const auto few = study_interarrival_distribution(small, 3);
+  const auto many = study_interarrival_distribution(large, 3);
+  EXPECT_GT(many.size(), few.size());
+}
+
+}  // namespace
+}  // namespace mca::client
