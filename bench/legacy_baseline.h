@@ -1,0 +1,592 @@
+// Frozen pre-refactor ("seed") implementations of the three hot paths,
+// kept verbatim under mca::legacy so micro_ops can report real speedups
+// against the same binary.  Do NOT modernize this file: its whole value is
+// that it stays byte-for-byte the algorithmic shape the repo started with
+// (std::priority_queue + hash-set event loop, vector-of-vectors Bland
+// simplex, rebuild-per-node branch & bound, full-column-scan allocator).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/allocator.h"
+#include "ilp/problem.h"
+#include "util/sim_time.h"
+
+namespace mca::legacy {
+
+// ---- seed event loop -----------------------------------------------------
+
+struct event_handle {
+  std::uint64_t id = 0;
+  bool valid() const noexcept { return id != 0; }
+};
+
+class simulation {
+ public:
+  using callback = std::function<void()>;
+
+  util::time_ms now() const noexcept { return now_; }
+
+  event_handle schedule_at(util::time_ms at, callback fn) {
+    if (!fn) throw std::invalid_argument{"schedule_at: empty callback"};
+    const std::uint64_t id = next_id_++;
+    queue_.push(
+        scheduled{std::max(at, now_), next_sequence_++, id, std::move(fn)});
+    pending_ids_.insert(id);
+    return event_handle{id};
+  }
+
+  event_handle schedule_after(util::time_ms delay, callback fn) {
+    if (delay < 0) {
+      throw std::invalid_argument{"schedule_after: negative delay"};
+    }
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  void cancel(event_handle handle) noexcept {
+    if (handle.valid() && pending_ids_.erase(handle.id) > 0) {
+      cancelled_.insert(handle.id);
+    }
+  }
+
+  bool step() {
+    skip_cancelled();
+    if (queue_.empty()) return false;
+    scheduled next = std::move(const_cast<scheduled&>(queue_.top()));
+    queue_.pop();
+    pending_ids_.erase(next.id);
+    now_ = next.at;
+    ++executed_;
+    next.fn();
+    return true;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  std::size_t pending_events() const noexcept { return pending_ids_.size(); }
+  std::size_t executed_events() const noexcept { return executed_; }
+
+ private:
+  struct scheduled {
+    util::time_ms at = 0;
+    std::uint64_t sequence = 0;
+    std::uint64_t id = 0;
+    callback fn;
+  };
+  struct later {
+    bool operator()(const scheduled& a, const scheduled& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void skip_cancelled() {
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) != 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+  }
+
+  util::time_ms now_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_sequence_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<scheduled, std::vector<scheduled>, later> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+// ---- seed two-phase simplex (vector-of-vectors, Bland's rule) ------------
+
+namespace detail {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class tableau {
+ public:
+  tableau(const ilp::problem& p, double tol) : tol_{tol} { build(p); }
+
+  ilp::solution run(const ilp::problem& p, const ilp::simplex_options& opts);
+
+ private:
+  struct row_form {
+    std::vector<double> coeffs;
+    ilp::relation rel;
+    double rhs;
+  };
+
+  void build(const ilp::problem& p);
+  bool pivot_until_optimal(std::vector<double>& cost, double& objective,
+                           std::size_t max_iters, std::size_t& used);
+  void pivot(std::size_t row, std::size_t col);
+  void price_out_basis(std::vector<double>& cost, double& objective) const;
+
+  double tol_;
+  std::size_t num_structural_ = 0;
+  std::size_t num_cols_ = 0;
+  std::size_t first_artificial_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> rhs_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> shift_;
+  double shift_cost_ = 0.0;
+};
+
+inline void tableau::build(const ilp::problem& p) {
+  const std::size_t n = p.variable_count();
+  num_structural_ = n;
+  shift_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& v = p.variable(j);
+    if (!std::isfinite(v.lower)) {
+      throw std::invalid_argument{
+          "solve_lp: variable lower bound must be finite"};
+    }
+    shift_[j] = v.lower;
+    shift_cost_ += v.cost * v.lower;
+  }
+
+  std::vector<row_form> forms;
+  forms.reserve(p.constraint_count() + n);
+  for (std::size_t i = 0; i < p.constraint_count(); ++i) {
+    const auto& c = p.constraint(i);
+    row_form f;
+    f.coeffs.assign(n, 0.0);
+    f.rhs = c.rhs;
+    f.rel = c.rel;
+    for (const auto& t : c.terms) {
+      f.coeffs[t.var] += t.coeff;
+      f.rhs -= t.coeff * shift_[t.var];
+    }
+    forms.push_back(std::move(f));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& v = p.variable(j);
+    if (!std::isfinite(v.upper)) continue;
+    row_form f;
+    f.coeffs.assign(n, 0.0);
+    f.coeffs[j] = 1.0;
+    f.rel = ilp::relation::less_equal;
+    f.rhs = v.upper - v.lower;
+    forms.push_back(std::move(f));
+  }
+
+  for (auto& f : forms) {
+    if (f.rhs < 0) {
+      for (auto& c : f.coeffs) c = -c;
+      f.rhs = -f.rhs;
+      if (f.rel == ilp::relation::less_equal) {
+        f.rel = ilp::relation::greater_equal;
+      } else if (f.rel == ilp::relation::greater_equal) {
+        f.rel = ilp::relation::less_equal;
+      }
+    }
+  }
+
+  std::size_t slack = 0;
+  std::size_t artificial = 0;
+  for (const auto& f : forms) {
+    switch (f.rel) {
+      case ilp::relation::less_equal: ++slack; break;
+      case ilp::relation::greater_equal: ++slack; ++artificial; break;
+      case ilp::relation::equal: ++artificial; break;
+    }
+  }
+  first_artificial_ = n + slack;
+  num_cols_ = first_artificial_ + artificial;
+
+  rows_.assign(forms.size(), std::vector<double>(num_cols_, 0.0));
+  rhs_.resize(forms.size());
+  basis_.resize(forms.size());
+
+  std::size_t next_slack = n;
+  std::size_t next_artificial = first_artificial_;
+  for (std::size_t i = 0; i < forms.size(); ++i) {
+    const auto& f = forms[i];
+    std::copy(f.coeffs.begin(), f.coeffs.end(), rows_[i].begin());
+    rhs_[i] = f.rhs;
+    switch (f.rel) {
+      case ilp::relation::less_equal:
+        rows_[i][next_slack] = 1.0;
+        basis_[i] = next_slack++;
+        break;
+      case ilp::relation::greater_equal:
+        rows_[i][next_slack++] = -1.0;
+        rows_[i][next_artificial] = 1.0;
+        basis_[i] = next_artificial++;
+        break;
+      case ilp::relation::equal:
+        rows_[i][next_artificial] = 1.0;
+        basis_[i] = next_artificial++;
+        break;
+    }
+  }
+}
+
+inline void tableau::pivot(std::size_t prow, std::size_t pcol) {
+  auto& pivot_row = rows_[prow];
+  const double pv = pivot_row[pcol];
+  for (auto& c : pivot_row) c /= pv;
+  rhs_[prow] /= pv;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i == prow) continue;
+    const double factor = rows_[i][pcol];
+    if (std::abs(factor) < tol_) continue;
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      rows_[i][j] -= factor * pivot_row[j];
+    }
+    rhs_[i] -= factor * rhs_[prow];
+  }
+  basis_[prow] = pcol;
+}
+
+inline void tableau::price_out_basis(std::vector<double>& cost,
+                                     double& objective) const {
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const double factor = cost[basis_[i]];
+    if (std::abs(factor) < tol_) continue;
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      cost[j] -= factor * rows_[i][j];
+    }
+    objective -= factor * rhs_[i];
+  }
+}
+
+inline bool tableau::pivot_until_optimal(std::vector<double>& cost,
+                                         double& objective,
+                                         std::size_t max_iters,
+                                         std::size_t& used) {
+  while (used < max_iters) {
+    std::size_t entering = num_cols_;
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (cost[j] < -tol_) {
+        entering = j;
+        break;
+      }
+    }
+    if (entering == num_cols_) return true;
+
+    std::size_t leaving = rows_.size();
+    double best_ratio = kInf;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const double a = rows_[i][entering];
+      if (a <= tol_) continue;
+      const double ratio = rhs_[i] / a;
+      if (ratio < best_ratio - tol_ ||
+          (ratio < best_ratio + tol_ &&
+           (leaving == rows_.size() || basis_[i] < basis_[leaving]))) {
+        best_ratio = ratio;
+        leaving = i;
+      }
+    }
+    if (leaving == rows_.size()) return false;
+
+    const double factor = cost[entering];
+    pivot(leaving, entering);
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      cost[j] -= factor * rows_[leaving][j];
+    }
+    objective -= factor * rhs_[leaving];
+    ++used;
+  }
+  return true;
+}
+
+inline ilp::solution tableau::run(const ilp::problem& p,
+                                  const ilp::simplex_options& opts) {
+  ilp::solution result;
+  std::size_t used = 0;
+
+  if (first_artificial_ < num_cols_) {
+    std::vector<double> cost(num_cols_, 0.0);
+    for (std::size_t j = first_artificial_; j < num_cols_; ++j) cost[j] = 1.0;
+    double phase1_obj = 0.0;
+    price_out_basis(cost, phase1_obj);
+    if (!pivot_until_optimal(cost, phase1_obj, opts.max_iterations, used)) {
+      result.status = ilp::solve_status::iteration_limit;
+      return result;
+    }
+    if (used >= opts.max_iterations) {
+      result.status = ilp::solve_status::iteration_limit;
+      return result;
+    }
+    if (-phase1_obj > 1e-7) {
+      result.status = ilp::solve_status::infeasible;
+      return result;
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (basis_[i] < first_artificial_) continue;
+      std::size_t replacement = first_artificial_;
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (std::abs(rows_[i][j]) > tol_) {
+          replacement = j;
+          break;
+        }
+      }
+      if (replacement < first_artificial_) {
+        pivot(i, replacement);
+      }
+    }
+  }
+
+  std::vector<double> cost(num_cols_, 0.0);
+  for (std::size_t j = 0; j < num_structural_; ++j) {
+    cost[j] = p.variable(j).cost;
+  }
+  for (std::size_t j = first_artificial_; j < num_cols_; ++j) cost[j] = kInf;
+  double objective = 0.0;
+  price_out_basis(cost, objective);
+  for (std::size_t j = first_artificial_; j < num_cols_; ++j) {
+    if (std::isnan(cost[j])) cost[j] = kInf;
+    cost[j] = std::max(cost[j], 0.0);
+  }
+  if (!pivot_until_optimal(cost, objective, opts.max_iterations, used)) {
+    result.status = ilp::solve_status::unbounded;
+    return result;
+  }
+  if (used >= opts.max_iterations) {
+    result.status = ilp::solve_status::iteration_limit;
+    return result;
+  }
+
+  result.status = ilp::solve_status::optimal;
+  result.values.assign(p.variable_count(), 0.0);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (basis_[i] < num_structural_) {
+      result.values[basis_[i]] = rhs_[i];
+    }
+  }
+  for (std::size_t j = 0; j < p.variable_count(); ++j) {
+    result.values[j] += shift_[j];
+  }
+  result.objective = p.objective_value(result.values);
+  result.iterations = used;
+  return result;
+}
+
+}  // namespace detail
+
+inline ilp::solution solve_lp(const ilp::problem& p,
+                              const ilp::simplex_options& opts = {}) {
+  if (p.variable_count() == 0) {
+    throw std::invalid_argument{"solve_lp: problem has no variables"};
+  }
+  detail::tableau t{p, opts.tolerance};
+  return t.run(p, opts);
+}
+
+// ---- seed branch & bound (scratch problem copy + rebuild per node) -------
+
+inline ilp::solution solve_ilp(const ilp::problem& p,
+                               const ilp::ilp_options& opts = {}) {
+  if (!p.has_integer_variables()) return legacy::solve_lp(p, opts.lp);
+
+  struct node {
+    std::vector<std::pair<std::size_t, std::pair<double, double>>> bounds;
+  };
+
+  const auto most_fractional =
+      [&p](const std::vector<double>& x,
+           double tol) -> std::optional<std::size_t> {
+    std::optional<std::size_t> best;
+    double best_frac_distance = tol;
+    for (std::size_t j = 0; j < p.variable_count(); ++j) {
+      if (!p.variable(j).is_integer) continue;
+      const double frac = x[j] - std::floor(x[j]);
+      const double distance = std::min(frac, 1.0 - frac);
+      if (distance > best_frac_distance) {
+        best_frac_distance = distance;
+        best = j;
+      }
+    }
+    return best;
+  };
+
+  ilp::solution incumbent;
+  incumbent.status = ilp::solve_status::infeasible;
+  incumbent.objective = std::numeric_limits<double>::infinity();
+
+  std::vector<node> stack;
+  stack.push_back({});
+  std::size_t explored = 0;
+  bool root_unbounded = false;
+  bool budget_exhausted = false;
+
+  ilp::problem scratch = p;
+  while (!stack.empty()) {
+    if (explored >= opts.max_nodes) {
+      budget_exhausted = true;
+      break;
+    }
+    ++explored;
+    const node current = std::move(stack.back());
+    stack.pop_back();
+
+    scratch = p;
+    bool empty_box = false;
+    for (const auto& [var, box] : current.bounds) {
+      if (box.first > box.second) {
+        empty_box = true;
+        break;
+      }
+      const auto& v = scratch.variable(var);
+      const double lo = std::max(v.lower, box.first);
+      const double hi = std::min(v.upper, box.second);
+      if (lo > hi) {
+        empty_box = true;
+        break;
+      }
+      scratch.set_bounds(var, lo, hi);
+    }
+    if (empty_box) continue;
+
+    const ilp::solution relaxed = legacy::solve_lp(scratch, opts.lp);
+    if (relaxed.status == ilp::solve_status::unbounded) {
+      if (current.bounds.empty()) root_unbounded = true;
+      continue;
+    }
+    if (relaxed.status != ilp::solve_status::optimal) continue;
+    if (relaxed.objective >= incumbent.objective - 1e-9) continue;
+
+    const auto branch_var =
+        most_fractional(relaxed.values, opts.integrality_tolerance);
+    if (!branch_var) {
+      ilp::solution candidate = relaxed;
+      for (std::size_t j = 0; j < p.variable_count(); ++j) {
+        if (p.variable(j).is_integer) {
+          candidate.values[j] = std::round(candidate.values[j]);
+        }
+      }
+      candidate.objective = p.objective_value(candidate.values);
+      if (p.is_feasible(candidate.values) &&
+          candidate.objective < incumbent.objective) {
+        incumbent = candidate;
+        incumbent.status = ilp::solve_status::optimal;
+      }
+      continue;
+    }
+
+    const std::size_t j = *branch_var;
+    const double value = relaxed.values[j];
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    node down = current;
+    down.bounds.emplace_back(j, std::make_pair(-kInf, std::floor(value)));
+    node up = current;
+    up.bounds.emplace_back(j, std::make_pair(std::ceil(value), kInf));
+    if (value - std::floor(value) < 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  if (budget_exhausted) {
+    incumbent.status = ilp::solve_status::iteration_limit;
+    return incumbent;
+  }
+  if (incumbent.status != ilp::solve_status::optimal && root_unbounded) {
+    incumbent.status = ilp::solve_status::unbounded;
+  }
+  return incumbent;
+}
+
+// ---- seed ILP allocator (full column scans per group) --------------------
+
+inline core::allocation_plan allocate_ilp(const core::allocation_request& request) {
+  core::validate(request);
+  struct column {
+    group_id group = 0;
+    std::size_t candidate = 0;
+  };
+  std::vector<column> columns;
+  for (group_id g = 0; g < request.candidates_per_group.size(); ++g) {
+    for (std::size_t c = 0; c < request.candidates_per_group[g].size(); ++c) {
+      columns.push_back({g, c});
+    }
+  }
+  if (columns.empty()) {
+    throw std::invalid_argument{"allocate_ilp: no candidates at all"};
+  }
+
+  ilp::problem model;
+  for (const auto& col : columns) {
+    const auto& cand = request.candidates_per_group[col.group][col.candidate];
+    model.add_integer_variable(
+        cand.cost_per_hour, 0.0,
+        static_cast<double>(request.max_total_instances),
+        cand.type_name + "@g" + std::to_string(col.group));
+  }
+
+  const std::size_t group_count = request.workload_per_group.size();
+  for (group_id g = 0; g < group_count; ++g) {
+    std::vector<ilp::linear_term> terms;
+    double demand = 0.0;
+    if (request.cumulative_capacity) {
+      for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i].group < g) continue;
+        const auto& cand =
+            request.candidates_per_group[columns[i].group][columns[i].candidate];
+        terms.push_back({i, cand.capacity_per_instance});
+      }
+      for (group_id h = g; h < group_count; ++h) {
+        demand += request.workload_per_group[h];
+      }
+    } else {
+      for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i].group != g) continue;
+        const auto& cand =
+            request.candidates_per_group[g][columns[i].candidate];
+        terms.push_back({i, cand.capacity_per_instance});
+      }
+      demand = request.workload_per_group[g];
+    }
+    if (terms.empty()) continue;  // bench requests always have candidates
+    model.add_constraint(std::move(terms), ilp::relation::greater_equal,
+                         demand + request.capacity_margin,
+                         "workload_g" + std::to_string(g));
+  }
+
+  {
+    std::vector<ilp::linear_term> cap_terms;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      cap_terms.push_back({i, 1.0});
+    }
+    model.add_constraint(std::move(cap_terms), ilp::relation::less_equal,
+                         static_cast<double>(request.max_total_instances),
+                         "account_cap");
+  }
+
+  const ilp::solution solved = legacy::solve_ilp(model);
+  core::allocation_plan plan;
+  plan.status = solved.status;
+  if (solved.status != ilp::solve_status::optimal) return plan;
+
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const auto count = static_cast<std::size_t>(std::llround(solved.values[i]));
+    if (count == 0) continue;
+    const auto& cand =
+        request.candidates_per_group[columns[i].group][columns[i].candidate];
+    plan.entries.push_back({columns[i].group, cand.type_name, count});
+    plan.total_cost_per_hour += cand.cost_per_hour * static_cast<double>(count);
+  }
+  plan.feasible = true;
+  return plan;
+}
+
+}  // namespace mca::legacy

@@ -1,149 +1,369 @@
-// Micro-benchmarks (google-benchmark) for the hot operations on the
-// SDN-accelerator's control path: slot comparison, prediction, the ILP
-// solve, RTT sampling, and the simulated server's submit/complete cycle.
-#include <benchmark/benchmark.h>
+// Perf harness for the control-path hot spots: event-engine throughput,
+// simplex pivot rate, and end-to-end allocate_ilp latency, each measured
+// against the frozen pre-refactor implementation (legacy_baseline.h) in
+// the same binary.  Emits machine-readable BENCH_micro_ops.json (path
+// overridable via argv[1]) so the perf trajectory is tracked PR over PR.
+//
+// Usage: micro_ops [output.json]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "cloud/instance.h"
+#include "bench_util.h"
 #include "core/allocator.h"
-#include "core/predictor.h"
-#include "ilp/branch_bound.h"
-#include "net/operators.h"
+#include "ilp/simplex.h"
+#include "legacy_baseline.h"
 #include "sim/simulation.h"
-#include "trace/edit_distance.h"
-#include "trace/log_store.h"
-#include "util/rng.h"
 
 namespace {
 
 using namespace mca;
 
-std::vector<user_id> random_users(std::size_t n, std::uint64_t seed) {
-  util::rng rng{seed};
-  std::vector<user_id> users(n);
-  for (auto& u : users) u = static_cast<user_id>(rng.uniform_int(0, 500));
-  return users;
+using clock_type = std::chrono::steady_clock;
+
+/// Best-of-N wall time of fn() in seconds.
+template <typename Fn>
+double best_seconds(int trials, Fn&& fn) {
+  double best = 1e30;
+  for (int t = 0; t < trials; ++t) {
+    const auto start = clock_type::now();
+    fn();
+    const auto stop = clock_type::now();
+    const double s = std::chrono::duration<double>(stop - start).count();
+    if (s < best) best = s;
+  }
+  return best;
 }
 
-void bm_edit_distance(benchmark::State& state) {
-  const auto a = random_users(static_cast<std::size_t>(state.range(0)), 1);
-  const auto b = random_users(static_cast<std::size_t>(state.range(0)), 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(trace::edit_distance(a, b));
-  }
-}
-BENCHMARK(bm_edit_distance)->Arg(8)->Arg(32)->Arg(128);
-
-void bm_normalized_edit_distance(benchmark::State& state) {
-  const auto a = random_users(static_cast<std::size_t>(state.range(0)), 3);
-  const auto b = random_users(static_cast<std::size_t>(state.range(0)), 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(trace::normalized_edit_distance(a, b));
-  }
-}
-BENCHMARK(bm_normalized_edit_distance)->Arg(8)->Arg(32);
-
-trace::time_slot random_slot(std::size_t groups, std::size_t users,
-                             std::uint64_t seed) {
-  util::rng rng{seed};
-  trace::time_slot slot{groups};
-  for (std::size_t i = 0; i < users; ++i) {
-    slot.add_user(static_cast<group_id>(rng.uniform_int(
-                      0, static_cast<std::int64_t>(groups) - 1)),
-                  static_cast<user_id>(rng.uniform_int(0, 500)));
-  }
-  return slot;
+/// Deterministic 64-bit mix so both engines see identical event times.
+std::uint64_t splitmix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
 }
 
-void bm_slot_distance(benchmark::State& state) {
-  const auto a = random_slot(4, static_cast<std::size_t>(state.range(0)), 5);
-  const auto b = random_slot(4, static_cast<std::size_t>(state.range(0)), 6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(trace::slot_distance(a, b));
-  }
-}
-BENCHMARK(bm_slot_distance)->Arg(20)->Arg(100);
+constexpr int kEventCount = 200'000;
+constexpr int kTrials = 5;
 
-void bm_predictor_query(benchmark::State& state) {
-  core::workload_predictor predictor;
-  std::vector<trace::time_slot> history;
-  for (std::int64_t i = 0; i < state.range(0); ++i) {
-    history.push_back(random_slot(4, 100, static_cast<std::uint64_t>(i)));
-  }
-  predictor.set_history(std::move(history));
-  const auto current = random_slot(4, 100, 999);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(predictor.predict_counts(current));
-  }
-}
-BENCHMARK(bm_predictor_query)->Arg(24)->Arg(168);
-
-void bm_ilp_allocation(benchmark::State& state) {
-  core::allocation_request request;
-  request.workload_per_group = {35.0, 60.0, 120.0};
-  request.candidates_per_group = {
-      {{"t2.nano", 10.0, 0.0063}, {"t2.small", 10.0, 0.025}},
-      {{"t2.medium", 40.0, 0.05}, {"t2.large", 40.0, 0.101}},
-      {{"m4.4xlarge", 100.0, 0.888}, {"m4.10xlarge", 100.0, 2.22}},
+/// Steady-state event loop, the shape the simulators actually produce: a
+/// fixed population of pending events (completions, timers) where every
+/// fired event schedules a successor at a pseudo-random future time.
+template <typename Sim>
+std::size_t event_steady_state_workload() {
+  Sim sim;
+  constexpr int kPopulation = 16'384;
+  std::uint64_t seed = 42;
+  struct rearm {
+    Sim& sim;
+    std::uint64_t& seed;
+    std::size_t remaining;
+    void operator()() {
+      if (remaining == 0) return;
+      const double delta = 1.0 + static_cast<double>(splitmix(seed) % 10'000u);
+      sim.schedule_after(delta, rearm{sim, seed, remaining - 1});
+    }
   };
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::allocate_ilp(request));
+  constexpr std::size_t kChain = kEventCount / kPopulation;
+  for (int i = 0; i < kPopulation; ++i) {
+    const double at = static_cast<double>(splitmix(seed) % 10'000u);
+    sim.schedule_at(at, rearm{sim, seed, kChain});
   }
+  sim.run();
+  return sim.executed_events();
 }
-BENCHMARK(bm_ilp_allocation);
 
-void bm_simplex_relaxation(benchmark::State& state) {
+/// Worst-case burst: schedule kEventCount no-op events at pseudo-random
+/// times, then drain the full heap.
+template <typename Sim>
+std::size_t event_burst_workload() {
+  Sim sim;
+  std::uint64_t seed = 42;
+  for (int i = 0; i < kEventCount; ++i) {
+    const double at = static_cast<double>(splitmix(seed) % 1'000'000u);
+    sim.schedule_at(at, [] {});
+  }
+  sim.run();
+  return sim.executed_events();
+}
+
+/// The closed-loop request pattern that dominates the paper's experiments:
+/// every request schedules a completion plus a timeout timer, and the
+/// completion cancels the timeout (requests finish before their deadline).
+/// Per fired event: two schedules and one cancellation.
+template <typename Sim, typename Handle>
+std::size_t event_request_workload() {
+  Sim sim;
+  constexpr std::uint32_t kInFlight = 8'192;
+  struct context {
+    Sim& sim;
+    std::uint64_t seed = 11;
+    std::vector<Handle> timeouts;
+  } ctx{sim, 11, std::vector<Handle>(kInFlight)};
+  struct complete {
+    context* c;
+    std::uint32_t lane;
+    std::uint32_t remaining;
+    void operator()() const {
+      c->sim.cancel(c->timeouts[lane]);  // finished before the deadline
+      if (remaining == 0) return;
+      const double service =
+          1.0 + static_cast<double>(splitmix(c->seed) % 200u);
+      c->sim.schedule_after(service, complete{c, lane, remaining - 1});
+      c->timeouts[lane] = c->sim.schedule_after(service + 500.0, [] {});
+    }
+  };
+  constexpr std::uint32_t kChain = kEventCount / kInFlight;
+  for (std::uint32_t lane = 0; lane < kInFlight; ++lane) {
+    const double at = 1.0 + static_cast<double>(splitmix(ctx.seed) % 200u);
+    sim.schedule_at(at, complete{&ctx, lane, kChain});
+    ctx.timeouts[lane] = sim.schedule_at(at + 500.0, [] {});
+  }
+  sim.run();
+  return sim.executed_events();
+}
+
+/// Timer-churn pattern: every scheduled event displaces an older one, the
+/// way RTT/keepalive timers are rearmed; half the handles get cancelled.
+template <typename Sim, typename Handle>
+std::size_t event_cancel_workload() {
+  Sim sim;
+  std::uint64_t seed = 7;
+  std::vector<Handle> window(64);
+  for (int i = 0; i < kEventCount; ++i) {
+    const double at = static_cast<double>(splitmix(seed) % 1'000'000u);
+    const std::size_t slot = static_cast<std::size_t>(i) % window.size();
+    if (window[slot].valid()) sim.cancel(window[slot]);
+    window[slot] = sim.schedule_at(at, [] {});
+  }
+  sim.run();
+  // Almost every schedule is later cancelled; the interesting rate is
+  // schedule+cancel ops, not the 64 surviving events.  The executed count
+  // still cross-checks determinism because both engines must agree on it.
+  return sim.executed_events() == window.size() ? kEventCount : 0;
+}
+
+/// A mid-size allocation-shaped LP: 24 columns, capacity rows per group
+/// plus a shared cap, fractional optimum.
+ilp::problem make_lp() {
   ilp::problem p;
-  const auto x = p.add_variable(1.0, 0.0, 20.0);
-  const auto y = p.add_variable(2.5, 0.0, 20.0);
-  const auto z = p.add_variable(0.9, 0.0, 20.0);
-  p.add_constraint({{x, 10.0}, {y, 40.0}}, ilp::relation::greater_equal, 90.0);
-  p.add_constraint({{y, 40.0}, {z, 8.0}}, ilp::relation::greater_equal, 55.0);
-  p.add_constraint({{x, 1.0}, {y, 1.0}, {z, 1.0}}, ilp::relation::less_equal,
-                   20.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ilp::solve_lp(p));
+  std::vector<std::size_t> vars;
+  for (int g = 0; g < 6; ++g) {
+    for (int c = 0; c < 4; ++c) {
+      const double cost = 0.05 + 0.11 * c + 0.015 * g;
+      vars.push_back(p.add_variable(cost, 0.0, 30.0));
+    }
   }
+  for (int g = 0; g < 6; ++g) {
+    std::vector<ilp::linear_term> terms;
+    for (int c = 0; c < 4; ++c) {
+      terms.push_back({vars[static_cast<std::size_t>(4 * g + c)],
+                       7.0 + 9.0 * c + 1.3 * g});
+    }
+    p.add_constraint(std::move(terms), ilp::relation::greater_equal,
+                     41.0 + 23.0 * g);
+  }
+  std::vector<ilp::linear_term> cap;
+  for (const auto v : vars) cap.push_back({v, 1.0});
+  p.add_constraint(std::move(cap), ilp::relation::less_equal, 120.0);
+  return p;
 }
-BENCHMARK(bm_simplex_relaxation);
 
-void bm_rtt_sample(benchmark::State& state) {
-  const auto model = net::default_lte_model();
-  util::rng rng{7};
-  double hour = 0.0;
-  for (auto _ : state) {
-    hour = hour >= 24.0 ? 0.0 : hour + 0.001;
-    benchmark::DoNotOptimize(model.sample(rng, hour));
+/// The acceptance workload: 8 groups x 4 candidates under a shared cap.
+core::allocation_request make_8x4_request() {
+  core::allocation_request request;
+  request.max_total_instances = 64;
+  for (int g = 0; g < 8; ++g) {
+    request.workload_per_group.push_back(22.0 + 13.0 * g);
+    std::vector<core::allocation_candidate> candidates;
+    for (int c = 0; c < 4; ++c) {
+      core::allocation_candidate cand;
+      cand.type_name = "type" + std::to_string(c) + ".g" + std::to_string(g);
+      cand.capacity_per_instance = 9.0 + 17.0 * c + 1.7 * g;
+      cand.cost_per_hour = 0.02 + 0.055 * c * c + 0.004 * g;
+      candidates.push_back(cand);
+    }
+    request.candidates_per_group.push_back(std::move(candidates));
   }
+  return request;
 }
-BENCHMARK(bm_rtt_sample);
 
-void bm_instance_cycle(benchmark::State& state) {
-  sim::simulation sim;
-  cloud::instance server{sim, 1, cloud::type_by_name("t2.large"),
-                         util::rng{8}};
-  for (auto _ : state) {
-    server.submit(10.0, {});
-    sim.run();
-  }
-  state.counters["completed"] =
-      static_cast<double>(server.completed());
-}
-BENCHMARK(bm_instance_cycle);
+struct series_entry {
+  std::string name;
+  std::string unit;
+  double current = 0.0;
+  double legacy = 0.0;  // 0 = no baseline for this series
+  double speedup = 0.0;
+};
 
-void bm_build_slots(benchmark::State& state) {
-  trace::log_store log;
-  util::rng rng{9};
-  for (int i = 0; i < 20'000; ++i) {
-    log.append({rng.uniform(0.0, 3.6e7),
-                static_cast<user_id>(rng.uniform_int(0, 100)),
-                static_cast<group_id>(rng.uniform_int(0, 3)), 1.0, 250.0});
+bool write_json(const std::string& path, const std::vector<series_entry>& series,
+                bool checks_passed) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "micro_ops: cannot write %s\n", path.c_str());
+    return false;
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(log.build_slots(3.6e6, 4));
+  std::fprintf(f, "{\n  \"bench\": \"micro_ops\",\n  \"schema\": 1,\n");
+  std::fprintf(f, "  \"checks_passed\": %s,\n", checks_passed ? "true" : "false");
+  std::fprintf(f, "  \"series\": [\n");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& s = series[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"unit\": \"%s\", \"value\": %.6g",
+                 s.name.c_str(), s.unit.c_str(), s.current);
+    if (s.legacy > 0.0) {
+      std::fprintf(f, ", \"legacy\": %.6g, \"speedup\": %.4g", s.legacy,
+                   s.speedup);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < series.size() ? "," : "");
   }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
 }
-BENCHMARK(bm_build_slots);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_micro_ops.json";
+  std::vector<series_entry> series;
+  bench::check_list checks;
+
+  // ---- event engine ------------------------------------------------------
+  // Four workloads: the gated primary is the closed-loop request pattern
+  // (schedule + timeout + cancel per event), the shape §V's experiments
+  // actually produce; the rest chart the engine from other angles.
+  const auto event_series = [&](const char* title, const char* name,
+                                std::size_t (*current_fn)(),
+                                std::size_t (*legacy_fn)(), double gate) {
+    bench::section(title);
+    std::size_t executed_new = 0;
+    std::size_t executed_old = 0;
+    const double t_new =
+        best_seconds(kTrials, [&] { executed_new = current_fn(); });
+    const double t_old =
+        best_seconds(kTrials, [&] { executed_old = legacy_fn(); });
+    checks.expect(executed_new == executed_old,
+                  std::string(name) + ": identical event counts",
+                  bench::ratio_detail("executed",
+                                      static_cast<double>(executed_new)));
+    series_entry s;
+    s.name = name;
+    s.unit = "events/sec";
+    s.current = static_cast<double>(executed_new) / t_new;
+    s.legacy = static_cast<double>(executed_old) / t_old;
+    s.speedup = s.current / s.legacy;
+    std::printf("new:    %12.0f events/sec\nlegacy: %12.0f events/sec\n",
+                s.current, s.legacy);
+    if (gate > 0.0) {
+      checks.expect(s.speedup >= gate,
+                    std::string(name) + " >= " + std::to_string(gate).substr(0, 3) +
+                        "x legacy",
+                    bench::ratio_detail("speedup", s.speedup));
+    }
+    series.push_back(s);
+  };
+
+  event_series("event engine: request/timeout/cancel loop (primary)",
+               "event_throughput",
+               event_request_workload<sim::simulation, sim::event_handle>,
+               event_request_workload<legacy::simulation, legacy::event_handle>,
+               2.0);
+  event_series("event engine: steady-state rearm, no cancels",
+               "event_steady_state",
+               event_steady_state_workload<sim::simulation>,
+               event_steady_state_workload<legacy::simulation>, 0.0);
+  event_series("event engine: burst schedule + full drain", "event_burst",
+               event_burst_workload<sim::simulation>,
+               event_burst_workload<legacy::simulation>, 0.0);
+  event_series("event engine: cancellation churn (schedule+cancel ops)",
+               "event_cancel_churn",
+               event_cancel_workload<sim::simulation, sim::event_handle>,
+               event_cancel_workload<legacy::simulation, legacy::event_handle>,
+               2.0);
+
+  // ---- simplex -----------------------------------------------------------
+  bench::section("simplex: LP relaxation solves");
+  const ilp::problem lp = make_lp();
+  constexpr int kLpReps = 400;
+  std::size_t pivots = 0;
+  double objective_new = 0.0;
+  double objective_old = 0.0;
+  const double t_lp_new = best_seconds(kTrials, [&] {
+    pivots = 0;
+    for (int i = 0; i < kLpReps; ++i) {
+      const auto sol = ilp::solve_lp(lp);
+      pivots += sol.iterations;
+      objective_new = sol.objective;
+    }
+  });
+  const double t_lp_old = best_seconds(kTrials, [&] {
+    for (int i = 0; i < kLpReps; ++i) {
+      objective_old = legacy::solve_lp(lp).objective;
+    }
+  });
+  checks.expect(std::abs(objective_new - objective_old) < 1e-6,
+                "simplex objectives agree with legacy",
+                bench::ratio_detail("objective", objective_new));
+  {
+    series_entry s;
+    s.name = "simplex_solves";
+    s.unit = "solves/sec";
+    s.current = kLpReps / t_lp_new;
+    s.legacy = kLpReps / t_lp_old;
+    s.speedup = s.current / s.legacy;
+    std::printf("new:    %12.0f solves/sec  (%.0f pivots/sec)\n", s.current,
+                static_cast<double>(pivots) / t_lp_new);
+    std::printf("legacy: %12.0f solves/sec\n", s.legacy);
+    series.push_back(s);
+
+    series_entry sp;
+    sp.name = "simplex_pivots";
+    sp.unit = "pivots/sec";
+    sp.current = static_cast<double>(pivots) / t_lp_new;
+    series.push_back(sp);
+  }
+
+  // ---- allocator ---------------------------------------------------------
+  bench::section("allocate_ilp: 8 groups x 4 candidates");
+  const core::allocation_request request = make_8x4_request();
+  constexpr int kIlpReps = 60;
+  double cost_new = 0.0;
+  double cost_old = 0.0;
+  const double t_ilp_new = best_seconds(kTrials, [&] {
+    for (int i = 0; i < kIlpReps; ++i) {
+      cost_new = core::allocate_ilp(request).total_cost_per_hour;
+    }
+  });
+  const double t_ilp_old = best_seconds(kTrials, [&] {
+    for (int i = 0; i < kIlpReps; ++i) {
+      cost_old = legacy::allocate_ilp(request).total_cost_per_hour;
+    }
+  });
+  checks.expect(std::abs(cost_new - cost_old) < 1e-6,
+                "allocator plans cost the same as legacy",
+                bench::ratio_detail("cost/hour", cost_new));
+  {
+    series_entry s;
+    s.name = "allocate_ilp_8x4";
+    s.unit = "solves/sec";
+    s.current = kIlpReps / t_ilp_new;
+    s.legacy = kIlpReps / t_ilp_old;
+    s.speedup = s.current / s.legacy;
+    std::printf("new:    %10.1f solves/sec (%.2f ms/solve)\n", s.current,
+                1e3 * t_ilp_new / kIlpReps);
+    std::printf("legacy: %10.1f solves/sec (%.2f ms/solve)\n", s.legacy,
+                1e3 * t_ilp_old / kIlpReps);
+    checks.expect(s.speedup >= 1.5, "allocate_ilp >= 1.5x legacy",
+                  bench::ratio_detail("speedup", s.speedup));
+    series.push_back(s);
+  }
+
+  const int exit_code = checks.finish("micro_ops");
+  if (!write_json(out_path, series, exit_code == 0)) return 1;
+  return exit_code;
+}

@@ -13,25 +13,54 @@ struct column {
   std::size_t candidate = 0;
 };
 
-std::vector<column> flatten(const allocation_request& request) {
+/// Column layout shared by every allocation strategy: the flat column list
+/// plus a per-group index so group-local work never scans all columns.
+struct column_layout {
   std::vector<column> columns;
-  for (group_id g = 0; g < request.candidates_per_group.size(); ++g) {
-    for (std::size_t c = 0; c < request.candidates_per_group[g].size(); ++c) {
-      columns.push_back({g, c});
+  std::vector<std::vector<std::size_t>> by_group;
+};
+
+column_layout flatten(const allocation_request& request) {
+  column_layout layout;
+  const std::size_t group_count = request.candidates_per_group.size();
+  layout.by_group.resize(group_count);
+  std::size_t total = 0;
+  for (const auto& group : request.candidates_per_group) total += group.size();
+  layout.columns.reserve(total);
+  for (group_id g = 0; g < group_count; ++g) {
+    const std::size_t candidates = request.candidates_per_group[g].size();
+    layout.by_group[g].reserve(candidates);
+    for (std::size_t c = 0; c < candidates; ++c) {
+      layout.by_group[g].push_back(layout.columns.size());
+      layout.columns.push_back({g, c});
     }
   }
-  return columns;
+  return layout;
+}
+
+const allocation_candidate& candidate_of(const allocation_request& request,
+                                         const column_layout& layout,
+                                         std::size_t col) {
+  const column& c = layout.columns[col];
+  return request.candidates_per_group[c.group][c.candidate];
+}
+
+/// Capacity-per-dollar figure of merit (free capacity counts as
+/// infinitely good).
+double value_density(const allocation_candidate& cand) {
+  return cand.cost_per_hour <= 0.0
+             ? 1e18
+             : cand.capacity_per_instance / cand.cost_per_hour;
 }
 
 allocation_plan plan_from_counts(const allocation_request& request,
-                                 const std::vector<column>& columns,
+                                 const column_layout& layout,
                                  const std::vector<std::size_t>& counts) {
   allocation_plan plan;
-  for (std::size_t i = 0; i < columns.size(); ++i) {
+  for (std::size_t i = 0; i < layout.columns.size(); ++i) {
     if (counts[i] == 0) continue;
-    const auto& cand =
-        request.candidates_per_group[columns[i].group][columns[i].candidate];
-    plan.entries.push_back({columns[i].group, cand.type_name, counts[i]});
+    const auto& cand = candidate_of(request, layout, i);
+    plan.entries.push_back({layout.columns[i].group, cand.type_name, counts[i]});
     plan.total_cost_per_hour +=
         cand.cost_per_hour * static_cast<double>(counts[i]);
   }
@@ -40,14 +69,12 @@ allocation_plan plan_from_counts(const allocation_request& request,
 
 /// Capacity bought for a group by a counts vector.
 double group_capacity(const allocation_request& request,
-                      const std::vector<column>& columns,
+                      const column_layout& layout,
                       const std::vector<std::size_t>& counts, group_id g) {
   double capacity = 0.0;
-  for (std::size_t i = 0; i < columns.size(); ++i) {
-    if (columns[i].group != g) continue;
-    const auto& cand =
-        request.candidates_per_group[g][columns[i].candidate];
-    capacity += cand.capacity_per_instance * static_cast<double>(counts[i]);
+  for (const std::size_t i : layout.by_group[g]) {
+    capacity += candidate_of(request, layout, i).capacity_per_instance *
+                static_cast<double>(counts[i]);
   }
   return capacity;
 }
@@ -101,13 +128,13 @@ void validate(const allocation_request& request) {
 
 allocation_plan allocate_ilp(const allocation_request& request) {
   validate(request);
-  const auto columns = flatten(request);
-  if (columns.empty()) {
+  const column_layout layout = flatten(request);
+  if (layout.columns.empty()) {
     throw std::invalid_argument{"allocate_ilp: no candidates at all"};
   }
 
   ilp::problem model;
-  for (const auto& col : columns) {
+  for (const auto& col : layout.columns) {
     const auto& cand = request.candidates_per_group[col.group][col.candidate];
     model.add_integer_variable(
         cand.cost_per_hour, 0.0,
@@ -122,21 +149,17 @@ allocation_plan allocate_ilp(const allocation_request& request) {
     if (request.cumulative_capacity) {
       // Faster groups may absorb this group's demand: sum capacity and
       // workload over groups >= g.
-      for (std::size_t i = 0; i < columns.size(); ++i) {
-        if (columns[i].group < g) continue;
-        const auto& cand =
-            request.candidates_per_group[columns[i].group][columns[i].candidate];
-        terms.push_back({i, cand.capacity_per_instance});
-      }
       for (group_id h = g; h < group_count; ++h) {
+        for (const std::size_t i : layout.by_group[h]) {
+          terms.push_back(
+              {i, candidate_of(request, layout, i).capacity_per_instance});
+        }
         demand += request.workload_per_group[h];
       }
     } else {
-      for (std::size_t i = 0; i < columns.size(); ++i) {
-        if (columns[i].group != g) continue;
-        const auto& cand =
-            request.candidates_per_group[g][columns[i].candidate];
-        terms.push_back({i, cand.capacity_per_instance});
+      for (const std::size_t i : layout.by_group[g]) {
+        terms.push_back(
+            {i, candidate_of(request, layout, i).capacity_per_instance});
       }
       demand = request.workload_per_group[g];
     }
@@ -156,7 +179,8 @@ allocation_plan allocate_ilp(const allocation_request& request) {
 
   {
     std::vector<ilp::linear_term> cap_terms;
-    for (std::size_t i = 0; i < columns.size(); ++i) {
+    cap_terms.reserve(layout.columns.size());
+    for (std::size_t i = 0; i < layout.columns.size(); ++i) {
       cap_terms.push_back({i, 1.0});
     }
     model.add_constraint(std::move(cap_terms), ilp::relation::less_equal,
@@ -171,11 +195,11 @@ allocation_plan allocate_ilp(const allocation_request& request) {
     return plan;
   }
 
-  std::vector<std::size_t> counts(columns.size(), 0);
-  for (std::size_t i = 0; i < columns.size(); ++i) {
+  std::vector<std::size_t> counts(layout.columns.size(), 0);
+  for (std::size_t i = 0; i < layout.columns.size(); ++i) {
     counts[i] = static_cast<std::size_t>(std::llround(solved.values[i]));
   }
-  allocation_plan plan = plan_from_counts(request, columns, counts);
+  allocation_plan plan = plan_from_counts(request, layout, counts);
   plan.feasible = true;
   plan.status = ilp::solve_status::optimal;
   return plan;
@@ -183,8 +207,8 @@ allocation_plan allocate_ilp(const allocation_request& request) {
 
 allocation_plan allocate_greedy(const allocation_request& request) {
   validate(request);
-  const auto columns = flatten(request);
-  std::vector<std::size_t> counts(columns.size(), 0);
+  const column_layout layout = flatten(request);
+  std::vector<std::size_t> counts(layout.columns.size(), 0);
   std::size_t budget = request.max_total_instances;
   bool feasible = true;
 
@@ -193,38 +217,27 @@ allocation_plan allocate_greedy(const allocation_request& request) {
     const double demand =
         request.workload_per_group[g] + request.capacity_margin;
     double covered = 0.0;
-    // Candidate order: best capacity-per-dollar first (free capacity counts
-    // as infinitely good).
-    std::vector<std::size_t> group_columns;
-    for (std::size_t i = 0; i < columns.size(); ++i) {
-      if (columns[i].group == g) group_columns.push_back(i);
-    }
+    // Candidate order: best capacity-per-dollar first.
+    std::vector<std::size_t> group_columns = layout.by_group[g];
     std::sort(group_columns.begin(), group_columns.end(),
               [&](std::size_t a, std::size_t b) {
-                const auto& ca =
-                    request.candidates_per_group[g][columns[a].candidate];
-                const auto& cb =
-                    request.candidates_per_group[g][columns[b].candidate];
-                const double va = ca.cost_per_hour <= 0.0
-                                      ? 1e18
-                                      : ca.capacity_per_instance / ca.cost_per_hour;
-                const double vb = cb.cost_per_hour <= 0.0
-                                      ? 1e18
-                                      : cb.capacity_per_instance / cb.cost_per_hour;
-                return va > vb;
+                return value_density(candidate_of(request, layout, a)) >
+                       value_density(candidate_of(request, layout, b));
               });
     for (const std::size_t i : group_columns) {
-      const auto& cand = request.candidates_per_group[g][columns[i].candidate];
+      const auto& cand = candidate_of(request, layout, i);
       while (covered < demand && budget > 0) {
         ++counts[i];
         --budget;
         covered += cand.capacity_per_instance;
       }
-      if (covered >= demand) break;
+      // Stop scanning once the demand is met or the account cap is spent;
+      // with no budget left the remaining candidates cannot contribute.
+      if (covered >= demand || budget == 0) break;
     }
     if (covered < demand) feasible = false;
   }
-  allocation_plan plan = plan_from_counts(request, columns, counts);
+  allocation_plan plan = plan_from_counts(request, layout, counts);
   plan.feasible = feasible;
   plan.best_effort = !feasible;
   plan.status =
@@ -244,14 +257,28 @@ allocation_plan allocate_static_peak(const allocation_request& request,
 
 allocation_plan allocate_best_effort(const allocation_request& request) {
   validate(request);
-  const auto columns = flatten(request);
-  std::vector<std::size_t> counts(columns.size(), 0);
+  const column_layout layout = flatten(request);
+  std::vector<std::size_t> counts(layout.columns.size(), 0);
   std::size_t budget = request.max_total_instances;
+
+  // Each group's best capacity-per-dollar candidate never changes, so
+  // resolve it once instead of rescanning every purchase iteration.
+  const std::size_t group_count = request.workload_per_group.size();
+  std::vector<std::size_t> best_column(group_count, layout.columns.size());
+  for (group_id g = 0; g < group_count; ++g) {
+    double best_value = -1.0;
+    for (const std::size_t i : layout.by_group[g]) {
+      const double value = value_density(candidate_of(request, layout, i));
+      if (value > best_value) {
+        best_value = value;
+        best_column[g] = i;
+      }
+    }
+  }
 
   // Round-robin over groups by remaining uncovered demand, always buying
   // the group's best capacity-per-dollar candidate, until the cap is spent
   // or everything is covered.
-  const std::size_t group_count = request.workload_per_group.size();
   std::vector<double> covered(group_count, 0.0);
   while (budget > 0) {
     group_id worst = group_count;
@@ -259,40 +286,22 @@ allocation_plan allocate_best_effort(const allocation_request& request) {
     for (group_id g = 0; g < group_count; ++g) {
       const double gap =
           request.workload_per_group[g] + request.capacity_margin - covered[g];
-      if (gap > worst_gap && !request.candidates_per_group[g].empty()) {
+      if (gap > worst_gap && best_column[g] < layout.columns.size()) {
         worst_gap = gap;
         worst = g;
       }
     }
     if (worst == group_count) break;  // all demand covered
-    // Best capacity-per-dollar candidate of the neediest group.
-    std::size_t best_column = columns.size();
-    double best_value = -1.0;
-    for (std::size_t i = 0; i < columns.size(); ++i) {
-      if (columns[i].group != worst) continue;
-      const auto& cand =
-          request.candidates_per_group[worst][columns[i].candidate];
-      const double value =
-          cand.cost_per_hour <= 0.0
-              ? 1e18
-              : cand.capacity_per_instance / cand.cost_per_hour;
-      if (value > best_value) {
-        best_value = value;
-        best_column = i;
-      }
-    }
-    if (best_column == columns.size()) break;
-    ++counts[best_column];
+    const std::size_t buy = best_column[worst];
+    ++counts[buy];
     --budget;
-    covered[worst] +=
-        request.candidates_per_group[worst][columns[best_column].candidate]
-            .capacity_per_instance;
+    covered[worst] += candidate_of(request, layout, buy).capacity_per_instance;
   }
 
-  allocation_plan plan = plan_from_counts(request, columns, counts);
+  allocation_plan plan = plan_from_counts(request, layout, counts);
   plan.feasible = true;
   for (group_id g = 0; g < group_count; ++g) {
-    if (group_capacity(request, columns, counts, g) <
+    if (group_capacity(request, layout, counts, g) <
         request.workload_per_group[g] + request.capacity_margin) {
       plan.feasible = false;
     }

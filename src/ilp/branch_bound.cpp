@@ -6,12 +6,19 @@
 #include <utility>
 #include <vector>
 
+#include "ilp/tableau.h"
+
 namespace mca::ilp {
 namespace {
 
-struct node {
-  // Box-bound overrides accumulated along this branch.
-  std::vector<std::pair<std::size_t, std::pair<double, double>>> bounds;
+/// One unexplored branch: the parent's optimal tableau plus the single
+/// bound tightening that defines the child.  The child re-optimizes with
+/// the dual simplex from the parent basis instead of rebuilding.
+struct search_node {
+  dense_tableau state;
+  std::size_t var = 0;
+  double bound = 0.0;
+  bool raise_lower = false;  // true: lower := bound, false: upper := bound
 };
 
 /// Index of the integer variable whose relaxation value is farthest from
@@ -42,57 +49,33 @@ solution solve_ilp(const problem& p, const ilp_options& opts) {
   incumbent.status = solve_status::infeasible;
   incumbent.objective = std::numeric_limits<double>::infinity();
 
-  std::vector<node> stack;
-  stack.push_back({});
+  std::vector<search_node> stack;
   std::size_t explored = 0;
   bool root_unbounded = false;
   bool budget_exhausted = false;
 
-  problem scratch = p;
-  while (!stack.empty()) {
-    if (explored >= opts.max_nodes) {
-      budget_exhausted = true;
-      break;
-    }
-    ++explored;
-    const node current = std::move(stack.back());
-    stack.pop_back();
-
-    // Apply this node's bounds on a fresh copy of the base problem.
-    scratch = p;
-    bool empty_box = false;
-    for (const auto& [var, box] : current.bounds) {
-      if (box.first > box.second) {
-        empty_box = true;
-        break;
-      }
-      // Intersect with existing bounds.
-      const auto& v = scratch.variable(var);
-      const double lo = std::max(v.lower, box.first);
-      const double hi = std::min(v.upper, box.second);
-      if (lo > hi) {
-        empty_box = true;
-        break;
-      }
-      scratch.set_bounds(var, lo, hi);
-    }
-    if (empty_box) continue;
-
-    const solution relaxed = solve_lp(scratch, opts.lp);
-    if (relaxed.status == solve_status::unbounded) {
+  // Examines a solved node: prune, accept as incumbent, or branch by
+  // pushing two children that inherit this tableau (one by copy, the
+  // nearer-to-the-relaxation one by move so it is explored first).
+  const auto consider = [&](dense_tableau&& t, solve_status status,
+                            bool at_root) {
+    if (status == solve_status::unbounded) {
       // An unbounded relaxation at the root means the MIP is unbounded or
       // infeasible; report unbounded (callers here always bound variables).
-      if (current.bounds.empty()) root_unbounded = true;
-      continue;
+      if (at_root) root_unbounded = true;
+      return;
     }
-    if (relaxed.status != solve_status::optimal) continue;
-    if (relaxed.objective >= incumbent.objective - 1e-9) continue;  // bound
+    if (status != solve_status::optimal) return;
+
+    solution relaxed;
+    t.extract(relaxed);
+    if (relaxed.objective >= incumbent.objective - 1e-9) return;  // bound
 
     const auto branch_var =
         most_fractional(p, relaxed.values, opts.integrality_tolerance);
     if (!branch_var) {
       // Integral within tolerance: round and accept as incumbent.
-      solution candidate = relaxed;
+      solution candidate = std::move(relaxed);
       for (std::size_t j = 0; j < p.variable_count(); ++j) {
         if (p.variable(j).is_integer) {
           candidate.values[j] = std::round(candidate.values[j]);
@@ -101,36 +84,70 @@ solution solve_ilp(const problem& p, const ilp_options& opts) {
       candidate.objective = p.objective_value(candidate.values);
       if (p.is_feasible(candidate.values) &&
           candidate.objective < incumbent.objective) {
-        incumbent = candidate;
+        incumbent = std::move(candidate);
         incumbent.status = solve_status::optimal;
       }
-      continue;
+      return;
     }
 
     const std::size_t j = *branch_var;
     const double value = relaxed.values[j];
-    constexpr double kInf = std::numeric_limits<double>::infinity();
-
-    node down = current;
-    down.bounds.emplace_back(j, std::make_pair(-kInf, std::floor(value)));
-    node up = current;
-    up.bounds.emplace_back(j, std::make_pair(std::ceil(value), kInf));
+    const double down_bound = std::floor(value);
+    const double up_bound = std::ceil(value);
+    const bool down_feasible = down_bound >= t.lower(j) - 1e-12;
+    const bool up_feasible = up_bound <= t.upper(j) + 1e-12;
     // Explore the branch nearer the relaxation first (DFS: push it last).
-    if (value - std::floor(value) < 0.5) {
-      stack.push_back(std::move(up));
-      stack.push_back(std::move(down));
-    } else {
-      stack.push_back(std::move(down));
-      stack.push_back(std::move(up));
+    const bool down_first = value - down_bound < 0.5;
+    const bool push_both = down_feasible && up_feasible;
+    if (push_both) {
+      // The farther branch gets the copy; the nearer one steals the state.
+      if (down_first) {
+        stack.push_back({t, j, up_bound, true});
+        stack.push_back({std::move(t), j, down_bound, false});
+      } else {
+        stack.push_back({t, j, down_bound, false});
+        stack.push_back({std::move(t), j, up_bound, true});
+      }
+    } else if (down_feasible) {
+      stack.push_back({std::move(t), j, down_bound, false});
+    } else if (up_feasible) {
+      stack.push_back({std::move(t), j, up_bound, true});
     }
+  };
+
+  // Root relaxation: full primal solve.
+  if (opts.max_nodes == 0) {
+    budget_exhausted = true;
+  } else {
+    ++explored;
+    dense_tableau root{p, opts.lp.tolerance};
+    const solve_status status = root.solve(opts.lp);
+    consider(std::move(root), status, /*at_root=*/true);
   }
 
-  if (budget_exhausted && incumbent.status != solve_status::optimal) {
-    incumbent.status = solve_status::iteration_limit;
-    return incumbent;
+  while (!stack.empty()) {
+    if (explored >= opts.max_nodes) {
+      budget_exhausted = true;
+      break;
+    }
+    ++explored;
+    search_node node = std::move(stack.back());
+    stack.pop_back();
+
+    if (node.raise_lower) {
+      node.state.tighten_lower(node.var, node.bound);
+    } else {
+      node.state.tighten_upper(node.var, node.bound);
+    }
+    // Dual-simplex warm start from the parent basis; falls back to a full
+    // rebuild internally when the tightening could not be applied in place.
+    const solve_status status = node.state.resolve(opts.lp);
+    consider(std::move(node.state), status, /*at_root=*/false);
   }
+
+  incumbent.iterations = explored;
   if (budget_exhausted) {
-    // Return the incumbent but flag that optimality was not proven.
+    // Return the incumbent (if any) but flag that optimality was not proven.
     incumbent.status = solve_status::iteration_limit;
     return incumbent;
   }

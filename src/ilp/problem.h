@@ -110,6 +110,9 @@ struct solution {
   solve_status status = solve_status::infeasible;
   double objective = 0.0;
   std::vector<double> values;
+  /// Solver effort: simplex pivots for solve_lp, branch-and-bound nodes
+  /// explored for solve_ilp.
+  std::size_t iterations = 0;
 };
 
 }  // namespace mca::ilp

@@ -1,303 +1,21 @@
 #include "ilp/simplex.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
 #include <stdexcept>
-#include <vector>
+
+#include "ilp/tableau.h"
 
 namespace mca::ilp {
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Dense tableau in equality form: rows_ x (num_cols_ structural+slack+
-/// artificial columns), rhs kept separately, with an explicit basis.
-class tableau {
- public:
-  tableau(const problem& p, double tol) : tol_{tol} { build(p); }
-
-  solution run(const problem& p, const simplex_options& opts);
-
- private:
-  struct row_form {
-    std::vector<double> coeffs;  // over shifted structural variables
-    relation rel;
-    double rhs;
-  };
-
-  void build(const problem& p);
-  bool pivot_until_optimal(std::vector<double>& cost, double& objective,
-                           std::size_t max_iters, std::size_t& used);
-  void pivot(std::size_t row, std::size_t col);
-  void price_out_basis(std::vector<double>& cost, double& objective) const;
-
-  double tol_;
-  std::size_t num_structural_ = 0;  // shifted structural variables
-  std::size_t num_cols_ = 0;        // + slack/surplus + artificial
-  std::size_t first_artificial_ = 0;
-  std::vector<std::vector<double>> rows_;
-  std::vector<double> rhs_;
-  std::vector<std::size_t> basis_;
-  std::vector<double> shift_;       // lower bound of each structural variable
-  double shift_cost_ = 0.0;         // objective constant from the shift
-  std::size_t iterations_ = 0;
-};
-
-void tableau::build(const problem& p) {
-  const std::size_t n = p.variable_count();
-  num_structural_ = n;
-  shift_.resize(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    const auto& v = p.variable(j);
-    if (!std::isfinite(v.lower)) {
-      // Free variables are not needed by any caller in this library; keeping
-      // the tableau non-negative-only keeps phase 1 simple.
-      throw std::invalid_argument{"solve_lp: variable lower bound must be finite"};
-    }
-    shift_[j] = v.lower;
-    shift_cost_ += v.cost * v.lower;
-  }
-
-  // Collect rows: user constraints with rhs adjusted by the shift, then one
-  // row per finite upper bound (y_j <= upper - lower).
-  std::vector<row_form> forms;
-  forms.reserve(p.constraint_count() + n);
-  for (std::size_t i = 0; i < p.constraint_count(); ++i) {
-    const auto& c = p.constraint(i);
-    row_form f;
-    f.coeffs.assign(n, 0.0);
-    f.rhs = c.rhs;
-    f.rel = c.rel;
-    for (const auto& t : c.terms) {
-      f.coeffs[t.var] += t.coeff;
-      f.rhs -= t.coeff * shift_[t.var];
-    }
-    forms.push_back(std::move(f));
-  }
-  for (std::size_t j = 0; j < n; ++j) {
-    const auto& v = p.variable(j);
-    if (!std::isfinite(v.upper)) continue;
-    row_form f;
-    f.coeffs.assign(n, 0.0);
-    f.coeffs[j] = 1.0;
-    f.rel = relation::less_equal;
-    f.rhs = v.upper - v.lower;
-    forms.push_back(std::move(f));
-  }
-
-  // Normalize rhs >= 0.
-  for (auto& f : forms) {
-    if (f.rhs < 0) {
-      for (auto& c : f.coeffs) c = -c;
-      f.rhs = -f.rhs;
-      if (f.rel == relation::less_equal) {
-        f.rel = relation::greater_equal;
-      } else if (f.rel == relation::greater_equal) {
-        f.rel = relation::less_equal;
-      }
-    }
-  }
-
-  // Count auxiliary columns: slack (<=), surplus+artificial (>=),
-  // artificial (=).
-  std::size_t slack = 0;
-  std::size_t artificial = 0;
-  for (const auto& f : forms) {
-    switch (f.rel) {
-      case relation::less_equal: ++slack; break;
-      case relation::greater_equal: ++slack; ++artificial; break;
-      case relation::equal: ++artificial; break;
-    }
-  }
-  first_artificial_ = n + slack;
-  num_cols_ = first_artificial_ + artificial;
-
-  rows_.assign(forms.size(), std::vector<double>(num_cols_, 0.0));
-  rhs_.resize(forms.size());
-  basis_.resize(forms.size());
-
-  std::size_t next_slack = n;
-  std::size_t next_artificial = first_artificial_;
-  for (std::size_t i = 0; i < forms.size(); ++i) {
-    const auto& f = forms[i];
-    std::copy(f.coeffs.begin(), f.coeffs.end(), rows_[i].begin());
-    rhs_[i] = f.rhs;
-    switch (f.rel) {
-      case relation::less_equal:
-        rows_[i][next_slack] = 1.0;
-        basis_[i] = next_slack++;
-        break;
-      case relation::greater_equal:
-        rows_[i][next_slack++] = -1.0;
-        rows_[i][next_artificial] = 1.0;
-        basis_[i] = next_artificial++;
-        break;
-      case relation::equal:
-        rows_[i][next_artificial] = 1.0;
-        basis_[i] = next_artificial++;
-        break;
-    }
-  }
-}
-
-void tableau::pivot(std::size_t prow, std::size_t pcol) {
-  auto& pivot_row = rows_[prow];
-  const double pv = pivot_row[pcol];
-  for (auto& c : pivot_row) c /= pv;
-  rhs_[prow] /= pv;
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    if (i == prow) continue;
-    const double factor = rows_[i][pcol];
-    if (std::abs(factor) < tol_) continue;
-    for (std::size_t j = 0; j < num_cols_; ++j) {
-      rows_[i][j] -= factor * pivot_row[j];
-    }
-    rhs_[i] -= factor * rhs_[prow];
-  }
-  basis_[prow] = pcol;
-}
-
-void tableau::price_out_basis(std::vector<double>& cost,
-                              double& objective) const {
-  // Reduce the cost row so basic columns have zero reduced cost.
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    const double factor = cost[basis_[i]];
-    if (std::abs(factor) < tol_) continue;
-    for (std::size_t j = 0; j < num_cols_; ++j) {
-      cost[j] -= factor * rows_[i][j];
-    }
-    objective -= factor * rhs_[i];
-  }
-}
-
-bool tableau::pivot_until_optimal(std::vector<double>& cost, double& objective,
-                                  std::size_t max_iters, std::size_t& used) {
-  // Bland's rule: entering = lowest-index column with negative reduced cost;
-  // leaving = lowest-index basic variable among min-ratio rows.  Guarantees
-  // termination.  Returns false on unboundedness.
-  while (used < max_iters) {
-    std::size_t entering = num_cols_;
-    for (std::size_t j = 0; j < num_cols_; ++j) {
-      if (cost[j] < -tol_) {
-        entering = j;
-        break;
-      }
-    }
-    if (entering == num_cols_) return true;  // optimal
-
-    std::size_t leaving = rows_.size();
-    double best_ratio = kInf;
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const double a = rows_[i][entering];
-      if (a <= tol_) continue;
-      const double ratio = rhs_[i] / a;
-      if (ratio < best_ratio - tol_ ||
-          (ratio < best_ratio + tol_ &&
-           (leaving == rows_.size() || basis_[i] < basis_[leaving]))) {
-        best_ratio = ratio;
-        leaving = i;
-      }
-    }
-    if (leaving == rows_.size()) return false;  // unbounded
-
-    const double factor = cost[entering];
-    pivot(leaving, entering);
-    // Update the cost row with the new pivot row.
-    for (std::size_t j = 0; j < num_cols_; ++j) {
-      cost[j] -= factor * rows_[leaving][j];
-    }
-    objective -= factor * rhs_[leaving];
-    ++used;
-  }
-  return true;  // hit iteration budget; caller checks `used`
-}
-
-solution tableau::run(const problem& p, const simplex_options& opts) {
-  solution result;
-  std::size_t used = 0;
-
-  // Phase 1: minimize the sum of artificial variables.
-  if (first_artificial_ < num_cols_) {
-    std::vector<double> cost(num_cols_, 0.0);
-    for (std::size_t j = first_artificial_; j < num_cols_; ++j) cost[j] = 1.0;
-    double phase1_obj = 0.0;
-    price_out_basis(cost, phase1_obj);
-    if (!pivot_until_optimal(cost, phase1_obj, opts.max_iterations, used)) {
-      // Phase-1 objective is bounded below by 0; unboundedness is a bug.
-      result.status = solve_status::iteration_limit;
-      return result;
-    }
-    if (used >= opts.max_iterations) {
-      result.status = solve_status::iteration_limit;
-      return result;
-    }
-    if (-phase1_obj > 1e-7) {  // objective row tracks -value
-      result.status = solve_status::infeasible;
-      return result;
-    }
-    // Drive any artificial still in the basis (at zero level) out.
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      if (basis_[i] < first_artificial_) continue;
-      std::size_t replacement = first_artificial_;
-      for (std::size_t j = 0; j < first_artificial_; ++j) {
-        if (std::abs(rows_[i][j]) > tol_) {
-          replacement = j;
-          break;
-        }
-      }
-      if (replacement < first_artificial_) {
-        pivot(i, replacement);
-      }
-      // If the whole row is zero over real columns the row is redundant;
-      // the artificial stays basic at level zero, which is harmless.
-    }
-  }
-
-  // Phase 2: original objective over structural columns.
-  std::vector<double> cost(num_cols_, 0.0);
-  for (std::size_t j = 0; j < num_structural_; ++j) cost[j] = p.variable(j).cost;
-  // Forbid artificials from re-entering.
-  for (std::size_t j = first_artificial_; j < num_cols_; ++j) cost[j] = kInf;
-  double objective = 0.0;
-  price_out_basis(cost, objective);
-  // price_out_basis may have produced inf-inf on artificial columns; they
-  // are never eligible to enter, so clamp any NaN to +inf.
-  for (std::size_t j = first_artificial_; j < num_cols_; ++j) {
-    if (std::isnan(cost[j])) cost[j] = kInf;
-    cost[j] = std::max(cost[j], 0.0);
-  }
-  if (!pivot_until_optimal(cost, objective, opts.max_iterations, used)) {
-    result.status = solve_status::unbounded;
-    return result;
-  }
-  if (used >= opts.max_iterations) {
-    result.status = solve_status::iteration_limit;
-    return result;
-  }
-
-  result.status = solve_status::optimal;
-  result.values.assign(p.variable_count(), 0.0);
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    if (basis_[i] < num_structural_) {
-      result.values[basis_[i]] = rhs_[i];
-    }
-  }
-  for (std::size_t j = 0; j < p.variable_count(); ++j) {
-    result.values[j] += shift_[j];
-  }
-  result.objective = p.objective_value(result.values);
-  return result;
-}
-
-}  // namespace
 
 solution solve_lp(const problem& p, const simplex_options& opts) {
   if (p.variable_count() == 0) {
     throw std::invalid_argument{"solve_lp: problem has no variables"};
   }
-  tableau t{p, opts.tolerance};
-  return t.run(p, opts);
+  dense_tableau t{p, opts.tolerance};
+  solution result;
+  result.status = t.solve(opts);
+  if (result.status == solve_status::optimal) t.extract(result);
+  result.iterations = t.pivots();
+  return result;
 }
 
 }  // namespace mca::ilp

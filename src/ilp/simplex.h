@@ -1,27 +1,22 @@
 // Two-phase dense simplex for the LP relaxations used by branch & bound.
 //
-// The allocation problems here are tiny (a handful of instance types and
-// groups), so a dense tableau with Bland's anti-cycling rule is both simple
-// and robust.  Variable boxes are handled by shifting to the lower bound and
-// materializing finite upper bounds as rows.
+// The tableau lives in ilp/tableau.h: one contiguous row-major buffer with
+// candidate-list Dantzig pricing (Bland's rule as the anti-cycling
+// fallback) and dual-simplex warm starts for branch & bound.  Variable
+// boxes are handled by shifting to the lower bound and materializing
+// finite upper bounds as rows.
 #pragma once
 
 #include "ilp/problem.h"
+#include "ilp/tableau.h"
 
 namespace mca::ilp {
-
-/// Simplex tuning knobs.
-struct simplex_options {
-  /// Hard cap on pivots across both phases.
-  std::size_t max_iterations = 10'000;
-  /// Feasibility / optimality tolerance.
-  double tolerance = 1e-9;
-};
 
 /// Solves the continuous relaxation of `p` (integrality ignored).
 ///
 /// Returns status `optimal` with the minimizing assignment, `infeasible`,
-/// `unbounded`, or `iteration_limit`.
+/// `unbounded`, or `iteration_limit`.  `solution::iterations` reports the
+/// simplex pivots spent.
 solution solve_lp(const problem& p, const simplex_options& opts = {});
 
 }  // namespace mca::ilp

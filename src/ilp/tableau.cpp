@@ -1,0 +1,402 @@
+#include "ilp/tableau.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mca::ilp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Candidate-list size for Dantzig pricing: big enough that a refresh scan
+/// amortizes over many pivots, small enough to stay in cache.
+constexpr std::size_t kCandidateMax = 32;
+/// Consecutive degenerate pivots before falling back to Bland's rule.
+constexpr std::size_t kBlandAfter = 64;
+/// Primal feasibility threshold for the dual simplex / phase-1 check.
+constexpr double kFeasTol = 1e-7;
+
+}  // namespace
+
+dense_tableau::dense_tableau(const problem& p, double tol)
+    : problem_{&p}, tol_{tol} {
+  const std::size_t n = p.variable_count();
+  num_structural_ = n;
+  shift_.resize(n);
+  upper_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& v = p.variable(j);
+    if (!std::isfinite(v.lower)) {
+      // Free variables are not needed by any caller in this library; keeping
+      // the tableau non-negative-only keeps phase 1 simple.
+      throw std::invalid_argument{
+          "solve_lp: variable lower bound must be finite"};
+    }
+    shift_[j] = v.lower;
+    upper_[j] = v.upper;
+  }
+}
+
+void dense_tableau::build() {
+  const problem& p = *problem_;
+  const std::size_t n = num_structural_;
+
+  std::size_t bound_rows = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (std::isfinite(upper_[j])) ++bound_rows;
+  }
+  const std::size_t constraint_rows = p.constraint_count();
+  num_rows_ = constraint_rows + bound_rows;
+
+  // Shift-adjusted rhs and normalized (rhs >= 0) sense per constraint row.
+  std::vector<double> adj_rhs(constraint_rows);
+  std::vector<relation> adj_rel(constraint_rows);
+  std::vector<char> flipped(constraint_rows, 0);
+  std::size_t slack = bound_rows;  // every bound row is <= with a slack
+  std::size_t artificial = 0;
+  for (std::size_t i = 0; i < constraint_rows; ++i) {
+    const auto& c = p.constraint(i);
+    double r = c.rhs;
+    for (const auto& t : c.terms) r -= t.coeff * shift_[t.var];
+    relation rel = c.rel;
+    if (r < 0) {
+      r = -r;
+      flipped[i] = 1;
+      if (rel == relation::less_equal) {
+        rel = relation::greater_equal;
+      } else if (rel == relation::greater_equal) {
+        rel = relation::less_equal;
+      }
+    }
+    adj_rhs[i] = r;
+    adj_rel[i] = rel;
+    switch (rel) {
+      case relation::less_equal: ++slack; break;
+      case relation::greater_equal: ++slack; ++artificial; break;
+      case relation::equal: ++artificial; break;
+    }
+  }
+
+  first_artificial_ = n + slack;
+  num_cols_ = first_artificial_ + artificial;
+  stride_ = num_cols_;
+
+  tab_.assign(num_rows_ * stride_, 0.0);
+  rhs_.assign(num_rows_, 0.0);
+  basis_.assign(num_rows_, 0);
+  upper_row_.assign(n, npos);
+  upper_slack_.assign(n, npos);
+
+  std::size_t next_slack = n;
+  std::size_t next_artificial = first_artificial_;
+  for (std::size_t i = 0; i < constraint_rows; ++i) {
+    const auto& c = p.constraint(i);
+    double* row = row_ptr(i);
+    const double sign = flipped[i] ? -1.0 : 1.0;
+    for (const auto& t : c.terms) row[t.var] += sign * t.coeff;
+    rhs_[i] = adj_rhs[i];
+    switch (adj_rel[i]) {
+      case relation::less_equal:
+        row[next_slack] = 1.0;
+        basis_[i] = next_slack++;
+        break;
+      case relation::greater_equal:
+        row[next_slack++] = -1.0;
+        row[next_artificial] = 1.0;
+        basis_[i] = next_artificial++;
+        break;
+      case relation::equal:
+        row[next_artificial] = 1.0;
+        basis_[i] = next_artificial++;
+        break;
+    }
+  }
+  std::size_t r = constraint_rows;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!std::isfinite(upper_[j])) continue;
+    double* row = row_ptr(r);
+    row[j] = 1.0;
+    rhs_[r] = upper_[j] - shift_[j];
+    row[next_slack] = 1.0;
+    basis_[r] = next_slack;
+    upper_row_[j] = r;
+    upper_slack_[j] = next_slack;
+    ++next_slack;
+    ++r;
+  }
+
+  candidates_.clear();
+  price_cursor_ = 0;
+  degenerate_streak_ = 0;
+  built_ = true;
+  needs_rebuild_ = false;
+  dual_ready_ = false;
+}
+
+void dense_tableau::pivot(std::size_t prow_idx, std::size_t pcol) {
+  double* prow = row_ptr(prow_idx);
+  const double inv = 1.0 / prow[pcol];
+  for (std::size_t j = 0; j < num_cols_; ++j) prow[j] *= inv;
+  prow[pcol] = 1.0;
+  rhs_[prow_idx] *= inv;
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    if (i == prow_idx) continue;
+    double* row = row_ptr(i);
+    const double factor = row[pcol];
+    if (std::abs(factor) < tol_) {
+      row[pcol] = 0.0;
+      continue;
+    }
+    for (std::size_t j = 0; j < num_cols_; ++j) row[j] -= factor * prow[j];
+    row[pcol] = 0.0;
+    rhs_[i] -= factor * rhs_[prow_idx];
+  }
+  basis_[prow_idx] = pcol;
+}
+
+void dense_tableau::price_out_basis() {
+  // Reduce the cost row so basic columns have zero reduced cost.
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const double factor = cost_[basis_[i]];
+    if (std::abs(factor) < tol_) continue;
+    const double* row = row_ptr(i);
+    for (std::size_t j = 0; j < num_cols_; ++j) cost_[j] -= factor * row[j];
+  }
+}
+
+std::size_t dense_tableau::choose_entering(std::size_t limit) {
+  if (degenerate_streak_ > kBlandAfter) {
+    // Bland's rule: lowest-index improving column (with the lowest-index
+    // tie-break in choose_leaving this guarantees termination).
+    for (std::size_t j = 0; j < limit; ++j) {
+      if (cost_[j] < -tol_) return j;
+    }
+    return npos;
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    // Dantzig over the candidate list, pruning stale entries in place.
+    std::size_t best = npos;
+    double best_cost = -tol_;
+    std::size_t keep = 0;
+    for (std::size_t idx = 0; idx < candidates_.size(); ++idx) {
+      const std::size_t j = candidates_[idx];
+      if (j >= limit || cost_[j] >= -tol_) continue;
+      candidates_[keep++] = j;
+      if (cost_[j] < best_cost) {
+        best_cost = cost_[j];
+        best = j;
+      }
+    }
+    candidates_.resize(keep);
+    if (best != npos) return best;
+    if (pass == 1 || limit == 0) break;
+    // Refill from a rotating cursor so no column region starves.
+    if (price_cursor_ >= limit) price_cursor_ = 0;
+    std::size_t j = price_cursor_;
+    for (std::size_t scanned = 0; scanned < limit; ++scanned) {
+      if (cost_[j] < -tol_) {
+        candidates_.push_back(j);
+        if (candidates_.size() >= kCandidateMax) {
+          price_cursor_ = j + 1 == limit ? 0 : j + 1;
+          break;
+        }
+      }
+      ++j;
+      if (j == limit) j = 0;
+    }
+    if (candidates_.empty()) break;
+  }
+  return npos;
+}
+
+std::size_t dense_tableau::choose_leaving(std::size_t entering) const {
+  std::size_t leaving = npos;
+  double best_ratio = kInf;
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const double a = at(i, entering);
+    if (a <= tol_) continue;
+    const double ratio = rhs_[i] / a;
+    if (ratio < best_ratio - tol_ ||
+        (ratio < best_ratio + tol_ &&
+         (leaving == npos || basis_[i] < basis_[leaving]))) {
+      best_ratio = ratio;
+      leaving = i;
+    }
+  }
+  return leaving;
+}
+
+solve_status dense_tableau::primal(std::size_t limit, std::size_t max_iters,
+                                   std::size_t& used) {
+  while (used < max_iters) {
+    const std::size_t entering = choose_entering(limit);
+    if (entering == npos) return solve_status::optimal;
+    const std::size_t leaving = choose_leaving(entering);
+    if (leaving == npos) return solve_status::unbounded;
+    if (rhs_[leaving] <= tol_) {
+      ++degenerate_streak_;
+    } else {
+      degenerate_streak_ = 0;
+    }
+    const double factor = cost_[entering];
+    pivot(leaving, entering);
+    const double* prow = row_ptr(leaving);
+    for (std::size_t j = 0; j < num_cols_; ++j) cost_[j] -= factor * prow[j];
+    ++used;
+    ++pivots_;
+  }
+  return solve_status::iteration_limit;
+}
+
+solve_status dense_tableau::solve(const simplex_options& opts) {
+  build();
+  std::size_t used = 0;
+
+  // Phase 1: minimize the sum of artificial variables.
+  if (first_artificial_ < num_cols_) {
+    cost_.assign(num_cols_, 0.0);
+    for (std::size_t j = first_artificial_; j < num_cols_; ++j) cost_[j] = 1.0;
+    price_out_basis();
+    const solve_status s = primal(num_cols_, opts.max_iterations, used);
+    if (s == solve_status::unbounded) {
+      // Phase-1 objective is bounded below by 0; unboundedness is a bug.
+      return solve_status::iteration_limit;
+    }
+    if (s == solve_status::iteration_limit || used >= opts.max_iterations) {
+      return solve_status::iteration_limit;
+    }
+    double infeasibility = 0.0;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (basis_[i] >= first_artificial_) infeasibility += rhs_[i];
+    }
+    if (infeasibility > kFeasTol) return solve_status::infeasible;
+    // Drive any artificial still in the basis (at zero level) out.
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (basis_[i] < first_artificial_) continue;
+      const double* row = row_ptr(i);
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (std::abs(row[j]) > tol_) {
+          pivot(i, j);
+          break;
+        }
+      }
+      // If the whole row is zero over real columns the row is redundant;
+      // the artificial stays basic at level zero, which is harmless.
+    }
+  }
+
+  // Phase 2: original objective.  Artificial columns are simply never
+  // eligible to enter (the pricing limit stops at first_artificial_), so no
+  // infinite-cost sentinel is needed.
+  cost_.assign(num_cols_, 0.0);
+  for (std::size_t j = 0; j < num_structural_; ++j) {
+    cost_[j] = problem_->variable(j).cost;
+  }
+  price_out_basis();
+  candidates_.clear();
+  degenerate_streak_ = 0;
+  const solve_status s = primal(first_artificial_, opts.max_iterations, used);
+  if (s == solve_status::optimal && used < opts.max_iterations) {
+    dual_ready_ = true;
+    return solve_status::optimal;
+  }
+  if (s == solve_status::unbounded) return solve_status::unbounded;
+  return solve_status::iteration_limit;
+}
+
+void dense_tableau::tighten_lower(std::size_t var, double lo) {
+  if (lo <= shift_[var]) return;
+  const double delta = lo - shift_[var];
+  shift_[var] = lo;
+  if (!built_ || needs_rebuild_) {
+    needs_rebuild_ = true;
+    return;
+  }
+  // Substituting y = x - lo' shifts the original rhs by -delta * A_j; in
+  // the current basis that is -delta times tableau column j.
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    rhs_[i] -= delta * at(i, var);
+  }
+}
+
+void dense_tableau::tighten_upper(std::size_t var, double hi) {
+  if (hi >= upper_[var]) return;
+  const double delta = upper_[var] - hi;
+  upper_[var] = hi;
+  if (!built_ || needs_rebuild_ || upper_row_[var] == npos) {
+    // The variable had no bound row at build time (infinite upper); the
+    // next resolve() rebuilds and materializes one.
+    needs_rebuild_ = true;
+    return;
+  }
+  // Only the bound row's original rhs changes; B^-1 applied to that unit
+  // change is exactly the tableau column of the row's slack.
+  const std::size_t s = upper_slack_[var];
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    rhs_[i] -= delta * at(i, s);
+  }
+}
+
+solve_status dense_tableau::dual(const simplex_options& opts) {
+  std::size_t used = 0;
+  while (used < opts.max_iterations) {
+    std::size_t leaving = npos;
+    double most_negative = -kFeasTol;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (rhs_[i] < most_negative) {
+        most_negative = rhs_[i];
+        leaving = i;
+      }
+    }
+    if (leaving == npos) return solve_status::optimal;  // primal feasible again
+
+    const double* lrow = row_ptr(leaving);
+    std::size_t entering = npos;
+    double best_ratio = kInf;
+    for (std::size_t j = 0; j < first_artificial_; ++j) {
+      const double a = lrow[j];
+      if (a >= -tol_) continue;
+      const double ratio = std::max(cost_[j], 0.0) / -a;
+      if (ratio < best_ratio - tol_ ||
+          (ratio < best_ratio + tol_ && (entering == npos || j < entering))) {
+        best_ratio = ratio;
+        entering = j;
+      }
+    }
+    if (entering == npos) return solve_status::infeasible;  // dual ray
+
+    const double factor = cost_[entering];
+    pivot(leaving, entering);
+    const double* prow = row_ptr(leaving);
+    for (std::size_t j = 0; j < num_cols_; ++j) cost_[j] -= factor * prow[j];
+    ++used;
+    ++pivots_;
+  }
+  return solve_status::iteration_limit;
+}
+
+solve_status dense_tableau::resolve(const simplex_options& opts) {
+  if (needs_rebuild_ || !dual_ready_) return solve(opts);
+  const solve_status s = dual(opts);
+  if (s == solve_status::iteration_limit) {
+    // Dual got stuck (degenerate cycling); a fresh primal solve from the
+    // recorded bounds is always a valid fallback.
+    return solve(opts);
+  }
+  return s;
+}
+
+void dense_tableau::extract(solution& out) const {
+  out.values.assign(num_structural_, 0.0);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    if (basis_[i] < num_structural_) out.values[basis_[i]] = rhs_[i];
+  }
+  for (std::size_t j = 0; j < num_structural_; ++j) {
+    out.values[j] += shift_[j];
+  }
+  out.objective = problem_->objective_value(out.values);
+  out.status = solve_status::optimal;
+}
+
+}  // namespace mca::ilp

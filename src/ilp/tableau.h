@@ -1,0 +1,115 @@
+// Dense simplex tableau with warm-start support.
+//
+// One contiguous row-major buffer (rows x stride) instead of a
+// vector-of-vectors: pivots stream through memory linearly and the whole
+// state is copyable with three memcpys, which is what lets branch & bound
+// snapshot a node cheaply.  Entering-variable selection is Dantzig pricing
+// over a small candidate list refreshed from a rotating cursor, with a
+// Bland-rule fallback when a degenerate streak suggests cycling.
+//
+// Child nodes of branch & bound do not rebuild: `tighten_lower` /
+// `tighten_upper` adjust the right-hand side in place (an O(rows) column
+// sweep) and `resolve` re-optimizes with the dual simplex from the parent
+// basis, falling back to a full primal rebuild only when the tightening
+// cannot be expressed in place (a variable gaining its first finite upper
+// bound) or the dual iteration budget runs out.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ilp/problem.h"
+
+namespace mca::ilp {
+
+/// Simplex tuning knobs.
+struct simplex_options {
+  /// Hard cap on pivots across both phases.
+  std::size_t max_iterations = 10'000;
+  /// Feasibility / optimality tolerance.
+  double tolerance = 1e-9;
+};
+
+class dense_tableau {
+ public:
+  /// Captures `p`'s bounds; does not build yet (solve() does).  `p` must
+  /// outlive the tableau (and any copies of it).
+  /// Throws std::invalid_argument on a variable with infinite lower bound.
+  dense_tableau(const problem& p, double tol);
+
+  /// Full two-phase primal solve from scratch (rebuilds the tableau from
+  /// the problem plus the currently recorded bounds).
+  solve_status solve(const simplex_options& opts);
+
+  /// Re-optimizes after tighten_* calls: dual simplex from the current
+  /// basis when possible, otherwise a fresh solve().  Must follow a
+  /// solve()/resolve() that returned `optimal`.
+  solve_status resolve(const simplex_options& opts);
+
+  /// Raises the lower bound of `var` (no-op if `lo` is not tighter).
+  void tighten_lower(std::size_t var, double lo);
+  /// Lowers the upper bound of `var` (no-op if `hi` is not tighter).
+  void tighten_upper(std::size_t var, double hi);
+
+  double lower(std::size_t var) const { return shift_[var]; }
+  double upper(std::size_t var) const { return upper_[var]; }
+
+  /// Writes the assignment and objective of the last optimal solve.
+  void extract(solution& out) const;
+
+  /// Pivots performed by this tableau (all solves, both phases).
+  std::size_t pivots() const noexcept { return pivots_; }
+
+ private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  double& at(std::size_t row, std::size_t col) {
+    return tab_[row * stride_ + col];
+  }
+  double at(std::size_t row, std::size_t col) const {
+    return tab_[row * stride_ + col];
+  }
+  double* row_ptr(std::size_t row) { return tab_.data() + row * stride_; }
+
+  void build();
+  void pivot(std::size_t row, std::size_t col);
+  void price_out_basis();
+  std::size_t choose_entering(std::size_t limit);
+  std::size_t choose_leaving(std::size_t entering) const;
+  solve_status primal(std::size_t limit, std::size_t max_iters,
+                      std::size_t& used);
+  solve_status dual(const simplex_options& opts);
+
+  const problem* problem_ = nullptr;
+  double tol_ = 1e-9;
+
+  // Current variable boxes (start as the problem's, tightened by branch &
+  // bound).  shift_ doubles as the lower bound and the substitution shift.
+  std::vector<double> shift_;
+  std::vector<double> upper_;
+
+  // Tableau proper.
+  std::size_t num_rows_ = 0;
+  std::size_t num_structural_ = 0;
+  std::size_t first_artificial_ = 0;
+  std::size_t num_cols_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<double> tab_;   // num_rows_ x stride_, row-major
+  std::vector<double> rhs_;
+  std::vector<double> cost_;  // reduced-cost row of the active objective
+  std::vector<std::size_t> basis_;
+  std::vector<std::size_t> upper_row_;    // bound row per variable (or npos)
+  std::vector<std::size_t> upper_slack_;  // that row's slack column
+
+  // Pricing state.
+  std::vector<std::size_t> candidates_;
+  std::size_t price_cursor_ = 0;
+  std::size_t degenerate_streak_ = 0;
+
+  bool built_ = false;
+  bool needs_rebuild_ = true;
+  bool dual_ready_ = false;  // phase-2 cost row valid for dual warm starts
+  std::size_t pivots_ = 0;
+};
+
+}  // namespace mca::ilp

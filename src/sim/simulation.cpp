@@ -1,16 +1,115 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace mca::sim {
+namespace {
+
+constexpr std::uint32_t kChildren = 4;  // 4-ary heap: shallow and cache-dense
+constexpr std::uint32_t kSlotBits = 24;
+constexpr std::uint64_t kSlotMask = (1u << kSlotBits) - 1;
+constexpr std::uint64_t kMaxSequence = (1ull << (64 - kSlotBits)) - 1;
+
+constexpr std::uint64_t pack_key(std::uint64_t sequence,
+                                 std::uint32_t slot) noexcept {
+  return (sequence << kSlotBits) | slot;
+}
+
+}  // namespace
+
+std::uint32_t simulation::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = static_cast<std::uint32_t>(slots_[index].sequence);
+    return index;
+  }
+  if (slots_.size() > kSlotMask) {
+    throw std::length_error{"simulation: too many pending events"};
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void simulation::release_slot(std::uint32_t index) noexcept {
+  event_slot& slot = slots_[index];
+  slot.live = false;
+  slot.fn = nullptr;
+  slot.sequence = free_head_;  // intrusive free list
+  free_head_ = index;
+}
+
+void simulation::record_pos(const heap_entry& entry, std::size_t pos) noexcept {
+  slots_[entry.key & kSlotMask].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void simulation::sift_up(std::size_t hole, heap_entry entry) noexcept {
+  heap_entry* base = heap_base();
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kChildren;
+    if (!earlier(entry, base[parent])) break;
+    base[hole] = base[parent];
+    record_pos(base[hole], hole);
+    hole = parent;
+  }
+  base[hole] = entry;
+  record_pos(entry, hole);
+}
+
+std::size_t simulation::sift_down(std::size_t hole, heap_entry entry) noexcept {
+  heap_entry* base = heap_base();
+  const std::size_t n = heap_size();
+  for (;;) {
+    const std::size_t first_child = hole * kChildren + 1;
+    if (first_child >= n) break;
+    const std::size_t end = std::min(first_child + kChildren, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (earlier(base[c], base[best])) best = c;
+    }
+    if (!earlier(base[best], entry)) break;
+    base[hole] = base[best];
+    record_pos(base[hole], hole);
+    hole = best;
+  }
+  base[hole] = entry;
+  record_pos(entry, hole);
+  return hole;
+}
+
+void simulation::heap_push(heap_entry entry) {
+  heap_.push_back(entry);
+  sift_up(heap_size() - 1, entry);
+}
+
+void simulation::heap_remove(std::size_t pos) noexcept {
+  const heap_entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_size();
+  if (pos == n) return;  // removed the tail entry itself
+  // Re-seat the displaced tail entry at the hole: first try downward (the
+  // common case for a root pop), then upward (possible for a mid-heap
+  // removal whose hole sits below `last`'s true position).
+  if (sift_down(pos, last) == pos) sift_up(pos, last);
+}
 
 event_handle simulation::schedule_at(util::time_ms at, callback fn) {
   if (!fn) throw std::invalid_argument{"schedule_at: empty callback"};
-  const std::uint64_t id = next_id_++;
-  queue_.push(scheduled{std::max(at, now_), next_sequence_++, id, std::move(fn)});
-  pending_ids_.insert(id);
-  return event_handle{id};
+  if (next_sequence_ > kMaxSequence) {
+    // Sequence wrap would corrupt packed keys (handle validation and the
+    // FIFO tie-break); fail loudly like the 2^24 slot limit does.
+    throw std::length_error{"simulation: sequence number space exhausted"};
+  }
+  const std::uint32_t index = acquire_slot();
+  const std::uint64_t sequence = next_sequence_++;
+  event_slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.sequence = sequence;
+  slot.live = true;
+  const std::uint64_t key = pack_key(sequence, index);
+  heap_push({at > now_ ? at : now_, key});
+  return event_handle{key};
 }
 
 event_handle simulation::schedule_after(util::time_ms delay, callback fn) {
@@ -19,39 +118,34 @@ event_handle simulation::schedule_after(util::time_ms delay, callback fn) {
 }
 
 void simulation::cancel(event_handle handle) noexcept {
-  // Only a genuinely pending event can be cancelled; unknown or already
-  // fired handles are ignored.
-  if (handle.valid() && pending_ids_.erase(handle.id) > 0) {
-    cancelled_.insert(handle.id);
-  }
-}
-
-void simulation::skip_cancelled() {
-  while (!queue_.empty() && cancelled_.count(queue_.top().id) != 0) {
-    cancelled_.erase(queue_.top().id);
-    queue_.pop();
-  }
+  if (!handle.valid()) return;
+  const std::uint32_t index = static_cast<std::uint32_t>(handle.id & kSlotMask);
+  if (index >= slots_.size()) return;
+  const event_slot& slot = slots_[index];
+  if (!slot.live || slot.sequence != (handle.id >> kSlotBits)) return;  // stale
+  const std::uint32_t pos = slot.heap_pos;
+  release_slot(index);
+  heap_remove(pos);
 }
 
 bool simulation::step() {
-  skip_cancelled();
-  if (queue_.empty()) return false;
-  // Move the callback out before popping so the event may schedule others.
-  scheduled next = std::move(const_cast<scheduled&>(queue_.top()));
-  queue_.pop();
-  pending_ids_.erase(next.id);
-  now_ = next.at;
+  if (heap_empty()) return false;
+  const heap_entry top = heap_base()[0];
+  const std::uint32_t index = static_cast<std::uint32_t>(top.key & kSlotMask);
+  event_slot& slot = slots_[index];
+  // Move the callback out and retire the slot before running it, so the
+  // event may freely schedule (and reuse the slot) or self-cancel.
+  callback fn = std::move(slot.fn);
+  release_slot(index);
+  heap_remove(0);
+  now_ = top.at;
   ++executed_;
-  next.fn();
+  fn();
   return true;
 }
 
 void simulation::run_until(util::time_ms deadline) {
-  for (;;) {
-    skip_cancelled();
-    if (queue_.empty() || queue_.top().at > deadline) break;
-    step();
-  }
+  while (!heap_empty() && heap_base()[0].at <= deadline) step();
   now_ = std::max(now_, deadline);
 }
 
@@ -61,13 +155,10 @@ void simulation::run() {
 }
 
 void simulation::clear() noexcept {
-  while (!queue_.empty()) queue_.pop();
-  pending_ids_.clear();
-  cancelled_.clear();
-}
-
-std::size_t simulation::pending_events() const noexcept {
-  return pending_ids_.size();
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) release_slot(i);
+  }
+  heap_.resize(kHeapPad);
 }
 
 periodic_process::periodic_process(simulation& sim, util::time_ms start,

@@ -5,19 +5,32 @@
 // closed-loop runs) executes against this clock in well under a second of
 // wall time.  Events at the same timestamp run in scheduling (FIFO) order,
 // which makes runs deterministic.
+//
+// Internals: events live in a contiguous slot arena indexed by a flat
+// 4-ary min-heap of 16-byte (time, key) entries, where the key packs the
+// scheduling sequence number (high 40 bits) with the slot index (low 24
+// bits).  The sequence number doubles as the slot's liveness tag, so a
+// handle is just the key; each slot tracks its entry's heap position, so
+// cancellation physically removes the entry (no lazy tombstones, no hash
+// sets, no per-event allocation beyond the callback itself).  Cancelling a
+// far-future timer — the dominant pattern — touches a near-leaf entry and
+// is effectively O(1).  Capacity limits from the packing: 2^24
+// concurrently pending events and 2^40 total schedules per simulation —
+// orders of magnitude beyond the paper's workloads.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/sim_time.h"
 
 namespace mca::sim {
 
-/// Token identifying a scheduled event, usable for cancellation.
+/// Token identifying a scheduled event, usable for cancellation.  Holds
+/// the packed (sequence, slot) key; a stale or fabricated handle simply
+/// fails the sequence check on use.
 struct event_handle {
   std::uint64_t id = 0;
   bool valid() const noexcept { return id != 0; }
@@ -57,33 +70,64 @@ class simulation {
   /// Drops every pending event (the clock is left where it is).
   void clear() noexcept;
 
-  std::size_t pending_events() const noexcept;
+  std::size_t pending_events() const noexcept { return heap_size(); }
   std::size_t executed_events() const noexcept { return executed_; }
 
  private:
-  struct scheduled {
-    util::time_ms at = 0;
-    std::uint64_t sequence = 0;  // FIFO tie-break for equal times
-    std::uint64_t id = 0;
+  /// Arena slot for one scheduled (or free) event.  The sequence number of
+  /// the occupying event doubles as the liveness tag for handles; while
+  /// the slot is free, `sequence` holds the next free slot index
+  /// (intrusive free list).  `heap_pos` is the logical heap index of the
+  /// slot's entry, maintained by every sift.
+  struct event_slot {
     callback fn;
+    std::uint64_t sequence = 0;
+    std::uint32_t heap_pos = 0;
+    bool live = false;
   };
-  struct later {
-    bool operator()(const scheduled& a, const scheduled& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.sequence > b.sequence;
-    }
+  /// 16-byte heap entry: primary key `at`, tie-break and identity in the
+  /// packed (sequence << 24 | slot) key.  The backing vector is cache-line
+  /// aligned and starts with kHeapPad dummy entries so every 4-child group
+  /// (logical indices 4i+1..4i+4, physical 4i+4..4i+7) occupies exactly
+  /// one cache line.
+  struct heap_entry {
+    util::time_ms at = 0;
+    std::uint64_t key = 0;
   };
+  static constexpr std::size_t kHeapPad = 3;
 
-  /// Pops cancelled entries off the top of the queue.
-  void skip_cancelled();
+  static bool earlier(const heap_entry& a, const heap_entry& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.key < b.key;  // sequence occupies the high bits
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index) noexcept;
+  void record_pos(const heap_entry& entry, std::size_t pos) noexcept;
+  void sift_up(std::size_t hole, heap_entry entry) noexcept;
+  /// Returns the hole's final position.
+  std::size_t sift_down(std::size_t hole, heap_entry entry) noexcept;
+  void heap_push(heap_entry entry);
+  /// Removes the entry at logical position `pos` (root pop is pos 0).
+  void heap_remove(std::size_t pos) noexcept;
+
+  bool heap_empty() const noexcept { return heap_.size() == kHeapPad; }
+  std::size_t heap_size() const noexcept { return heap_.size() - kHeapPad; }
+  /// Base pointer for logical indexing (logical i at physical i+kHeapPad).
+  const heap_entry* heap_base() const noexcept {
+    return heap_.data() + kHeapPad;
+  }
+  heap_entry* heap_base() noexcept { return heap_.data() + kHeapPad; }
+
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
 
   util::time_ms now_ = 0.0;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_sequence_ = 1;  // 0 is reserved so handles are nonzero
   std::size_t executed_ = 0;
-  std::priority_queue<scheduled, std::vector<scheduled>, later> queue_;
-  std::unordered_set<std::uint64_t> pending_ids_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint32_t free_head_ = kNoFreeSlot;
+  std::vector<event_slot> slots_;
+  std::vector<heap_entry, util::aligned_allocator<heap_entry>> heap_ =
+      std::vector<heap_entry, util::aligned_allocator<heap_entry>>(kHeapPad);
 };
 
 /// Repeats a callback at a fixed simulated period until cancelled.

@@ -140,6 +140,47 @@ TEST(AllocatorGreedy, InfeasibleUnderTinyCap) {
   EXPECT_TRUE(plan.best_effort);
 }
 
+TEST(AllocatorGreedy, BudgetExhaustedStopsBuyingAndMarksInfeasible) {
+  // Group 0 eats the whole cap; the remaining candidates of group 0 and
+  // all of group 1 must see no purchases once the budget is gone.
+  allocation_request request;
+  request.workload_per_group = {100.0, 50.0};
+  request.candidates_per_group = {
+      {{"dense", 10.0, 1.0}, {"sparse", 5.0, 1.0}, {"junk", 1.0, 10.0}},
+      {{"other", 10.0, 1.0}}};
+  request.max_total_instances = 4;  // 4 * 10 = 40 < 101 demanded
+  const auto plan = allocate_greedy(request);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_TRUE(plan.best_effort);
+  EXPECT_EQ(plan.status, ilp::solve_status::infeasible);
+  EXPECT_EQ(plan.total_instances(), 4u);
+  // Everything went to the best capacity-per-dollar candidate; nothing was
+  // bought after the budget ran out.
+  EXPECT_EQ(plan.count_of(0, "dense"), 4u);
+  EXPECT_EQ(plan.count_of(0, "sparse"), 0u);
+  EXPECT_EQ(plan.count_of(0, "junk"), 0u);
+  EXPECT_EQ(plan.count_of(1, "other"), 0u);
+  EXPECT_DOUBLE_EQ(plan.total_cost_per_hour, 4.0);
+}
+
+TEST(AllocatorGreedy, BudgetExhaustedMidGroupLeavesLaterGroupsEmpty) {
+  // The cap dies inside group 0's second-best candidate; group 1 must not
+  // be scanned into a purchase, and the spill ordering must hold.
+  allocation_request request;
+  request.workload_per_group = {45.0, 20.0};
+  request.candidates_per_group = {
+      {{"best", 10.0, 1.0}, {"spill", 10.0, 2.0}},
+      {{"later", 10.0, 1.0}}};
+  request.max_total_instances = 3;
+  // Greedy buys 3x "best" (covered 30 < 46), budget gone before "spill".
+  const auto plan = allocate_greedy(request);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_EQ(plan.total_instances(), 3u);
+  EXPECT_EQ(plan.count_of(0, "best"), 3u);
+  EXPECT_EQ(plan.count_of(0, "spill"), 0u);
+  EXPECT_EQ(plan.count_of(1, "later"), 0u);
+}
+
 TEST(AllocatorStaticPeak, ProvisionsEveryGroupForPeak) {
   allocation_request request;
   request.workload_per_group = {1.0, 2.0};

@@ -1,0 +1,80 @@
+// Degenerate-pivot coverage for the candidate-list Dantzig pricing: Beale's
+// classic cycling example (which loops forever under naive most-negative
+// pricing without an anti-cycling fallback) and a fully degenerate equality
+// chain that stresses phase-1 artificial drive-out.
+#include "ilp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mca::ilp {
+namespace {
+
+TEST(SimplexDegenerate, BealesCyclingExampleTerminatesAtOptimum) {
+  // min -3/4 x1 + 150 x2 - 1/50 x3 + 6 x4
+  // s.t. 1/4 x1 - 60 x2 - 1/25 x3 + 9 x4 <= 0
+  //      1/2 x1 - 90 x2 - 1/50 x3 + 3 x4 <= 0
+  //      x3 <= 1,  x >= 0
+  // Optimum -1/20 at x = (1/25, 0, 1, 0).  Every vertex on the way is
+  // degenerate; naive Dantzig pricing with a fixed tie-break cycles.
+  problem p;
+  const auto x1 = p.add_variable(-0.75);
+  const auto x2 = p.add_variable(150.0);
+  const auto x3 = p.add_variable(-0.02);
+  const auto x4 = p.add_variable(6.0);
+  p.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                   relation::less_equal, 0.0);
+  p.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                   relation::less_equal, 0.0);
+  p.add_constraint({{x3, 1.0}}, relation::less_equal, 1.0);
+
+  const solution s = solve_lp(p);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);
+  EXPECT_NEAR(s.values[x1], 0.04, 1e-9);
+  EXPECT_NEAR(s.values[x3], 1.0, 1e-9);
+}
+
+TEST(SimplexDegenerate, EqualityChainDrivesArtificialsOut) {
+  // x0 = x1 = ... = x5 (all-zero rhs equalities: phase 1 ends with every
+  // artificial basic at level zero) plus x0 + x5 >= 2; minimize the sum.
+  problem p;
+  std::vector<std::size_t> x;
+  for (int i = 0; i < 6; ++i) x.push_back(p.add_variable(1.0));
+  for (int i = 0; i + 1 < 6; ++i) {
+    p.add_constraint({{x[static_cast<std::size_t>(i)], 1.0},
+                      {x[static_cast<std::size_t>(i + 1)], -1.0}},
+                     relation::equal, 0.0);
+  }
+  p.add_constraint({{x.front(), 1.0}, {x.back(), 1.0}},
+                   relation::greater_equal, 2.0);
+
+  const solution s = solve_lp(p);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 6.0, 1e-7);
+  for (const auto v : x) EXPECT_NEAR(s.values[v], 1.0, 1e-7);
+}
+
+TEST(SimplexDegenerate, ManyRedundantTiesStillOptimal) {
+  // A block of identical constraints produces maximal ratio-test ties; the
+  // lowest-basis-index tie-break must keep the walk finite.
+  problem p;
+  const auto x = p.add_variable(1.0, 0.0, 50.0);
+  const auto y = p.add_variable(1.3, 0.0, 50.0);
+  for (int i = 0; i < 8; ++i) {
+    p.add_constraint({{x, 2.0}, {y, 1.0}}, relation::greater_equal, 10.0);
+  }
+  for (int i = 0; i < 8; ++i) {
+    p.add_constraint({{x, 1.0}, {y, 3.0}}, relation::greater_equal, 9.0);
+  }
+  const solution s = solve_lp(p);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  // Vertex of 2x + y = 10 and x + 3y = 9: x = 4.2, y = 1.6.
+  EXPECT_NEAR(s.values[x], 4.2, 1e-7);
+  EXPECT_NEAR(s.values[y], 1.6, 1e-7);
+  EXPECT_NEAR(s.objective, 4.2 + 1.3 * 1.6, 1e-7);
+}
+
+}  // namespace
+}  // namespace mca::ilp
