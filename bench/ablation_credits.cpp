@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "cloud/instance.h"
+#include "exp/runner.h"
 #include "sim/simulation.h"
 #include "tasks/task.h"
 #include "util/csv.h"
@@ -68,8 +69,12 @@ int main() {
   using namespace mca;
   bench::check_list checks;
 
-  const auto with_credits = run(true);
-  const auto without_credits = run(false);
+  // The two credit modes are independent 3-hour runs; overlap them.
+  exp::thread_pool workers{2};
+  const auto results = exp::parallel_map(
+      workers, 2, [](std::size_t i) { return run(i == 0); });
+  const auto& with_credits = results[0];
+  const auto& without_credits = results[1];
 
   bench::section("mean response per 10-minute window (t2.small, 70% load)");
   util::csv_writer csv{std::cout,

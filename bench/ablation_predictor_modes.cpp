@@ -15,6 +15,7 @@
 
 #include "bench_util.h"
 #include "core/predictor.h"
+#include "exp/runner.h"
 #include "util/csv.h"
 #include "util/rng.h"
 
@@ -68,7 +69,6 @@ double persistence_accuracy(const std::vector<trace::time_slot>& history,
 int main() {
   using namespace mca;
   bench::check_list checks;
-  util::rng rng{31337};
 
   bench::section("prediction accuracy by mode and workload regime");
   util::csv_writer csv{std::cout,
@@ -79,26 +79,44 @@ int main() {
   double ramp_successor = 0.0;
   double ramp_persistence = 0.0;
   double stationary_gap = 0.0;
-  for (const std::string regime : {"stationary", "diurnal", "ramp"}) {
-    const auto history = make_history(regime, 72, rng);
-    const std::size_t knowledge = 48;
-    const auto successor = core::walk_forward_accuracy(
-        history, knowledge, core::prediction_mode::successor);
-    const auto match = core::walk_forward_accuracy(
-        history, knowledge, core::prediction_mode::match);
-    const double persistence = persistence_accuracy(history, knowledge - 1);
-    csv.row_values(regime, *successor * 100.0, *match * 100.0,
+  const std::vector<std::string> regimes = {"stationary", "diurnal", "ramp"};
+  // Three independent regimes, one rng::split stream each, scored on the
+  // pool and reported in regime order.
+  struct regime_scores {
+    double successor = 0.0;
+    double match = 0.0;
+    double persistence = 0.0;
+  };
+  exp::thread_pool workers;
+  const auto scored =
+      exp::parallel_map(workers, regimes.size(), [&](std::size_t i) {
+        util::rng rng = util::rng::split(31337, i);
+        const auto history = make_history(regimes[i], 72, rng);
+        const std::size_t knowledge = 48;
+        const auto successor = core::walk_forward_accuracy(
+            history, knowledge, core::prediction_mode::successor);
+        const auto match = core::walk_forward_accuracy(
+            history, knowledge, core::prediction_mode::match);
+        return regime_scores{*successor, *match,
+                             persistence_accuracy(history, knowledge - 1)};
+      });
+  for (std::size_t i = 0; i < regimes.size(); ++i) {
+    const std::string& regime = regimes[i];
+    const double successor = scored[i].successor;
+    const double match = scored[i].match;
+    const double persistence = scored[i].persistence;
+    csv.row_values(regime, successor * 100.0, match * 100.0,
                    persistence * 100.0);
     if (regime == "diurnal") {
-      diurnal_successor = *successor;
-      diurnal_match = *match;
+      diurnal_successor = successor;
+      diurnal_match = match;
     }
     if (regime == "ramp") {
-      ramp_successor = *successor;
+      ramp_successor = successor;
       ramp_persistence = persistence;
     }
     if (regime == "stationary") {
-      stationary_gap = std::abs(*successor - *match);
+      stationary_gap = std::abs(successor - match);
     }
   }
 

@@ -6,8 +6,12 @@
 // the knee is).  A bench exits nonzero if any check fails.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace mca::bench {
 
@@ -47,6 +51,95 @@ inline std::string ratio_detail(const char* name, double value) {
   char buf[96];
   std::snprintf(buf, sizeof buf, "%s = %.3f", name, value);
   return buf;
+}
+
+// ---- CLI flags -----------------------------------------------------------
+// The perf harnesses share a tiny "--flag value" convention (fig_suite:
+// --jobs/--seeds/--scenario/..., micro_ops: the output path).
+
+/// The value following `flag` in argv, if present.
+inline std::optional<std::string> flag_value(int argc, char** argv,
+                                             const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return std::string{argv[i + 1]};
+  }
+  return std::nullopt;
+}
+
+/// True when the bare `flag` appears in argv.
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+/// Parses a comma-separated integer list ("2017,2018,2019").  Strict:
+/// returns an empty vector when any item fails to parse, so callers can
+/// distinguish a typo from a valid list.
+inline std::vector<std::uint64_t> parse_id_list(const std::string& text) {
+  std::vector<std::uint64_t> ids;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!item.empty()) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(item.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return {};
+      ids.push_back(parsed);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return ids;
+}
+
+// ---- BENCH_*.json series ------------------------------------------------
+// The machine-readable perf trajectory tracked PR over PR (micro_ops
+// writes BENCH_micro_ops.json with these; fig_suite writes the richer
+// BENCH_figures.json itself but reuses the conventions).
+
+/// One measured series, optionally with the frozen-baseline comparison.
+struct series_entry {
+  std::string name;
+  std::string unit;
+  double current = 0.0;
+  double legacy = 0.0;  ///< 0 = no baseline for this series
+  double speedup = 0.0;
+};
+
+/// Writes the BENCH_*.json document micro_ops-style benches emit.
+inline bool write_series_json(const std::string& path,
+                              const std::string& bench_name,
+                              const std::vector<series_entry>& series,
+                              bool checks_passed) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench_name.c_str(),
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": 1,\n",
+               bench_name.c_str());
+  std::fprintf(f, "  \"checks_passed\": %s,\n",
+               checks_passed ? "true" : "false");
+  std::fprintf(f, "  \"series\": [\n");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& s = series[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"unit\": \"%s\", \"value\": %.6g",
+                 s.name.c_str(), s.unit.c_str(), s.current);
+    if (s.legacy > 0.0) {
+      std::fprintf(f, ", \"legacy\": %.6g, \"speedup\": %.4g", s.legacy,
+                   s.speedup);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace mca::bench

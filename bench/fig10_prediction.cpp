@@ -15,6 +15,7 @@
 #include "bench_util.h"
 #include "client/usage_trace.h"
 #include "core/predictor.h"
+#include "exp/runner.h"
 #include "trace/log_store.h"
 #include "util/csv.h"
 
@@ -28,10 +29,9 @@ namespace {
 mca::trace::log_store synthesize_log(std::size_t users, double hours_total,
                                      std::uint64_t seed) {
   using namespace mca;
-  util::rng rng{seed};
   trace::log_store log;
   for (user_id u = 0; u < users; ++u) {
-    util::rng stream = rng.fork();
+    util::rng stream = util::rng::split(seed, u);
     const double tier = stream.uniform();
     const group_id home = tier < 0.6 ? 1 : (tier < 0.9 ? 2 : 3);
     client::usage_study_config study;
@@ -71,15 +71,31 @@ int main() {
   util::csv_writer csv{std::cout,
                        {"history_slots", "accuracy_pct", "mode"}};
   std::vector<double> accuracy_by_size(21, 0.0);
-  for (std::size_t size = 2; size <= 20; ++size) {
-    for (const auto mode :
-         {core::prediction_mode::successor, core::prediction_mode::match}) {
-      const auto accuracy = core::walk_forward_accuracy(slots, size, mode);
-      if (!accuracy) continue;
-      csv.row_values(size, *accuracy * 100.0, core::to_string(mode));
-      if (mode == core::prediction_mode::successor) {
-        accuracy_by_size[size] = *accuracy;
-      }
+  // Every knowledge size scores the full history walk-forward — 19
+  // independent sweeps, fanned out over the pool in size order.
+  struct size_score {
+    std::optional<double> successor;
+    std::optional<double> match;
+  };
+  exp::thread_pool workers;
+  const auto scores = exp::parallel_map(workers, 19, [&](std::size_t i) {
+    const std::size_t size = i + 2;
+    return size_score{
+        core::walk_forward_accuracy(slots, size,
+                                    core::prediction_mode::successor),
+        core::walk_forward_accuracy(slots, size,
+                                    core::prediction_mode::match)};
+  });
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const std::size_t size = i + 2;
+    if (scores[i].successor) {
+      csv.row_values(size, *scores[i].successor * 100.0,
+                     core::to_string(core::prediction_mode::successor));
+      accuracy_by_size[size] = *scores[i].successor;
+    }
+    if (scores[i].match) {
+      csv.row_values(size, *scores[i].match * 100.0,
+                     core::to_string(core::prediction_mode::match));
     }
   }
 

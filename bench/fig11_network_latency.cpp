@@ -5,44 +5,97 @@
 // median RTT (3G: 128/141/137 ms means; LTE: 41/36/42 ms).  We replay a
 // synthetic campaign of the same sample sizes against the calibrated
 // mixture models and reproduce both the hour-of-day curves and the
-// summary statistics.
+// summary statistics.  The per-operator campaigns are independent — each
+// draws from its own rng::split stream and fans out over the pool.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
+#include "exp/runner.h"
 #include "net/netradar.h"
 #include "util/csv.h"
 
+namespace {
+
+using namespace mca;
+
+/// Everything Fig. 11 plots/checks for one operator.
+struct operator_report {
+  net::hourly_series series_threeg;
+  net::hourly_series series_lte;
+  util::summary summary_threeg;
+  util::summary summary_lte;
+  std::size_t samples_threeg = 0;
+  std::size_t samples_lte = 0;
+  /// Equal-size 50k-sample campaigns for the 3G-vs-LTE relation check.
+  double comparison_mean_threeg = 0.0;
+  double comparison_mean_lte = 0.0;
+};
+
+operator_report run_operator(const net::operator_profile& op,
+                             std::uint64_t stream_id) {
+  util::rng rng = util::rng::split(1111, stream_id);
+  operator_report report;
+  const auto threeg =
+      net::generate_campaign(op, net::technology::threeg, op.samples_threeg,
+                             rng);
+  const auto lte =
+      net::generate_campaign(op, net::technology::lte, op.samples_lte, rng);
+  report.series_threeg = net::aggregate_hourly(threeg);
+  report.series_lte = net::aggregate_hourly(lte);
+  report.summary_threeg = net::campaign_summary(threeg);
+  report.summary_lte = net::campaign_summary(lte);
+  report.samples_threeg = threeg.size();
+  report.samples_lte = lte.size();
+  const auto compare_threeg =
+      net::generate_campaign(op, net::technology::threeg, 50'000, rng);
+  const auto compare_lte =
+      net::generate_campaign(op, net::technology::lte, 50'000, rng);
+  report.comparison_mean_threeg = net::campaign_summary(compare_threeg).mean;
+  report.comparison_mean_lte = net::campaign_summary(compare_lte).mean;
+  return report;
+}
+
+}  // namespace
+
 int main() {
-  using namespace mca;
   bench::check_list checks;
-  util::rng rng{1111};
+
+  const auto operators = net::netradar_operators();
+  exp::thread_pool workers;
+  const auto reports =
+      exp::parallel_map(workers, operators.size(), [&](std::size_t i) {
+        return run_operator(operators[i], i);
+      });
 
   bench::section("Fig. 11 data: mean RTT per hour of day");
   util::csv_writer csv{std::cout,
                        {"operator", "technology", "hour", "mean_rtt_ms",
                         "samples"}};
 
-  for (const auto& op : net::netradar_operators()) {
+  for (std::size_t i = 0; i < operators.size(); ++i) {
+    const auto& op = operators[i];
+    const auto& report = reports[i];
     for (const auto tech : {net::technology::threeg, net::technology::lte}) {
-      const std::size_t count = (tech == net::technology::threeg)
-                                    ? op.samples_threeg
-                                    : op.samples_lte;
-      const auto samples = net::generate_campaign(op, tech, count, rng);
-      const auto series = net::aggregate_hourly(samples);
+      const bool is_threeg = tech == net::technology::threeg;
+      const auto& series =
+          is_threeg ? report.series_threeg : report.series_lte;
       for (std::size_t hour = 0; hour < 24; ++hour) {
         csv.row_values(op.name, net::to_string(tech), hour,
                        series.mean_rtt_ms[hour], series.sample_count[hour]);
       }
 
-      const auto summary = net::campaign_summary(samples);
-      const auto& target =
-          (tech == net::technology::threeg) ? op.threeg : op.lte;
+      const auto& summary =
+          is_threeg ? report.summary_threeg : report.summary_lte;
+      const auto& target = is_threeg ? op.threeg : op.lte;
+      const std::size_t samples =
+          is_threeg ? report.samples_threeg : report.samples_lte;
       std::printf("# %s %s: mean %.0f ms (paper %.0f), median %.0f (paper "
                   "%.0f), SD %.0f (paper %.0f), %zu samples\n",
                   op.name.c_str(), net::to_string(tech), summary.mean,
                   target.mean_ms, summary.median, target.median_ms,
-                  summary.stddev, target.stddev_ms, samples.size());
+                  summary.stddev, target.stddev_ms, samples);
 
       const std::string label = op.name + "-" + net::to_string(tech);
       checks.expect(std::abs(summary.mean - target.mean_ms) <
@@ -60,12 +113,8 @@ int main() {
     }
 
     // Per-operator 3G vs LTE relation (the figure's visual core).
-    const auto threeg =
-        net::generate_campaign(op, net::technology::threeg, 50'000, rng);
-    const auto lte =
-        net::generate_campaign(op, net::technology::lte, 50'000, rng);
-    checks.expect(net::campaign_summary(threeg).mean >
-                      2.0 * net::campaign_summary(lte).mean,
+    checks.expect(report.comparison_mean_threeg >
+                      2.0 * report.comparison_mean_lte,
                   op.name + ": 3G sits far above LTE",
                   "3G/LTE mean ratio > 2");
   }

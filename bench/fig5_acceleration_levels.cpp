@@ -11,70 +11,50 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "cloud/instance.h"
-#include "sim/simulation.h"
+#include "exp/curves.h"
+#include "exp/runner.h"
 #include "tasks/task.h"
 #include "util/csv.h"
 #include "util/stats.h"
-#include "workload/generator.h"
-
-namespace {
-
-/// Mean response per load level for one server type under static minimax.
-std::vector<std::pair<std::size_t, mca::util::summary>> run_level(
-    const std::string& type_name, const mca::tasks::task_pool& pool,
-    std::uint64_t seed) {
-  using namespace mca;
-  std::vector<std::pair<std::size_t, util::summary>> curve;
-  util::rng seeds{seed};
-  for (std::size_t users : {1,  10, 20, 30, 40, 50, 60, 70, 80, 90, 100}) {
-    sim::simulation sim;
-    cloud::instance server{sim, 1, cloud::type_by_name(type_name),
-                           seeds.fork()};
-    std::vector<double> responses;
-    workload::concurrent_config load;
-    load.users = users;
-    load.rounds = 6;
-    workload::concurrent_generator gen{
-        sim, workload::static_source(pool.static_minimax_request()),
-        [&](const workload::offload_request& r) {
-          server.submit(r.work.work_units(), [&responses](double t) {
-            responses.push_back(t);
-          });
-        },
-        load, seeds.fork()};
-    sim.run();
-    curve.emplace_back(users, util::summary_of(responses));
-  }
-  return curve;
-}
-
-}  // namespace
 
 int main() {
   using namespace mca;
   bench::check_list checks;
   tasks::task_pool pool;
 
-  const std::map<int, std::string> levels = {
+  const std::vector<std::pair<int, std::string>> levels = {
       {1, "t2.small"}, {2, "t2.large"}, {3, "m4.10xlarge"}};
+
+  // The per-level load curves are the runner's shared single-server
+  // sweep (exp::response_vs_users); the three levels fan out over the
+  // pool and land back in level order.
+  exp::thread_pool workers;
+  const auto level_curves =
+      exp::parallel_map(workers, levels.size(), [&](std::size_t i) {
+        exp::load_curve_config config;
+        config.rounds = 6;
+        config.seed = 5'000 + static_cast<std::uint64_t>(levels[i].first);
+        return exp::response_vs_users(levels[i].second,
+                                      pool.static_minimax_request(), config);
+      });
 
   bench::section("Fig. 5 data: static minimax response time per level");
   util::csv_writer csv{std::cout,
                        {"level", "users", "mean_ms", "p5_ms", "p95_ms"}};
-  std::map<int, std::vector<std::pair<std::size_t, util::summary>>> curves;
-  for (const auto& [level, type] : levels) {
-    curves[level] = run_level(type, pool, 5'000 + level);
-    for (const auto& [users, s] : curves[level]) {
-      csv.row_values(level, users, s.mean, s.p5, s.p95);
+  std::map<int, std::vector<exp::load_curve_point>> curves;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    curves[levels[i].first] = level_curves[i];
+    for (const auto& point : level_curves[i]) {
+      csv.row_values(levels[i].first, point.users, point.response.mean,
+                     point.response.p5, point.response.p95);
     }
   }
 
   // Speedup ratios at solo execution (the paper's "a task is executed
   // ~X times faster" statement).
-  const double level1 = curves[1].front().second.mean;
-  const double level2 = curves[2].front().second.mean;
-  const double level3 = curves[3].front().second.mean;
+  const double level1 = curves[1].front().response.mean;
+  const double level2 = curves[2].front().response.mean;
+  const double level3 = curves[3].front().response.mean;
   bench::section("acceleration ratios (paper: 1.25x / 1.36x / 1.73x)");
   std::printf("L1/L2 = %.3f   L2/L3 = %.3f   L1/L3 = %.3f\n",
               level1 / level2, level2 / level3, level1 / level3);
@@ -89,15 +69,15 @@ int main() {
                 "level 3 executes ~1.36x faster than level 2",
                 bench::ratio_detail("L2/L3", level2 / level3));
   // Separation grows with load: at 100 users L1 is far above L3.
-  const double l1_100 = curves[1].back().second.mean;
-  const double l3_100 = curves[3].back().second.mean;
+  const double l1_100 = curves[1].back().response.mean;
+  const double l3_100 = curves[3].back().response.mean;
   checks.expect(l1_100 > 4.0 * l3_100,
                 "levels separate further under concurrent load",
                 bench::ratio_detail("L1/L3 @100 users", l1_100 / l3_100));
   // The inset: below 20 users level 1 stays within interactive range.
-  checks.expect(curves[1][1].second.mean < 5'000.0,
+  checks.expect(curves[1][1].response.mean < 5'000.0,
                 "level 1 remains usable at low load (inset)",
                 bench::ratio_detail("L1 @10 users [ms]",
-                                    curves[1][1].second.mean));
+                                    curves[1][1].response.mean));
   return checks.finish("fig5_acceleration_levels");
 }

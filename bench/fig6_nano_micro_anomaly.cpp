@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "core/classifier.h"
+#include "exp/runner.h"
 #include "util/csv.h"
 
 int main() {
@@ -23,10 +24,14 @@ int main() {
   config.rounds_per_level = 10;
   config.seed = 66;
 
-  const auto nano =
-      core::characterize_type(cloud::type_by_name("t2.nano"), pool, config);
-  const auto micro =
-      core::characterize_type(cloud::type_by_name("t2.micro"), pool, config);
+  const char* type_names[] = {"t2.nano", "t2.micro"};
+  exp::thread_pool workers;
+  const auto profiles = exp::parallel_map(workers, 2, [&](std::size_t i) {
+    return core::characterize_type(cloud::type_by_name(type_names[i]), pool,
+                                   config);
+  });
+  const auto& nano = profiles[0];
+  const auto& micro = profiles[1];
 
   bench::section("Fig. 6 data: nano vs micro, average and SD");
   util::csv_writer csv{std::cout,

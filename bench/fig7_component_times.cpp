@@ -16,6 +16,8 @@
 
 #include "bench_util.h"
 #include "core/sdn_accelerator.h"
+#include "exp/curves.h"
+#include "exp/runner.h"
 #include "net/operators.h"
 #include "sim/simulation.h"
 #include "tasks/task.h"
@@ -93,32 +95,29 @@ int main() {
   }
 
   // --- Fig. 7c: response-time SD per level vs concurrent users ---
+  // The same single-server sweep as Fig. 5, shared via the experiment
+  // runner; the four levels fan out over the pool.
   bench::section("Fig. 7c data: response-time SD per level vs load");
   std::map<group_id, std::vector<std::pair<std::size_t, double>>> sd_curves;
   {
+    const std::vector<std::pair<group_id, std::string>> levels{
+        kLevels.begin(), kLevels.end()};
+    exp::thread_pool workers;
+    const auto curves =
+        exp::parallel_map(workers, levels.size(), [&](std::size_t i) {
+          exp::load_curve_config config;
+          config.rounds = 6;
+          config.seed = 778 + static_cast<std::uint64_t>(levels[i].first);
+          return exp::response_vs_users(levels[i].second,
+                                        pool.static_minimax_request(), config);
+        });
     util::csv_writer csv{std::cout, {"level", "users", "stddev_ms"}};
-    util::rng seeds{778};
-    for (const auto& [group, type] : kLevels) {
-      for (std::size_t users : {1,  10, 20, 30, 40, 50, 60, 70, 80, 90, 100}) {
-        sim::simulation sim;
-        cloud::instance server{sim, 1, cloud::type_by_name(type),
-                               seeds.fork()};
-        std::vector<double> responses;
-        workload::concurrent_config load;
-        load.users = users;
-        load.rounds = 6;
-        workload::concurrent_generator gen{
-            sim, workload::static_source(pool.static_minimax_request()),
-            [&](const workload::offload_request& r) {
-              server.submit(r.work.work_units(), [&responses](double t) {
-                responses.push_back(t);
-              });
-            },
-            load, seeds.fork()};
-        sim.run();
-        const double sd = util::stddev_of(responses);
-        sd_curves[group].emplace_back(users, sd);
-        csv.row_values(static_cast<unsigned>(group), users, sd);
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      for (const auto& point : curves[i]) {
+        sd_curves[levels[i].first].emplace_back(point.users,
+                                                point.response.stddev);
+        csv.row_values(static_cast<unsigned>(levels[i].first), point.users,
+                       point.response.stddev);
       }
     }
   }

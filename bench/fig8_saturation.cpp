@@ -15,18 +15,27 @@
 
 #include "bench_util.h"
 #include "core/sdn_accelerator.h"
+#include "exp/thread_pool.h"
 #include "net/operators.h"
 #include "sim/simulation.h"
 #include "tasks/task.h"
 #include "util/csv.h"
 #include "workload/generator.h"
 
-int main() {
-  using namespace mca;
-  bench::check_list checks;
-  tasks::task_pool pool;
+namespace {
 
-  // ---- part (a): routing time per group ----
+using namespace mca;
+
+/// Fig. 8b/8c accumulator: one arrival-rate phase of the doubling run.
+struct phase_stats {
+  util::running_stats response;
+  std::size_t arrivals = 0;
+  std::size_t successes = 0;
+};
+
+/// Part (a): routing time per group at the SDN front-end.
+std::map<group_id, std::vector<double>> run_routing_part(
+    const tasks::task_pool& pool) {
   std::map<group_id, std::vector<double>> routing;
   {
     sim::simulation sim;
@@ -59,22 +68,15 @@ int main() {
       }
     }
     sim.run();
-    bench::section("Fig. 8a data: SDN routing time per request, by group");
-    util::csv_writer csv{std::cout, {"group", "request", "routing_ms"}};
     for (group_id g = 1; g <= 4; ++g) {
       routing[g] = sdn.routing_samples(g);
-      for (std::size_t i = 0; i < routing[g].size(); ++i) {
-        csv.row_values(static_cast<unsigned>(g), i, routing[g][i]);
-      }
     }
   }
+  return routing;
+}
 
-  // ---- parts (b) and (c): rate doubling against one t2.large ----
-  struct phase_stats {
-    util::running_stats response;
-    std::size_t arrivals = 0;
-    std::size_t successes = 0;
-  };
+/// Parts (b)/(c): rate doubling against one t2.large.
+std::map<int, phase_stats> run_saturation_part(const tasks::task_pool& pool) {
   std::map<int, phase_stats> phases;  // key: arrival rate in Hz
   {
     sim::simulation sim;
@@ -103,6 +105,39 @@ int main() {
         },
         schedule, rng.fork()};
     sim.run();
+  }
+  return phases;
+}
+
+}  // namespace
+
+int main() {
+  bench::check_list checks;
+  tasks::task_pool pool;
+
+  // Parts (a) and (b/c) are independent experiments; overlap them on the
+  // pool, then print in figure order.
+  std::map<group_id, std::vector<double>> routing;
+  std::map<int, phase_stats> phases;
+  {
+    exp::thread_pool workers{2};
+    exp::parallel_for(workers, 2, [&](std::size_t part) {
+      if (part == 0) {
+        routing = run_routing_part(pool);
+      } else {
+        phases = run_saturation_part(pool);
+      }
+    });
+  }
+
+  bench::section("Fig. 8a data: SDN routing time per request, by group");
+  {
+    util::csv_writer csv{std::cout, {"group", "request", "routing_ms"}};
+    for (const auto& [group, samples] : routing) {
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        csv.row_values(static_cast<unsigned>(group), i, samples[i]);
+      }
+    }
   }
 
   bench::section("Fig. 8b/8c data: response time and success rate vs rate");

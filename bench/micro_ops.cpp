@@ -5,7 +5,6 @@
 // overridable via argv[1]) so the perf trajectory is tracked PR over PR.
 //
 // Usage: micro_ops [output.json]
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -13,37 +12,20 @@
 
 #include "bench_util.h"
 #include "core/allocator.h"
+#include "exp/bench_clock.h"
 #include "ilp/simplex.h"
 #include "legacy_baseline.h"
 #include "sim/simulation.h"
+#include "util/rng.h"
 
 namespace {
 
 using namespace mca;
-
-using clock_type = std::chrono::steady_clock;
-
-/// Best-of-N wall time of fn() in seconds.
-template <typename Fn>
-double best_seconds(int trials, Fn&& fn) {
-  double best = 1e30;
-  for (int t = 0; t < trials; ++t) {
-    const auto start = clock_type::now();
-    fn();
-    const auto stop = clock_type::now();
-    const double s = std::chrono::duration<double>(stop - start).count();
-    if (s < best) best = s;
-  }
-  return best;
-}
+using exp::best_seconds;
 
 /// Deterministic 64-bit mix so both engines see identical event times.
 std::uint64_t splitmix(std::uint64_t& state) {
-  state += 0x9e3779b97f4a7c15ull;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
+  return util::splitmix64(state);
 }
 
 constexpr int kEventCount = 200'000;
@@ -191,40 +173,7 @@ core::allocation_request make_8x4_request() {
   return request;
 }
 
-struct series_entry {
-  std::string name;
-  std::string unit;
-  double current = 0.0;
-  double legacy = 0.0;  // 0 = no baseline for this series
-  double speedup = 0.0;
-};
-
-bool write_json(const std::string& path, const std::vector<series_entry>& series,
-                bool checks_passed) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "micro_ops: cannot write %s\n", path.c_str());
-    return false;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"micro_ops\",\n  \"schema\": 1,\n");
-  std::fprintf(f, "  \"checks_passed\": %s,\n", checks_passed ? "true" : "false");
-  std::fprintf(f, "  \"series\": [\n");
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    const auto& s = series[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"unit\": \"%s\", \"value\": %.6g",
-                 s.name.c_str(), s.unit.c_str(), s.current);
-    if (s.legacy > 0.0) {
-      std::fprintf(f, ", \"legacy\": %.6g, \"speedup\": %.4g", s.legacy,
-                   s.speedup);
-    }
-    std::fprintf(f, "}%s\n", i + 1 < series.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path.c_str());
-  return true;
-}
+using bench::series_entry;
 
 }  // namespace
 
@@ -364,6 +313,9 @@ int main(int argc, char** argv) {
   }
 
   const int exit_code = checks.finish("micro_ops");
-  if (!write_json(out_path, series, exit_code == 0)) return 1;
+  if (!bench::write_series_json(out_path, "micro_ops", series,
+                                exit_code == 0)) {
+    return 1;
+  }
   return exit_code;
 }

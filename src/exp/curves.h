@@ -1,0 +1,41 @@
+// Single-server load curves — the warm-up/measure loop that used to be
+// copy-pasted across the figure benches (Fig. 5 per-level curves, Fig. 7c
+// stability curves), folded into the experiment runner.
+//
+// One instance of `type_name` faces `rounds` concurrent bursts at each
+// load level; the response summary per level forms the curve.  Levels are
+// independent experiments: each draws from its own rng::split stream, so
+// a curve is deterministic whether its levels run serially or fanned out
+// over the pool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tasks/task.h"
+#include "util/stats.h"
+
+namespace mca::exp {
+
+struct load_curve_point {
+  std::size_t users = 0;
+  util::summary response;
+};
+
+struct load_curve_config {
+  std::vector<std::size_t> levels = {1,  10, 20, 30, 40, 50,
+                                     60, 70, 80, 90, 100};
+  std::size_t rounds = 6;
+  std::uint64_t seed = 5'000;
+};
+
+/// Response-vs-concurrent-users curve of one instance type under a fixed
+/// request (Fig. 5 / Fig. 7c methodology: bursts with 1-minute
+/// cool-downs).  Throws std::invalid_argument on an unknown type name.
+std::vector<load_curve_point> response_vs_users(
+    const std::string& type_name, tasks::task_request request,
+    const load_curve_config& config);
+
+}  // namespace mca::exp

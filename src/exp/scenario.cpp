@@ -1,0 +1,303 @@
+#include "exp/scenario.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "client/usage_trace.h"
+#include "workload/generator.h"
+
+namespace mca::exp {
+
+namespace {
+
+/// Max group id + 1 across the spec's backends and the implicit initial
+/// group 1 — the indexing every per-group vector in the digests uses.
+std::size_t group_count_of(const scenario_spec& spec) {
+  group_id max_group = 1;
+  for (const auto& g : spec.groups) max_group = std::max(max_group, g.group);
+  return static_cast<std::size_t>(max_group) + 1;
+}
+
+/// FNV-1a accumulator over the aggregate's scalar fields.
+struct fingerprint_state {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+
+  void word(std::uint64_t w) noexcept {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (w >> (8 * byte)) & 0xffu;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  void real(double x) noexcept { word(std::bit_cast<std::uint64_t>(x)); }
+  void stats(const util::running_stats& s) noexcept {
+    word(s.count());
+    real(s.mean());
+    real(s.variance());
+    real(s.min());
+    real(s.max());
+  }
+};
+
+}  // namespace
+
+const char* to_string(task_mix mix) noexcept {
+  switch (mix) {
+    case task_mix::static_minimax: return "static_minimax";
+    case task_mix::random_pool: return "random_pool";
+    case task_mix::heavy_pool: return "heavy_pool";
+  }
+  return "?";
+}
+
+const char* to_string(gap_model model) noexcept {
+  switch (model) {
+    case gap_model::study_sessions: return "study_sessions";
+    case gap_model::exponential: return "exponential";
+    case gap_model::fixed: return "fixed";
+  }
+  return "?";
+}
+
+core::system_config make_system_config(const scenario_spec& spec,
+                                       const tasks::task_pool& pool,
+                                       util::rng& stream) {
+  core::system_config config;
+  config.groups = spec.groups;
+  config.user_count = spec.user_count;
+  config.slot_length = spec.slot_length;
+  config.max_total_instances = spec.max_total_instances;
+  config.predictor_mode = spec.predictor_mode;
+  config.cumulative_capacity = spec.cumulative_capacity;
+  config.background_requests_per_burst = spec.background_requests_per_burst;
+  config.background_burst_period = spec.background_burst_period;
+  config.allow_demotion = spec.allow_demotion;
+  config.seed = stream();
+
+  switch (spec.tasks) {
+    case task_mix::static_minimax:
+      config.tasks = workload::static_source(pool.static_minimax_request());
+      break;
+    case task_mix::random_pool:
+      config.tasks = workload::random_pool_source(pool);
+      break;
+    case task_mix::heavy_pool:
+      config.tasks = workload::heavy_pool_source(pool);
+      break;
+  }
+
+  switch (spec.gaps) {
+    case gap_model::study_sessions: {
+      // Each replication synthesizes its own smartphone study, so the
+      // empirical gap distribution itself varies across the sweep.
+      auto study = std::make_shared<util::empirical_distribution>(
+          client::study_interarrival_distribution({}, stream()));
+      const double in_session = spec.session_probability;
+      const double idle_mu = std::log(spec.idle_gap_mean);
+      const double idle_sigma = spec.idle_gap_sigma;
+      config.gaps = [study, in_session, idle_mu, idle_sigma](util::rng& rng) {
+        if (rng.bernoulli(in_session)) return study->sample(rng);
+        return rng.lognormal(idle_mu, idle_sigma);
+      };
+      break;
+    }
+    case gap_model::exponential:
+      config.gaps = workload::exponential_interarrival(spec.arrival_rate_hz);
+      break;
+    case gap_model::fixed:
+      config.gaps = workload::fixed_interarrival(spec.fixed_gap);
+      break;
+  }
+
+  const double promote = spec.promotion_probability;
+  config.policy_factory = [promote] {
+    return std::make_unique<client::static_probability_promotion>(promote);
+  };
+  return config;
+}
+
+core::system_metrics run_replication(const scenario_spec& spec,
+                                     const tasks::task_pool& pool,
+                                     const replication_context& context) {
+  util::rng stream = context.stream();
+  core::offloading_system system{make_system_config(spec, pool, stream),
+                                 pool};
+  system.run(spec.duration);
+  return system.metrics();
+}
+
+util::histogram make_latency_histogram() {
+  // 250 ms bins to one minute: fine enough to separate the acceleration
+  // levels, coarse enough that merged digests stay small.
+  return util::histogram{0.0, 60'000.0, 240};
+}
+
+replication_metrics::replication_metrics(std::size_t group_count)
+    : latency{make_latency_histogram()},
+      group_response(group_count),
+      group_successes(group_count, 0),
+      group_instances(group_count) {}
+
+aggregate_metrics::aggregate_metrics(std::size_t group_count)
+    : latency{make_latency_histogram()},
+      group_response(group_count),
+      group_successes(group_count, 0),
+      group_instances(group_count) {}
+
+replication_metrics digest_metrics(const core::system_metrics& metrics,
+                                   std::size_t group_count,
+                                   std::uint64_t seed) {
+  replication_metrics digest{group_count};
+  digest.seed = seed;
+  digest.requests = metrics.requests.size();
+  digest.promotions = metrics.promotions;
+  digest.demotions = metrics.demotions;
+  digest.background_submitted = metrics.background_submitted;
+  digest.total_cost_usd = metrics.total_cost_usd;
+  for (const auto& request : metrics.requests) {
+    if (!request.success) continue;
+    ++digest.successes;
+    digest.response.add(request.response_ms);
+    digest.latency.add(request.response_ms);
+    if (request.group < group_count) {
+      digest.group_response[request.group].add(request.response_ms);
+      ++digest.group_successes[request.group];
+    }
+  }
+  for (const auto& slot : metrics.slots) {
+    if (slot.accuracy) {
+      digest.mean_prediction_accuracy += *slot.accuracy;
+      ++digest.scored_slots;
+    }
+    if (!slot.plan) continue;
+    std::vector<std::size_t> per_group(group_count, 0);
+    for (const auto& entry : slot.plan->entries) {
+      if (entry.group < group_count) per_group[entry.group] += entry.count;
+    }
+    for (std::size_t g = 0; g < group_count; ++g) {
+      digest.group_instances[g].add(static_cast<double>(per_group[g]));
+    }
+  }
+  if (digest.scored_slots > 0) {
+    digest.mean_prediction_accuracy /=
+        static_cast<double>(digest.scored_slots);
+  }
+  return digest;
+}
+
+aggregate_metrics merge_replications(
+    std::span<const replication_metrics> ordered) {
+  const std::size_t groups =
+      ordered.empty() ? 0 : ordered.front().group_response.size();
+  aggregate_metrics aggregate{groups};
+  for (const auto& r : ordered) {
+    ++aggregate.replications;
+    aggregate.requests += r.requests;
+    aggregate.successes += r.successes;
+    aggregate.promotions += r.promotions;
+    aggregate.demotions += r.demotions;
+    aggregate.background_submitted += r.background_submitted;
+    aggregate.cost_usd.add(r.total_cost_usd);
+    if (r.scored_slots > 0) aggregate.accuracy.add(r.mean_prediction_accuracy);
+    aggregate.response.merge(r.response);
+    aggregate.latency.merge(r.latency);
+    for (std::size_t g = 0; g < groups; ++g) {
+      aggregate.group_response[g].merge(r.group_response[g]);
+      aggregate.group_successes[g] += r.group_successes[g];
+      aggregate.group_instances[g].merge(r.group_instances[g]);
+    }
+  }
+  return aggregate;
+}
+
+double aggregate_metrics::acceptance_rate() const noexcept {
+  if (requests == 0) return 0.0;
+  return static_cast<double>(successes) / static_cast<double>(requests);
+}
+
+std::uint64_t aggregate_metrics::fingerprint() const noexcept {
+  fingerprint_state fnv;
+  fnv.word(replications);
+  fnv.word(requests);
+  fnv.word(successes);
+  fnv.word(promotions);
+  fnv.word(demotions);
+  fnv.word(background_submitted);
+  fnv.stats(cost_usd);
+  fnv.stats(accuracy);
+  fnv.stats(response);
+  fnv.word(latency.total());
+  for (std::size_t b = 0; b < latency.bin_count(); ++b) {
+    fnv.word(latency.count_in_bin(b));
+  }
+  for (std::size_t g = 0; g < group_response.size(); ++g) {
+    fnv.stats(group_response[g]);
+    fnv.word(group_successes[g]);
+    fnv.stats(group_instances[g]);
+  }
+  return fnv.hash;
+}
+
+scenario_result run_scenario(const scenario_spec& spec,
+                             const replication_plan& plan,
+                             const tasks::task_pool& task_pool,
+                             thread_pool& pool) {
+  const std::size_t groups = group_count_of(spec);
+  const auto start = std::chrono::steady_clock::now();
+  auto outcome = run_replications(
+      pool, plan, [&](const replication_context& context) {
+        return digest_metrics(run_replication(spec, task_pool, context),
+                              groups, context.seed);
+      });
+  const auto stop = std::chrono::steady_clock::now();
+
+  scenario_result result;
+  result.errors = std::move(outcome.errors);
+  result.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  for (auto& slot : outcome.results) {
+    if (slot.has_value()) {
+      result.per_replication.push_back(std::move(*slot));
+    }
+  }
+  result.aggregate = merge_replications(result.per_replication);
+  return result;
+}
+
+std::vector<scenario_spec> builtin_scenarios() {
+  // Durations are trimmed against the paper's 8 h so the whole suite
+  // (serial + parallel legs) finishes in seconds; --replications and the
+  // spec fields scale it back up to fleet size.
+  scenario_spec fig9;
+  fig9.name = "fig9_closed_loop";
+  fig9.base_seed = 2017;
+  fig9.duration = util::hours(2);
+
+  scenario_spec fig10;
+  fig10.name = "fig10_adaptive";
+  fig10.base_seed = 1016;
+  fig10.duration = util::hours(2);
+  fig10.tasks = task_mix::random_pool;
+  fig10.slot_length = util::minutes(30.0);
+  fig10.background_requests_per_burst = 20;
+
+  scenario_spec smoke;
+  smoke.name = "smoke";
+  smoke.base_seed = 7;
+  smoke.user_count = 12;
+  smoke.duration = util::minutes(40.0);
+  smoke.slot_length = util::minutes(10.0);
+  smoke.gaps = gap_model::exponential;
+  smoke.arrival_rate_hz = 0.05;
+  smoke.background_requests_per_burst = 4;
+  smoke.background_burst_period = util::seconds(10.0);
+  smoke.groups = {{1, "t2.nano", 1, 4.0}, {2, "t2.large", 1, 30.0}};
+
+  return {fig9, fig10, smoke};
+}
+
+}  // namespace mca::exp

@@ -23,6 +23,17 @@ void histogram::add(double x) noexcept {
   ++total_;
 }
 
+void histogram::merge(const histogram& other) {
+  if (lo_ != other.lo_ || width_ != other.width_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument{"histogram: merge of mismatched layouts"};
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+}
+
 double histogram::bin_lower(std::size_t bin) const {
   if (bin >= counts_.size()) throw std::out_of_range{"histogram: bin index"};
   return lo_ + width_ * static_cast<double>(bin);

@@ -15,6 +15,10 @@ class histogram {
   histogram(double lo, double hi, std::size_t bins);
 
   void add(double x) noexcept;
+  /// Combines counts as if all of `other`'s samples were added here.
+  /// Throws std::invalid_argument unless both histograms share the same
+  /// range and bin count.
+  void merge(const histogram& other);
   std::size_t total() const noexcept { return total_; }
   std::size_t bin_count() const noexcept { return counts_.size(); }
   std::size_t count_in_bin(std::size_t bin) const { return counts_.at(bin); }

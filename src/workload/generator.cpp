@@ -1,5 +1,6 @@
 #include "workload/generator.h"
 
+#include <atomic>
 #include <stdexcept>
 #include <utility>
 
@@ -7,10 +8,13 @@ namespace mca::workload {
 namespace {
 
 std::uint64_t next_request_id() {
-  // Request ids only need uniqueness within a process run; a file-local
-  // counter keeps generator wiring simple.
-  static std::uint64_t counter = 0;
-  return ++counter;
+  // Request ids only need uniqueness within a process run; with the
+  // experiment runner farming simulations out to worker threads the
+  // counter must be atomic.  Id *values* then depend on thread
+  // interleaving, so replication digests must never incorporate them
+  // (exp::digest_metrics does not).
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace

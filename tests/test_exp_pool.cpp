@@ -1,0 +1,118 @@
+#include "exp/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace mca::exp {
+namespace {
+
+TEST(ThreadPool, RunsEveryPostedTask) {
+  thread_pool pool{4};
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.post([&executed] { executed.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), 200);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  thread_pool pool{1};
+  EXPECT_THROW(pool.post({}), std::invalid_argument);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturnsImmediately) {
+  thread_pool pool{2};
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, WorkerCountClampsToAtLeastOne) {
+  thread_pool pool{0};  // 0 = hardware_workers(), itself floored at 1
+  EXPECT_GE(pool.worker_count(), 1u);
+  EXPECT_GE(thread_pool::hardware_workers(), 1u);
+}
+
+TEST(ThreadPool, TasksRunOnPoolThreadsNotCaller) {
+  thread_pool pool{2};
+  const auto caller = std::this_thread::get_id();
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 32; ++i) {
+    pool.post([&] {
+      std::lock_guard lock{mutex};
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  EXPECT_FALSE(ids.contains(caller));
+  EXPECT_GE(ids.size(), 1u);
+}
+
+TEST(ThreadPool, IdleWorkerStealsFromTheOtherQueue) {
+  thread_pool pool{2};
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  pool.post([&started, released] {
+    started.set_value();
+    released.wait();
+  });
+  // One worker is now parked inside the blocker.  The next two posts
+  // round-robin onto both deques, so whichever worker survives owns only
+  // one of them and must steal the other task.
+  started.get_future().wait();
+  std::atomic<int> quick_done{0};
+  pool.post([&quick_done] { quick_done.fetch_add(1); });
+  pool.post([&quick_done] { quick_done.fetch_add(1); });
+  while (quick_done.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+  EXPECT_GE(pool.steal_count(), 1u);
+  release.set_value();
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  thread_pool pool{4};
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsANoOp) {
+  thread_pool pool{2};
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossWaves) {
+  thread_pool pool{3};
+  std::atomic<int> total{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    parallel_for(pool, 40, [&total](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> executed{0};
+  {
+    thread_pool pool{2};
+    for (int i = 0; i < 64; ++i) {
+      pool.post([&executed] { executed.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(executed.load(), 64);
+}
+
+}  // namespace
+}  // namespace mca::exp

@@ -34,6 +34,30 @@ TEST(Histogram, BinLowerEdges) {
   EXPECT_THROW(h.bin_lower(5), std::out_of_range);
 }
 
+TEST(Histogram, MergeCombinesCounts) {
+  histogram a{0.0, 10.0, 10};
+  histogram b{0.0, 10.0, 10};
+  a.add(0.5);
+  a.add(4.5);
+  b.add(4.7);
+  b.add(9.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count_in_bin(0), 1u);
+  EXPECT_EQ(a.count_in_bin(4), 2u);
+  EXPECT_EQ(a.count_in_bin(9), 1u);
+  // b is untouched.
+  EXPECT_EQ(b.total(), 2u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedLayouts) {
+  histogram a{0.0, 10.0, 10};
+  histogram bins{0.0, 10.0, 5};
+  histogram range{0.0, 20.0, 10};
+  EXPECT_THROW(a.merge(bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(range), std::invalid_argument);
+}
+
 TEST(Histogram, QuantileApproximation) {
   histogram h{0.0, 100.0, 100};
   for (int i = 0; i < 100; ++i) h.add(i + 0.5);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <set>
 #include <vector>
 
@@ -182,6 +183,72 @@ TEST(Rng, ShuffleChangesOrderEventually) {
     changed = items != original;
   }
   EXPECT_TRUE(changed);
+}
+
+TEST(RngSplit, DeterministicPureFunction) {
+  rng a = rng::split(42, 7);
+  rng b = rng::split(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngSplit, AdjacentStreamsDiverge) {
+  rng a = rng::split(42, 0);
+  rng b = rng::split(42, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngSplit, AdjacentSeedsDiverge) {
+  rng a = rng::split(42, 3);
+  rng b = rng::split(43, 3);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+// Statistical smoke test for stream independence: across a sweep's worth
+// of streams, (1) every stream's uniforms look uniform, (2) no pair of
+// adjacent streams is linearly correlated, and (3) the streams' raw words
+// are bit-balanced.  `seed + i` seeding fails none of these on its own,
+// but the split construction must not regress them either.
+TEST(RngSplit, StreamIndependenceSmoke) {
+  constexpr int kStreams = 16;
+  constexpr int kDraws = 20'000;
+  std::vector<std::vector<double>> uniforms(kStreams);
+  double bit_total = 0.0;
+  for (int s = 0; s < kStreams; ++s) {
+    rng stream = rng::split(2017, static_cast<std::uint64_t>(s));
+    uniforms[s].reserve(kDraws);
+    for (int i = 0; i < kDraws; ++i) {
+      const std::uint64_t word = stream();
+      bit_total += std::popcount(word);
+      uniforms[s].push_back(static_cast<double>(word >> 11) * 0x1.0p-53);
+    }
+  }
+  // (1) per-stream mean near 1/2 (sd of the mean ~ 0.002).
+  for (int s = 0; s < kStreams; ++s) {
+    double mean = 0.0;
+    for (const double u : uniforms[s]) mean += u;
+    mean /= kDraws;
+    EXPECT_NEAR(mean, 0.5, 0.01) << "stream " << s;
+  }
+  // (2) adjacent-stream correlation indistinguishable from zero
+  // (|r| ~ N(0, 1/sqrt(n)); 5/sqrt(n) ~ 0.035).
+  for (int s = 0; s + 1 < kStreams; ++s) {
+    double xy = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      xy += (uniforms[s][i] - 0.5) * (uniforms[s + 1][i] - 0.5);
+    }
+    const double correlation = (xy / kDraws) / (1.0 / 12.0);
+    EXPECT_LT(std::abs(correlation), 0.035) << "streams " << s << "," << s + 1;
+  }
+  // (3) bits are balanced: mean popcount of a uniform word is 32.
+  EXPECT_NEAR(bit_total / (kStreams * kDraws), 32.0, 0.05);
 }
 
 TEST(Splitmix, KnownGolden) {
