@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_allocator_cost.dir/bench/ablation_allocator_cost.cpp.o"
+  "CMakeFiles/ablation_allocator_cost.dir/bench/ablation_allocator_cost.cpp.o.d"
+  "ablation_allocator_cost"
+  "ablation_allocator_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allocator_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_credits.dir/bench/ablation_credits.cpp.o"
+  "CMakeFiles/ablation_credits.dir/bench/ablation_credits.cpp.o.d"
+  "ablation_credits"
+  "ablation_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_predictor_modes.dir/bench/ablation_predictor_modes.cpp.o"
+  "CMakeFiles/ablation_predictor_modes.dir/bench/ablation_predictor_modes.cpp.o.d"
+  "ablation_predictor_modes"
+  "ablation_predictor_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predictor_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

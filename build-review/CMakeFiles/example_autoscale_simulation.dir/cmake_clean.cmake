@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_autoscale_simulation.dir/examples/autoscale_simulation.cpp.o"
+  "CMakeFiles/example_autoscale_simulation.dir/examples/autoscale_simulation.cpp.o.d"
+  "example_autoscale_simulation"
+  "example_autoscale_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_autoscale_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

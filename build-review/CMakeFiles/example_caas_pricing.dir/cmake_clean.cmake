@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_caas_pricing.dir/examples/caas_pricing.cpp.o"
+  "CMakeFiles/example_caas_pricing.dir/examples/caas_pricing.cpp.o.d"
+  "example_caas_pricing"
+  "example_caas_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_caas_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

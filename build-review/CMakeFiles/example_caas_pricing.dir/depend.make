@@ -1,0 +1,2 @@
+# Empty dependencies file for example_caas_pricing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_offload_decision.dir/examples/offload_decision.cpp.o"
+  "CMakeFiles/example_offload_decision.dir/examples/offload_decision.cpp.o.d"
+  "example_offload_decision"
+  "example_offload_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_offload_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

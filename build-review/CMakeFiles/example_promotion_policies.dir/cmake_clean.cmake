@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_promotion_policies.dir/examples/promotion_policies.cpp.o"
+  "CMakeFiles/example_promotion_policies.dir/examples/promotion_policies.cpp.o.d"
+  "example_promotion_policies"
+  "example_promotion_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_promotion_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

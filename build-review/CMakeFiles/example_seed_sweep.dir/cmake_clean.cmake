@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_seed_sweep.dir/examples/seed_sweep.cpp.o"
+  "CMakeFiles/example_seed_sweep.dir/examples/seed_sweep.cpp.o.d"
+  "example_seed_sweep"
+  "example_seed_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_seed_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_prediction.dir/bench/fig10_prediction.cpp.o"
+  "CMakeFiles/fig10_prediction.dir/bench/fig10_prediction.cpp.o.d"
+  "fig10_prediction"
+  "fig10_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_characterization.dir/bench/fig4_characterization.cpp.o"
+  "CMakeFiles/fig4_characterization.dir/bench/fig4_characterization.cpp.o.d"
+  "fig4_characterization"
+  "fig4_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

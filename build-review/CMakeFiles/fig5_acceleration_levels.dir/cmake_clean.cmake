@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_acceleration_levels.dir/bench/fig5_acceleration_levels.cpp.o"
+  "CMakeFiles/fig5_acceleration_levels.dir/bench/fig5_acceleration_levels.cpp.o.d"
+  "fig5_acceleration_levels"
+  "fig5_acceleration_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_acceleration_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_nano_micro_anomaly.dir/bench/fig6_nano_micro_anomaly.cpp.o"
+  "CMakeFiles/fig6_nano_micro_anomaly.dir/bench/fig6_nano_micro_anomaly.cpp.o.d"
+  "fig6_nano_micro_anomaly"
+  "fig6_nano_micro_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_nano_micro_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_nano_micro_anomaly.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_component_times.dir/bench/fig7_component_times.cpp.o"
+  "CMakeFiles/fig7_component_times.dir/bench/fig7_component_times.cpp.o.d"
+  "fig7_component_times"
+  "fig7_component_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_component_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_saturation.dir/bench/fig8_saturation.cpp.o"
+  "CMakeFiles/fig8_saturation.dir/bench/fig8_saturation.cpp.o.d"
+  "fig8_saturation"
+  "fig8_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

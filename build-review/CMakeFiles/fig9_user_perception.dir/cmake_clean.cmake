@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_user_perception.dir/bench/fig9_user_perception.cpp.o"
+  "CMakeFiles/fig9_user_perception.dir/bench/fig9_user_perception.cpp.o.d"
+  "fig9_user_perception"
+  "fig9_user_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_user_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

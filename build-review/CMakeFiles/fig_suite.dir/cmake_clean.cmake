@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_suite.dir/bench/fig_suite.cpp.o"
+  "CMakeFiles/fig_suite.dir/bench/fig_suite.cpp.o.d"
+  "fig_suite"
+  "fig_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/device.cpp" "CMakeFiles/mca.dir/src/client/device.cpp.o" "gcc" "CMakeFiles/mca.dir/src/client/device.cpp.o.d"
+  "/root/repo/src/client/moderator.cpp" "CMakeFiles/mca.dir/src/client/moderator.cpp.o" "gcc" "CMakeFiles/mca.dir/src/client/moderator.cpp.o.d"
+  "/root/repo/src/client/usage_trace.cpp" "CMakeFiles/mca.dir/src/client/usage_trace.cpp.o" "gcc" "CMakeFiles/mca.dir/src/client/usage_trace.cpp.o.d"
+  "/root/repo/src/cloud/backend_pool.cpp" "CMakeFiles/mca.dir/src/cloud/backend_pool.cpp.o" "gcc" "CMakeFiles/mca.dir/src/cloud/backend_pool.cpp.o.d"
+  "/root/repo/src/cloud/billing.cpp" "CMakeFiles/mca.dir/src/cloud/billing.cpp.o" "gcc" "CMakeFiles/mca.dir/src/cloud/billing.cpp.o.d"
+  "/root/repo/src/cloud/instance.cpp" "CMakeFiles/mca.dir/src/cloud/instance.cpp.o" "gcc" "CMakeFiles/mca.dir/src/cloud/instance.cpp.o.d"
+  "/root/repo/src/cloud/instance_type.cpp" "CMakeFiles/mca.dir/src/cloud/instance_type.cpp.o" "gcc" "CMakeFiles/mca.dir/src/cloud/instance_type.cpp.o.d"
+  "/root/repo/src/core/acceleration.cpp" "CMakeFiles/mca.dir/src/core/acceleration.cpp.o" "gcc" "CMakeFiles/mca.dir/src/core/acceleration.cpp.o.d"
+  "/root/repo/src/core/allocator.cpp" "CMakeFiles/mca.dir/src/core/allocator.cpp.o" "gcc" "CMakeFiles/mca.dir/src/core/allocator.cpp.o.d"
+  "/root/repo/src/core/caas.cpp" "CMakeFiles/mca.dir/src/core/caas.cpp.o" "gcc" "CMakeFiles/mca.dir/src/core/caas.cpp.o.d"
+  "/root/repo/src/core/classifier.cpp" "CMakeFiles/mca.dir/src/core/classifier.cpp.o" "gcc" "CMakeFiles/mca.dir/src/core/classifier.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "CMakeFiles/mca.dir/src/core/predictor.cpp.o" "gcc" "CMakeFiles/mca.dir/src/core/predictor.cpp.o.d"
+  "/root/repo/src/core/sdn_accelerator.cpp" "CMakeFiles/mca.dir/src/core/sdn_accelerator.cpp.o" "gcc" "CMakeFiles/mca.dir/src/core/sdn_accelerator.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "CMakeFiles/mca.dir/src/core/system.cpp.o" "gcc" "CMakeFiles/mca.dir/src/core/system.cpp.o.d"
+  "/root/repo/src/exp/curves.cpp" "CMakeFiles/mca.dir/src/exp/curves.cpp.o" "gcc" "CMakeFiles/mca.dir/src/exp/curves.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "CMakeFiles/mca.dir/src/exp/scenario.cpp.o" "gcc" "CMakeFiles/mca.dir/src/exp/scenario.cpp.o.d"
+  "/root/repo/src/exp/thread_pool.cpp" "CMakeFiles/mca.dir/src/exp/thread_pool.cpp.o" "gcc" "CMakeFiles/mca.dir/src/exp/thread_pool.cpp.o.d"
+  "/root/repo/src/ilp/branch_bound.cpp" "CMakeFiles/mca.dir/src/ilp/branch_bound.cpp.o" "gcc" "CMakeFiles/mca.dir/src/ilp/branch_bound.cpp.o.d"
+  "/root/repo/src/ilp/problem.cpp" "CMakeFiles/mca.dir/src/ilp/problem.cpp.o" "gcc" "CMakeFiles/mca.dir/src/ilp/problem.cpp.o.d"
+  "/root/repo/src/ilp/simplex.cpp" "CMakeFiles/mca.dir/src/ilp/simplex.cpp.o" "gcc" "CMakeFiles/mca.dir/src/ilp/simplex.cpp.o.d"
+  "/root/repo/src/ilp/tableau.cpp" "CMakeFiles/mca.dir/src/ilp/tableau.cpp.o" "gcc" "CMakeFiles/mca.dir/src/ilp/tableau.cpp.o.d"
+  "/root/repo/src/net/netradar.cpp" "CMakeFiles/mca.dir/src/net/netradar.cpp.o" "gcc" "CMakeFiles/mca.dir/src/net/netradar.cpp.o.d"
+  "/root/repo/src/net/operators.cpp" "CMakeFiles/mca.dir/src/net/operators.cpp.o" "gcc" "CMakeFiles/mca.dir/src/net/operators.cpp.o.d"
+  "/root/repo/src/net/rtt_model.cpp" "CMakeFiles/mca.dir/src/net/rtt_model.cpp.o" "gcc" "CMakeFiles/mca.dir/src/net/rtt_model.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "CMakeFiles/mca.dir/src/sim/simulation.cpp.o" "gcc" "CMakeFiles/mca.dir/src/sim/simulation.cpp.o.d"
+  "/root/repo/src/tasks/linalg.cpp" "CMakeFiles/mca.dir/src/tasks/linalg.cpp.o" "gcc" "CMakeFiles/mca.dir/src/tasks/linalg.cpp.o.d"
+  "/root/repo/src/tasks/minimax.cpp" "CMakeFiles/mca.dir/src/tasks/minimax.cpp.o" "gcc" "CMakeFiles/mca.dir/src/tasks/minimax.cpp.o.d"
+  "/root/repo/src/tasks/nqueens.cpp" "CMakeFiles/mca.dir/src/tasks/nqueens.cpp.o" "gcc" "CMakeFiles/mca.dir/src/tasks/nqueens.cpp.o.d"
+  "/root/repo/src/tasks/numeric.cpp" "CMakeFiles/mca.dir/src/tasks/numeric.cpp.o" "gcc" "CMakeFiles/mca.dir/src/tasks/numeric.cpp.o.d"
+  "/root/repo/src/tasks/pool.cpp" "CMakeFiles/mca.dir/src/tasks/pool.cpp.o" "gcc" "CMakeFiles/mca.dir/src/tasks/pool.cpp.o.d"
+  "/root/repo/src/tasks/sorting.cpp" "CMakeFiles/mca.dir/src/tasks/sorting.cpp.o" "gcc" "CMakeFiles/mca.dir/src/tasks/sorting.cpp.o.d"
+  "/root/repo/src/trace/edit_distance.cpp" "CMakeFiles/mca.dir/src/trace/edit_distance.cpp.o" "gcc" "CMakeFiles/mca.dir/src/trace/edit_distance.cpp.o.d"
+  "/root/repo/src/trace/log_store.cpp" "CMakeFiles/mca.dir/src/trace/log_store.cpp.o" "gcc" "CMakeFiles/mca.dir/src/trace/log_store.cpp.o.d"
+  "/root/repo/src/trace/time_slot.cpp" "CMakeFiles/mca.dir/src/trace/time_slot.cpp.o" "gcc" "CMakeFiles/mca.dir/src/trace/time_slot.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "CMakeFiles/mca.dir/src/trace/trace_io.cpp.o" "gcc" "CMakeFiles/mca.dir/src/trace/trace_io.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/mca.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/mca.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "CMakeFiles/mca.dir/src/util/histogram.cpp.o" "gcc" "CMakeFiles/mca.dir/src/util/histogram.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/mca.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/mca.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "CMakeFiles/mca.dir/src/workload/generator.cpp.o" "gcc" "CMakeFiles/mca.dir/src/workload/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acceleration.dir/tests/test_acceleration.cpp.o"
+  "CMakeFiles/test_acceleration.dir/tests/test_acceleration.cpp.o.d"
+  "test_acceleration"
+  "test_acceleration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

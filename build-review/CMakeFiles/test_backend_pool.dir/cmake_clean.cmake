@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_pool.dir/tests/test_backend_pool.cpp.o"
+  "CMakeFiles/test_backend_pool.dir/tests/test_backend_pool.cpp.o.d"
+  "test_backend_pool"
+  "test_backend_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

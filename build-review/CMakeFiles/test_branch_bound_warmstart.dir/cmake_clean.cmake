@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branch_bound_warmstart.dir/tests/test_branch_bound_warmstart.cpp.o"
+  "CMakeFiles/test_branch_bound_warmstart.dir/tests/test_branch_bound_warmstart.cpp.o.d"
+  "test_branch_bound_warmstart"
+  "test_branch_bound_warmstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branch_bound_warmstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

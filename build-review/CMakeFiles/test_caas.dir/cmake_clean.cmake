@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_caas.dir/tests/test_caas.cpp.o"
+  "CMakeFiles/test_caas.dir/tests/test_caas.cpp.o.d"
+  "test_caas"
+  "test_caas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_caas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classifier.dir/tests/test_classifier.cpp.o"
+  "CMakeFiles/test_classifier.dir/tests/test_classifier.cpp.o.d"
+  "test_classifier"
+  "test_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edit_distance.dir/tests/test_edit_distance.cpp.o"
+  "CMakeFiles/test_edit_distance.dir/tests/test_edit_distance.cpp.o.d"
+  "test_edit_distance"
+  "test_edit_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edit_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

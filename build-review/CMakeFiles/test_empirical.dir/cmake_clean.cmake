@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_empirical.dir/tests/test_empirical.cpp.o"
+  "CMakeFiles/test_empirical.dir/tests/test_empirical.cpp.o.d"
+  "test_empirical"
+  "test_empirical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp_pool.dir/tests/test_exp_pool.cpp.o"
+  "CMakeFiles/test_exp_pool.dir/tests/test_exp_pool.cpp.o.d"
+  "test_exp_pool"
+  "test_exp_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

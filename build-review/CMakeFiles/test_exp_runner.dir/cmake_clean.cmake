@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp_runner.dir/tests/test_exp_runner.cpp.o"
+  "CMakeFiles/test_exp_runner.dir/tests/test_exp_runner.cpp.o.d"
+  "test_exp_runner"
+  "test_exp_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

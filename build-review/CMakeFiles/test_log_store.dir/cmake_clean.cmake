@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_store.dir/tests/test_log_store.cpp.o"
+  "CMakeFiles/test_log_store.dir/tests/test_log_store.cpp.o.d"
+  "test_log_store"
+  "test_log_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

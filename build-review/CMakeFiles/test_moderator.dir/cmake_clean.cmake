@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moderator.dir/tests/test_moderator.cpp.o"
+  "CMakeFiles/test_moderator.dir/tests/test_moderator.cpp.o.d"
+  "test_moderator"
+  "test_moderator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moderator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

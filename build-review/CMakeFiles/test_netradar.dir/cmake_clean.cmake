@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netradar.dir/tests/test_netradar.cpp.o"
+  "CMakeFiles/test_netradar.dir/tests/test_netradar.cpp.o.d"
+  "test_netradar"
+  "test_netradar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netradar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

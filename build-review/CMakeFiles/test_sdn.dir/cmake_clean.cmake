@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdn.dir/tests/test_sdn.cpp.o"
+  "CMakeFiles/test_sdn.dir/tests/test_sdn.cpp.o.d"
+  "test_sdn"
+  "test_sdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simplex_degenerate.dir/tests/test_simplex_degenerate.cpp.o"
+  "CMakeFiles/test_simplex_degenerate.dir/tests/test_simplex_degenerate.cpp.o.d"
+  "test_simplex_degenerate"
+  "test_simplex_degenerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simplex_degenerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

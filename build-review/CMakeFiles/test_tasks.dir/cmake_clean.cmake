@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tasks.dir/tests/test_tasks.cpp.o"
+  "CMakeFiles/test_tasks.dir/tests/test_tasks.cpp.o.d"
+  "test_tasks"
+  "test_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

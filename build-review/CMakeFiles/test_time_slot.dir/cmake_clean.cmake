@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_slot.dir/tests/test_time_slot.cpp.o"
+  "CMakeFiles/test_time_slot.dir/tests/test_time_slot.cpp.o.d"
+  "test_time_slot"
+  "test_time_slot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_slot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

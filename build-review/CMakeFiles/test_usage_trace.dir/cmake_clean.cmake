@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usage_trace.dir/tests/test_usage_trace.cpp.o"
+  "CMakeFiles/test_usage_trace.dir/tests/test_usage_trace.cpp.o.d"
+  "test_usage_trace"
+  "test_usage_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usage_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
