@@ -127,6 +127,11 @@ void validate(const allocation_request& request) {
 }
 
 allocation_plan allocate_ilp(const allocation_request& request) {
+  return allocate_ilp(request, ilp::ilp_options{});
+}
+
+allocation_plan allocate_ilp(const allocation_request& request,
+                             const ilp::ilp_options& opts) {
   validate(request);
   const column_layout layout = flatten(request);
   if (layout.columns.empty()) {
@@ -188,8 +193,16 @@ allocation_plan allocate_ilp(const allocation_request& request) {
                          "account_cap");
   }
 
-  const ilp::solution solved = ilp::solve_ilp(model);
-  if (solved.status != ilp::solve_status::optimal) {
+  const ilp::solution solved = ilp::solve_ilp(model, opts);
+  // An exhausted node budget still returns the best incumbent found — a
+  // feasible integral plan, usually better than the greedy fill.  Only a
+  // truly empty result (infeasible, unbounded, or a budget too small to
+  // find any incumbent) falls back to best effort.
+  const bool usable =
+      solved.status == ilp::solve_status::optimal ||
+      (solved.status == ilp::solve_status::iteration_limit &&
+       !solved.values.empty());
+  if (!usable) {
     allocation_plan plan = allocate_best_effort(request);
     plan.status = solved.status;
     return plan;
@@ -197,11 +210,15 @@ allocation_plan allocate_ilp(const allocation_request& request) {
 
   std::vector<std::size_t> counts(layout.columns.size(), 0);
   for (std::size_t i = 0; i < layout.columns.size(); ++i) {
-    counts[i] = static_cast<std::size_t>(std::llround(solved.values[i]));
+    // A tolerance-level negative relaxation value must clamp at zero: fed
+    // straight through llround into the unsigned count it would wrap to a
+    // huge allocation.
+    counts[i] =
+        static_cast<std::size_t>(std::llround(std::max(0.0, solved.values[i])));
   }
   allocation_plan plan = plan_from_counts(request, layout, counts);
   plan.feasible = true;
-  plan.status = ilp::solve_status::optimal;
+  plan.status = solved.status;
   return plan;
 }
 

@@ -71,8 +71,15 @@ struct allocation_plan {
 void validate(const allocation_request& request);
 
 /// Exact ILP allocation.  When the request is infeasible under CC, falls
-/// back to the best-effort fill (flagged in the plan).
+/// back to the best-effort fill (flagged in the plan).  If the solver's
+/// node budget runs out with a feasible incumbent in hand, that incumbent
+/// is used (status `iteration_limit` flags the unproven optimality); the
+/// greedy fallback is reserved for truly empty results.
 allocation_plan allocate_ilp(const allocation_request& request);
+
+/// Same, with explicit solver knobs (node budget, tolerances).
+allocation_plan allocate_ilp(const allocation_request& request,
+                             const ilp::ilp_options& opts);
 
 /// Greedy baseline: per group, pick the candidate with the best
 /// capacity-per-dollar and buy enough of it; spill to the next-best type

@@ -285,6 +285,28 @@ std::vector<scenario_spec> builtin_scenarios() {
   fig10.slot_length = util::minutes(30.0);
   fig10.background_requests_per_burst = 20;
 
+  // Fleet scale: a larger population spread over four acceleration groups,
+  // each provisioned from two EC2 tiers, so every slot boundary feeds the
+  // bounded-variable ILP a multi-candidate, many-group allocation instead
+  // of the three one-candidate groups of the paper scenarios.
+  scenario_spec fleet;
+  fleet.name = "fleet";
+  fleet.base_seed = 64;
+  fleet.user_count = 400;
+  fleet.duration = util::hours(1.5);
+  fleet.slot_length = util::minutes(20.0);
+  fleet.max_total_instances = 96;
+  fleet.groups = {
+      {1, "t2.nano", 1, 4.0},      {1, "t2.small", 0, 18.0},
+      {2, "t2.medium", 1, 12.0},   {2, "t2.large", 0, 26.0},
+      {3, "m4.4xlarge", 1, 100.0}, {3, "m4.10xlarge", 0, 240.0},
+      {4, "c4.8xlarge", 1, 220.0},
+  };
+  fleet.tasks = task_mix::random_pool;
+  fleet.promotion_probability = 1.0 / 30.0;
+  fleet.background_requests_per_burst = 10;
+  fleet.background_burst_period = util::seconds(5.0);
+
   scenario_spec smoke;
   smoke.name = "smoke";
   smoke.base_seed = 7;
@@ -297,7 +319,7 @@ std::vector<scenario_spec> builtin_scenarios() {
   smoke.background_burst_period = util::seconds(10.0);
   smoke.groups = {{1, "t2.nano", 1, 4.0}, {2, "t2.large", 1, 30.0}};
 
-  return {fig9, fig10, smoke};
+  return {fig9, fig10, fleet, smoke};
 }
 
 }  // namespace mca::exp

@@ -171,7 +171,7 @@ scenario_result run_scenario(const scenario_spec& spec,
                              thread_pool& pool);
 
 /// The named closed-loop scenarios the fig_suite CLI exposes
-/// (fig9_closed_loop, fig10_adaptive, smoke).
+/// (fig9_closed_loop, fig10_adaptive, fleet, smoke).
 std::vector<scenario_spec> builtin_scenarios();
 
 }  // namespace mca::exp

@@ -65,11 +65,51 @@ solution solve_ilp(const problem& p, const ilp_options& opts) {
       if (at_root) root_unbounded = true;
       return;
     }
+    if (status == solve_status::iteration_limit) {
+      // The LP pivot budget ran out, so this subtree was dropped without a
+      // bound proof; the overall result can no longer claim optimality (or
+      // infeasibility) — only the incumbent-so-far under iteration_limit.
+      budget_exhausted = true;
+      return;
+    }
     if (status != solve_status::optimal) return;
 
     solution relaxed;
     t.extract(relaxed);
     if (relaxed.objective >= incumbent.objective - 1e-9) return;  // bound
+
+    if (at_root) {
+      // Rounding heuristics on the root relaxation: an early incumbent is
+      // what lets reduced-cost tightening collapse the search box before
+      // the tree fans out.  Ceiling favors covering (>=) rows; nearest
+      // rounding favors balanced ones.  Both are validated before use.
+      for (int mode = 0; mode < 2; ++mode) {
+        solution candidate;
+        candidate.values = relaxed.values;
+        for (std::size_t j = 0; j < p.variable_count(); ++j) {
+          const auto& v = p.variable(j);
+          if (!v.is_integer) continue;
+          double value = candidate.values[j];
+          value = mode == 0 ? std::ceil(value - 1e-9) : std::round(value);
+          candidate.values[j] = std::min(std::max(value, v.lower), v.upper);
+        }
+        candidate.objective = p.objective_value(candidate.values);
+        if (candidate.objective < incumbent.objective &&
+            p.is_feasible(candidate.values)) {
+          incumbent = std::move(candidate);
+          incumbent.status = solve_status::optimal;
+        }
+      }
+    }
+    // Pull in every nonbasic variable's far bound to its reduced-cost
+    // reach below the incumbent; children inherit the shrunken box.  The
+    // 1e-6 safety margin covers extract()'s tolerance-level clamping of
+    // basic values, which can overstate the node bound: the computed reach
+    // may then only err loose (weaker fixing), never cut the optimum.
+    if (std::isfinite(incumbent.objective)) {
+      t.tighten_by_reduced_costs(incumbent.objective + 1e-6 -
+                                 relaxed.objective);
+    }
 
     const auto branch_var =
         most_fractional(p, relaxed.values, opts.integrality_tolerance);
@@ -139,8 +179,10 @@ solution solve_ilp(const problem& p, const ilp_options& opts) {
     } else {
       node.state.tighten_upper(node.var, node.bound);
     }
-    // Dual-simplex warm start from the parent basis; falls back to a full
-    // rebuild internally when the tightening could not be applied in place.
+    // Bound-aware dual-simplex warm start from the parent basis.  Every
+    // tightening — including a variable's first finite upper bound — is an
+    // in-place bound-state update, so the full rebuild only triggers when
+    // the dual iteration budget blows out.
     const solve_status status = node.state.resolve(opts.lp);
     consider(std::move(node.state), status, /*at_root=*/false);
   }

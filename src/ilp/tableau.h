@@ -1,18 +1,34 @@
-// Dense simplex tableau with warm-start support.
+// Dense bounded-variable simplex tableau with warm-start support.
 //
 // One contiguous row-major buffer (rows x stride) instead of a
 // vector-of-vectors: pivots stream through memory linearly and the whole
-// state is copyable with three memcpys, which is what lets branch & bound
+// state is copyable with a few memcpys, which is what lets branch & bound
 // snapshot a node cheaply.  Entering-variable selection is Dantzig pricing
 // over a small candidate list refreshed from a rotating cursor, with a
 // Bland-rule fallback when a degenerate streak suggests cycling.
 //
+// Variable upper bounds are implicit (bounded-variable simplex), not rows:
+// the tableau holds only the problem's true constraints, and every column
+// carries an at-lower/at-upper nonbasic state instead of a bound row plus
+// slack.  An at-upper column is stored sign-flipped so its tableau-space
+// value is zero like any other nonbasic, which keeps the pivot arithmetic
+// standard; the primal ratio test gains two extra exits — a basic variable
+// reaching its finite upper bound (the leaving row is flipped into its
+// distance-from-upper form, then pivoted normally) and the entering
+// variable traversing its whole span (a pivot-free bound flip) — and the
+// dual simplex treats an above-upper basic value by flipping it into an
+// ordinary below-zero violation.  For the allocator's models, where every
+// column is capped by the account limit, this halves the tableau: G·C
+// bound rows and their slack columns simply never exist.
+//
 // Child nodes of branch & bound do not rebuild: `tighten_lower` /
 // `tighten_upper` adjust the right-hand side in place (an O(rows) column
-// sweep) and `resolve` re-optimizes with the dual simplex from the parent
-// basis, falling back to a full primal rebuild only when the tightening
-// cannot be expressed in place (a variable gaining its first finite upper
-// bound) or the dual iteration budget runs out.
+// sweep, or a pure bookkeeping update when the tightened side is not the
+// one the variable currently sits at) and `resolve` re-optimizes with the
+// bound-aware dual simplex from the parent basis.  A variable gaining its
+// first finite upper bound is just a span update — unlike the explicit-row
+// formulation there is no structural change, so the full primal rebuild
+// remains only as the fallback for a dual iteration-budget blowout.
 #pragma once
 
 #include <cstddef>
@@ -51,13 +67,26 @@ class dense_tableau {
   /// Lowers the upper bound of `var` (no-op if `hi` is not tighter).
   void tighten_upper(std::size_t var, double hi);
 
+  /// Reduced-cost bound tightening against an incumbent: after an optimal
+  /// (re)solve whose objective sits `slack` below the cutoff, a nonbasic
+  /// variable with reduced cost d can move at most slack / d from the
+  /// bound it sits at before the objective crosses the cutoff, so its far
+  /// bound is pulled in to that reach (rounded down for integer
+  /// variables).  The current vertex stays put and the rhs is untouched —
+  /// in the bounded-variable representation this is free — but the search
+  /// box handed to child nodes shrinks, often to a single point.
+  void tighten_by_reduced_costs(double slack);
+
   double lower(std::size_t var) const { return shift_[var]; }
   double upper(std::size_t var) const { return upper_[var]; }
 
-  /// Writes the assignment and objective of the last optimal solve.
+  /// Writes the assignment and objective of the last optimal solve.  The
+  /// emitted values are clamped to the variable boxes, so downstream
+  /// consumers never see a tolerance-level bound violation (e.g. -1e-10).
   void extract(solution& out) const;
 
-  /// Pivots performed by this tableau (all solves, both phases).
+  /// Pivots performed by this tableau (all solves, both phases; pivot-free
+  /// bound flips count too — they are iterations of the same loop).
   std::size_t pivots() const noexcept { return pivots_; }
 
  private:
@@ -71,11 +100,22 @@ class dense_tableau {
   }
   double* row_ptr(std::size_t row) { return tab_.data() + row * stride_; }
 
+  /// Width of column `col`'s box in tableau space: upper - lower for a
+  /// structural variable (possibly infinite), infinite for slacks and
+  /// artificials.
+  double span(std::size_t col) const;
+
   void build();
   void pivot(std::size_t row, std::size_t col);
+  /// Moves nonbasic `col` to its other bound: rhs sweep, column and
+  /// reduced-cost negation, flag toggle.  Self-inverse.
+  void flip_nonbasic(std::size_t col);
+  /// Re-expresses the basic variable of `row` as its distance from its
+  /// (finite) upper bound, so "leaves at upper" / "violates upper" reduce
+  /// to the ordinary at-zero cases.
+  void flip_basic_row(std::size_t row);
   void price_out_basis();
   std::size_t choose_entering(std::size_t limit);
-  std::size_t choose_leaving(std::size_t entering) const;
   solve_status primal(std::size_t limit, std::size_t max_iters,
                       std::size_t& used);
   solve_status dual(const simplex_options& opts);
@@ -98,8 +138,7 @@ class dense_tableau {
   std::vector<double> rhs_;
   std::vector<double> cost_;  // reduced-cost row of the active objective
   std::vector<std::size_t> basis_;
-  std::vector<std::size_t> upper_row_;    // bound row per variable (or npos)
-  std::vector<std::size_t> upper_slack_;  // that row's slack column
+  std::vector<char> flipped_;  // column stored as distance-from-upper?
 
   // Pricing state.
   std::vector<std::size_t> candidates_;

@@ -95,6 +95,50 @@ TEST(AllocatorIlp, CapExactlySufficientStaysExact) {
   EXPECT_EQ(plan.count_of(0, "large"), 3u);
 }
 
+TEST(AllocatorIlp, ExhaustedNodeBudgetUsesIncumbentNotGreedy) {
+  // A node budget of 1 stops branch & bound right after the root: the
+  // solver reports iteration_limit but carries the root rounding incumbent
+  // — a valid integral plan.  The allocator must ship that plan (flagged
+  // as unproven via status) instead of discarding it for the greedy fill.
+  allocation_request request;
+  request.workload_per_group = {35.0, 55.0, 95.0};
+  request.candidates_per_group = {
+      {{"small", 10.0, 1.0}, {"large", 40.0, 3.0}},
+      {{"small", 10.0, 1.0}, {"large", 40.0, 3.0}},
+      {{"small", 10.0, 1.0}, {"large", 40.0, 3.0}},
+  };
+  ilp::ilp_options opts;
+  opts.max_nodes = 1;
+  const auto plan = allocate_ilp(request, opts);
+  EXPECT_EQ(plan.status, ilp::solve_status::iteration_limit);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_FALSE(plan.best_effort);
+  // The incumbent covers every group's demand (strict margin included).
+  for (group_id g = 0; g < 3; ++g) {
+    double capacity = 0.0;
+    for (const auto& entry : plan.entries) {
+      if (entry.group != g) continue;
+      capacity += (entry.type_name == "small" ? 10.0 : 40.0) *
+                  static_cast<double>(entry.count);
+    }
+    EXPECT_GE(capacity, request.workload_per_group[g] + 1.0) << "group " << g;
+  }
+  // And it is no worse than what the discarded-incumbent bug used to ship.
+  const auto greedy = allocate_best_effort(request);
+  EXPECT_LE(plan.total_cost_per_hour, greedy.total_cost_per_hour + 1e-9);
+}
+
+TEST(AllocatorIlp, ZeroNodeBudgetStillFallsBackToBestEffort) {
+  // With no nodes at all there is no incumbent, so the greedy best-effort
+  // fill remains the answer of last resort.
+  ilp::ilp_options opts;
+  opts.max_nodes = 0;
+  const auto plan = allocate_ilp(single_group_request(35.0), opts);
+  EXPECT_EQ(plan.status, ilp::solve_status::iteration_limit);
+  EXPECT_TRUE(plan.best_effort);
+  EXPECT_GT(plan.total_instances(), 0u);
+}
+
 TEST(AllocatorIlp, CumulativeModeLetsFastGroupsAbsorb) {
   allocation_request request;
   request.workload_per_group = {30.0, 20.0};

@@ -10,6 +10,7 @@
 #include <limits>
 #include <vector>
 
+#include "ilp/tableau.h"
 #include "util/rng.h"
 
 namespace mca::ilp {
@@ -101,6 +102,108 @@ TEST(BranchBoundWarmStart, MatchesExhaustiveEnumeration) {
   // The generator should exercise both outcomes; if not, tighten it.
   EXPECT_GT(feasible_seen, 5);
   EXPECT_GT(infeasible_seen, 0);
+}
+
+TEST(TableauWarmStart, FirstFiniteUpperBoundNeedsNoRebuild) {
+  // x is unbounded above at build time; maximize it against a shared row,
+  // then hand it its first finite upper bound.  In the bounded-variable
+  // formulation this is a pure span update — the dual simplex repairs the
+  // violated basic value in place, without the full primal rebuild the
+  // explicit-row tableau needed to materialize a bound row.
+  problem p;
+  const auto x = p.add_variable(-1.0);  // maximize x, upper = +inf
+  const auto y = p.add_variable(1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, relation::less_equal, 10.0);
+
+  simplex_options opts;
+  dense_tableau t{p, opts.tolerance};
+  ASSERT_EQ(t.solve(opts), solve_status::optimal);
+  solution before;
+  t.extract(before);
+  EXPECT_NEAR(before.values[x], 10.0, 1e-9);
+
+  const std::size_t pivots_before = t.pivots();
+  t.tighten_upper(x, 6.5);
+  ASSERT_EQ(t.resolve(opts), solve_status::optimal);
+  solution after;
+  t.extract(after);
+  EXPECT_NEAR(after.values[x], 6.5, 1e-9);
+  EXPECT_NEAR(after.values[y], 0.0, 1e-9);
+  EXPECT_NEAR(after.objective, -6.5, 1e-9);
+  // The warm path is a handful of dual repairs, not a two-phase re-solve.
+  EXPECT_LE(t.pivots() - pivots_before, 3u);
+  // Cross-check against a cold solve of the tightened model.
+  problem fresh;
+  const auto fx = fresh.add_variable(-1.0, 0.0, 6.5);
+  const auto fy = fresh.add_variable(1.0);
+  fresh.add_constraint({{fx, 1.0}, {fy, 1.0}}, relation::less_equal, 10.0);
+  const auto cold = solve_lp(fresh);
+  ASSERT_EQ(cold.status, solve_status::optimal);
+  EXPECT_NEAR(cold.objective, after.objective, 1e-9);
+}
+
+TEST(TableauWarmStart, DualRecoversAfterBoundFlipAtUpper) {
+  // The optimum parks y on its upper bound (an at-upper, flipped column).
+  // Tightening that bound moves the parked variable itself — the rhs sweep
+  // over the flipped column — and the dual simplex must then restore
+  // feasibility by driving x up to its own box.
+  problem p;
+  const auto x = p.add_variable(-1.0, 0.0, 4.0);
+  const auto y = p.add_variable(-2.0, 0.0, 8.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, relation::less_equal, 10.0);
+
+  simplex_options opts;
+  dense_tableau t{p, opts.tolerance};
+  ASSERT_EQ(t.solve(opts), solve_status::optimal);
+  solution before;
+  t.extract(before);
+  EXPECT_NEAR(before.values[y], 8.0, 1e-9);  // parked at its upper bound
+  EXPECT_NEAR(before.values[x], 2.0, 1e-9);
+
+  t.tighten_upper(y, 5.0);
+  ASSERT_EQ(t.resolve(opts), solve_status::optimal);
+  solution after;
+  t.extract(after);
+  EXPECT_NEAR(after.values[y], 5.0, 1e-9);
+  EXPECT_NEAR(after.values[x], 4.0, 1e-9);  // now parked on its own box
+  EXPECT_NEAR(after.objective, -14.0, 1e-9);
+
+  // A second tightening chain on the other variable keeps the same
+  // tableau warm across consecutive resolves, like branch & bound does.
+  t.tighten_upper(x, 2.0);
+  ASSERT_EQ(t.resolve(opts), solve_status::optimal);
+  solution third;
+  t.extract(third);
+  EXPECT_NEAR(third.values[x], 2.0, 1e-9);
+  EXPECT_NEAR(third.values[y], 5.0, 1e-9);
+  EXPECT_NEAR(third.objective, -12.0, 1e-9);
+}
+
+TEST(TableauWarmStart, TightenLowerOnAtUpperVariableKeepsPoint) {
+  // Raising the lower bound of a variable parked at its upper bound leaves
+  // the vertex untouched (only the box shrinks); the resolve is a no-op
+  // and the optimum survives unchanged.
+  problem p;
+  const auto x = p.add_variable(-3.0, 0.0, 5.0);
+  const auto y = p.add_variable(1.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, relation::less_equal, 20.0);
+
+  simplex_options opts;
+  dense_tableau t{p, opts.tolerance};
+  ASSERT_EQ(t.solve(opts), solve_status::optimal);
+  solution before;
+  t.extract(before);
+  EXPECT_NEAR(before.values[x], 5.0, 1e-9);
+
+  const std::size_t pivots_before = t.pivots();
+  t.tighten_lower(x, 2.0);
+  ASSERT_EQ(t.resolve(opts), solve_status::optimal);
+  EXPECT_EQ(t.pivots(), pivots_before);  // nothing to repair
+  solution after;
+  t.extract(after);
+  EXPECT_NEAR(after.values[x], 5.0, 1e-9);
+  EXPECT_NEAR(after.objective, before.objective, 1e-9);
+  EXPECT_GE(after.values[x], t.lower(x) - 1e-12);
 }
 
 TEST(BranchBoundWarmStart, DeepBranchingChainStaysExact) {
