@@ -74,6 +74,23 @@ inline bool has_flag(int argc, char** argv, const std::string& flag) {
   return false;
 }
 
+/// Strictly parsed positive "--flag N"; exits rather than letting a typo
+/// (e.g. "--replications x" -> 0) degrade a suite into a vacuous run.
+/// `bench_name` prefixes the error message.
+inline std::size_t flag_count(int argc, char** argv, const std::string& flag,
+                              std::size_t fallback, const char* bench_name) {
+  const auto value = flag_value(argc, argv, flag);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
+  if (value->empty() || end == nullptr || *end != '\0' || parsed == 0) {
+    std::fprintf(stderr, "%s: %s needs a positive integer, got '%s'\n",
+                 bench_name, flag.c_str(), value->c_str());
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
 /// Parses a comma-separated integer list ("2017,2018,2019").  Strict:
 /// returns an empty vector when any item fails to parse, so callers can
 /// distinguish a typo from a valid list.

@@ -88,22 +88,6 @@ bool write_figures_json(const std::string& path, std::size_t jobs,
   return true;
 }
 
-/// Strictly parsed positive "--flag N"; exits rather than letting a typo
-/// (e.g. "--replications x" -> 0) degrade the suite into a vacuous run.
-std::size_t flag_count(int argc, char** argv, const std::string& flag,
-                       std::size_t fallback) {
-  const auto value = bench::flag_value(argc, argv, flag);
-  if (!value) return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
-  if (value->empty() || end == nullptr || *end != '\0' || parsed == 0) {
-    std::fprintf(stderr, "fig_suite: %s needs a positive integer, got '%s'\n",
-                 flag.c_str(), value->c_str());
-    std::exit(2);
-  }
-  return static_cast<std::size_t>(parsed);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,9 +104,10 @@ int main(int argc, char** argv) {
 
   const auto filter = bench::flag_value(argc, argv, "--scenario");
   const std::size_t replications =
-      flag_count(argc, argv, "--replications", 6);
+      bench::flag_count(argc, argv, "--replications", 6, "fig_suite");
   const std::size_t hardware = exp::thread_pool::hardware_workers();
-  const std::size_t jobs = flag_count(argc, argv, "--jobs", hardware);
+  const std::size_t jobs =
+      bench::flag_count(argc, argv, "--jobs", hardware, "fig_suite");
   const std::string out_path = bench::flag_value(argc, argv, "--out")
                                    .value_or("BENCH_figures.json");
   std::optional<std::vector<std::uint64_t>> explicit_seeds;

@@ -1,0 +1,287 @@
+// fleet_scale — the sharded fleet simulator at population scale.
+//
+// Drives one fleet-sized scenario (default 500k users over 16 shards)
+// through fleet::run_fleet at several pool sizes, gates that the merged
+// fingerprint is bit-identical at every thread count, then replays the
+// run's per-slot fleet demands through both allocation paths — the batched
+// multi-slot allocator (one model, warm tableau, incumbent carry-over) and
+// independent per-slot allocate_ilp calls — to prove the batched path is
+// measurably cheaper while producing identical plans.  Results land in
+// BENCH_fleet.json next to the other BENCH_*.json series.
+//
+// Usage:
+//   fleet_scale [--users N] [--shards K] [--jobs a,b,c] [--ilp-solves S]
+//               [--out PATH] [--smoke]
+//
+// --smoke shrinks everything (CI: small shard count, determinism and
+// plan-equality gates stay hard, wall-clock gates turn advisory).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "exp/bench_clock.h"
+#include "exp/thread_pool.h"
+#include "fleet/fleet_runner.h"
+#include "tasks/task.h"
+
+namespace {
+
+using namespace mca;
+
+/// The fleet-scale scenario: a large population issuing sparse Poisson
+/// traffic against four acceleration groups backed by wide EC2 tiers, no
+/// induced background load (events spent on foreground scale instead).
+exp::scenario_spec fleet_scale_spec(std::size_t users, std::size_t shards) {
+  exp::scenario_spec spec;
+  spec.name = "fleet_scale";
+  spec.base_seed = 500'000;
+  spec.user_count = users;
+  spec.duration = util::hours(1.0);
+  spec.slot_length = util::minutes(15.0);
+  spec.tasks = exp::task_mix::static_minimax;
+  spec.gaps = exp::gap_model::exponential;
+  spec.arrival_rate_hz = 0.0005;  // ~1.8 requests per user-hour
+  spec.background_requests_per_burst = 0;
+  spec.promotion_probability = 1.0 / 50.0;
+  // Four acceleration groups, 2-3 allocatable tiers each: wide enough that
+  // the per-slot ILP actually branches, wide tiers keep the fleet in the
+  // hundreds of instances at 500k users (capacities are users-per-instance
+  // under the response bound).
+  spec.groups = {
+      {1, "t2.medium", 3, 280.0},    {1, "t2.large", 3, 600.0},
+      {1, "m4.4xlarge", 0, 2400.0},  {2, "t2.large", 1, 500.0},
+      {2, "m4.4xlarge", 1, 1600.0},  {2, "m4.10xlarge", 0, 4000.0},
+      {3, "m4.4xlarge", 1, 1200.0},  {3, "m4.10xlarge", 0, 2400.0},
+      {3, "c4.8xlarge", 0, 2000.0},  {4, "m4.10xlarge", 1, 2000.0},
+      {4, "c4.8xlarge", 0, 1800.0},
+  };
+  spec.max_total_instances = 4096;
+  spec.fleet_max_total_instances = 4096;
+  spec.fleet_shards = shards;
+  return spec;
+}
+
+struct run_record {
+  std::size_t jobs = 0;
+  double wall_seconds = 0.0;
+  double coordination_seconds = 0.0;
+  std::uint64_t fingerprint = 0;
+};
+
+bool write_fleet_json(const std::string& path, const exp::scenario_spec& spec,
+                      const fleet::fleet_result& reference,
+                      const std::vector<run_record>& runs, bool deterministic,
+                      double users_per_sec, std::size_t ilp_solves_timed,
+                      double batched_seconds, double independent_seconds,
+                      bool checks_passed) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "fleet_scale: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fleet_scale\",\n  \"schema\": 1,\n");
+  std::fprintf(f, "  \"checks_passed\": %s,\n",
+               checks_passed ? "true" : "false");
+  std::fprintf(f, "  \"users\": %zu,\n  \"shards\": %zu,\n", spec.user_count,
+               reference.shard_count);
+  std::fprintf(f, "  \"slots\": %zu,\n  \"hardware_threads\": %zu,\n",
+               reference.slot_count, exp::thread_pool::hardware_workers());
+  std::fprintf(f, "  \"requests\": %zu,\n  \"acceptance_pct\": %.2f,\n",
+               reference.aggregate.requests,
+               reference.aggregate.acceptance_rate() * 100.0);
+  std::fprintf(f, "  \"deterministic\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(f, "  \"users_per_sec\": %.0f,\n", users_per_sec);
+  std::fprintf(f, "  \"coordination_overhead_pct\": %.3f,\n",
+               reference.coordination_overhead() * 100.0);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    std::fprintf(f,
+                 "    {\"jobs\": %zu, \"wall_seconds\": %.3f, "
+                 "\"coordination_seconds\": %.4f, "
+                 "\"fingerprint\": \"%016llx\"}%s\n",
+                 run.jobs, run.wall_seconds, run.coordination_seconds,
+                 static_cast<unsigned long long>(run.fingerprint),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(
+      f,
+      "  \"ilp\": {\"fleet_solves\": %zu, \"warm_solves\": %zu, "
+      "\"timed_solves\": %zu,\n"
+      "          \"batched_seconds\": %.6f, \"independent_seconds\": %.6f, "
+      "\"batched_speedup\": %.3f}\n",
+      reference.ilp_solves, reference.warm_solves, ilp_solves_timed,
+      batched_seconds, independent_seconds,
+      batched_seconds > 0.0 ? independent_seconds / batched_seconds : 0.0);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const std::size_t users = bench::flag_count(
+      argc, argv, "--users", smoke ? 4'000 : 500'000, "fleet_scale");
+  const std::size_t shards =
+      bench::flag_count(argc, argv, "--shards", smoke ? 4 : 16, "fleet_scale");
+  const std::size_t ilp_solves_target = bench::flag_count(
+      argc, argv, "--ilp-solves", smoke ? 30 : 200, "fleet_scale");
+  const std::string out_path =
+      bench::flag_value(argc, argv, "--out").value_or("BENCH_fleet.json");
+  std::vector<std::uint64_t> jobs_list{1, 4, 16};
+  if (smoke) jobs_list = {1, 2};
+  if (const auto jobs = bench::flag_value(argc, argv, "--jobs")) {
+    jobs_list = bench::parse_id_list(*jobs);
+    if (jobs_list.empty()) {
+      std::fprintf(stderr,
+                   "fleet_scale: --jobs needs a comma-separated integer "
+                   "list, got '%s'\n",
+                   jobs->c_str());
+      return 2;
+    }
+  }
+
+  const exp::scenario_spec spec = fleet_scale_spec(users, shards);
+  tasks::task_pool task_pool;
+  fleet::fleet_options options;
+  options.shards = shards;
+
+  bench::check_list checks;
+  std::vector<run_record> runs;
+  fleet::fleet_result reference;
+
+  for (std::size_t i = 0; i < jobs_list.size(); ++i) {
+    const std::size_t jobs = static_cast<std::size_t>(jobs_list[i]);
+    bench::section(std::to_string(users) + " users / " +
+                   std::to_string(shards) + " shards @ jobs=" +
+                   std::to_string(jobs));
+    exp::thread_pool pool{jobs};
+    fleet::fleet_result result =
+        fleet::run_fleet(spec, options, task_pool, pool);
+
+    run_record record;
+    record.jobs = jobs;
+    record.wall_seconds = result.wall_seconds;
+    record.coordination_seconds = result.coordination_seconds;
+    record.fingerprint = result.fingerprint();
+    runs.push_back(record);
+
+    std::printf(
+        "wall %6.2f s   coordination %5.3f s (%.2f%%)   requests %zu   "
+        "acceptance %.1f%%   fingerprint %016llx\n",
+        result.wall_seconds, result.coordination_seconds,
+        result.coordination_overhead() * 100.0, result.aggregate.requests,
+        result.aggregate.acceptance_rate() * 100.0,
+        static_cast<unsigned long long>(result.fingerprint()));
+    if (i == 0) reference = std::move(result);
+  }
+
+  bool deterministic = true;
+  for (const auto& run : runs) {
+    deterministic = deterministic && run.fingerprint == runs[0].fingerprint;
+  }
+  checks.expect(deterministic,
+                "merge fingerprint bit-identical across thread counts",
+                bench::ratio_detail(
+                    "distinct fingerprints",
+                    static_cast<double>(
+                        std::count_if(runs.begin(), runs.end(),
+                                      [&](const run_record& r) {
+                                        return r.fingerprint !=
+                                               runs[0].fingerprint;
+                                      }) +
+                        1)));
+  checks.expect(reference.ilp_solves > 0, "fleet ILP solved at least one slot",
+                bench::ratio_detail(
+                    "solves", static_cast<double>(reference.ilp_solves)));
+  checks.expect(
+      reference.warm_solves + 1 >= reference.ilp_solves,
+      "every fleet solve after the first reused the warm tableau",
+      bench::ratio_detail("warm", static_cast<double>(reference.warm_solves)));
+
+  // ---- batched vs independent allocation ---------------------------------
+  // Replay the run's own fleet demands (cycled to a stable sample size)
+  // through both paths.  Identical plans are a hard gate; the wall-clock
+  // advantage is gated only in full mode (CI smoke runs on noisy cores).
+  bench::section("allocation replay: batched vs per-slot");
+  const auto& demands = reference.fleet_demands;
+  double batched_seconds = 0.0;
+  double independent_seconds = 0.0;
+  std::size_t timed = 0;
+  if (demands.empty()) {
+    std::printf("no solved slots to replay\n");
+    checks.expect(false, "fleet produced demands to replay", "none");
+  } else {
+    const std::size_t reps =
+        (ilp_solves_target + demands.size() - 1) / demands.size();
+    timed = reps * demands.size();
+    const core::allocation_request shape = fleet::fleet_allocation_shape(spec);
+
+    double batched_cost = 0.0;
+    double independent_cost = 0.0;
+    std::size_t plan_mismatches = 0;
+    batched_seconds = exp::seconds_of([&] {
+      core::batched_allocator allocator{shape};
+      for (std::size_t r = 0; r < reps; ++r) {
+        for (const auto& demand : demands) {
+          batched_cost += allocator.solve(demand).total_cost_per_hour;
+        }
+      }
+    });
+    independent_seconds = exp::seconds_of([&] {
+      for (std::size_t r = 0; r < reps; ++r) {
+        for (const auto& demand : demands) {
+          core::allocation_request request = shape;
+          request.workload_per_group = demand;
+          independent_cost += core::allocate_ilp(request).total_cost_per_hour;
+        }
+      }
+    });
+    // Optimal objective values must agree exactly (both paths solve the
+    // same ILPs); plans may differ only between cost ties.
+    if (std::abs(batched_cost - independent_cost) > 1e-6 * timed) {
+      ++plan_mismatches;
+    }
+    std::printf(
+        "%zu solves:   batched %8.2f ms (%5.3f ms/solve)   independent "
+        "%8.2f ms (%5.3f ms/solve)   speedup %.2fx\n",
+        timed, batched_seconds * 1e3, batched_seconds * 1e3 / timed,
+        independent_seconds * 1e3, independent_seconds * 1e3 / timed,
+        batched_seconds > 0.0 ? independent_seconds / batched_seconds : 0.0);
+    checks.expect(plan_mismatches == 0,
+                  "batched and per-slot plans cost the same optimum",
+                  bench::ratio_detail("total cost delta",
+                                      batched_cost - independent_cost));
+    if (!smoke) {
+      checks.expect(batched_seconds < independent_seconds,
+                    "batched multi-slot path cheaper than per-slot calls",
+                    bench::ratio_detail("speedup",
+                                        batched_seconds > 0.0
+                                            ? independent_seconds /
+                                                  batched_seconds
+                                            : 0.0));
+    }
+  }
+
+  double best_wall = runs[0].wall_seconds;
+  for (const auto& run : runs) best_wall = std::min(best_wall, run.wall_seconds);
+  const double users_per_sec =
+      best_wall > 0.0 ? static_cast<double>(users) / best_wall : 0.0;
+  std::printf("\nthroughput: %.0f simulated users/sec (best run)\n",
+              users_per_sec);
+
+  const int exit_code = checks.finish("fleet_scale");
+  if (!write_fleet_json(out_path, spec, reference, runs, deterministic,
+                        users_per_sec, timed, batched_seconds,
+                        independent_seconds, exit_code == 0)) {
+    return 1;
+  }
+  return exit_code;
+}

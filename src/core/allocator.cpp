@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 namespace mca::core {
 namespace {
+
+constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
 
 /// Flattened variable: one ILP column per (group, candidate).
 struct column {
@@ -79,6 +83,168 @@ double group_capacity(const allocation_request& request,
   return capacity;
 }
 
+/// Margin-free rhs of group g's workload row: the group's own demand, or
+/// the tail sum over groups >= g under the cumulative reading.
+double row_demand(const allocation_request& shape,
+                  std::span<const double> demand, group_id g) {
+  if (!shape.cumulative_capacity) return demand[g];
+  double total = 0.0;
+  for (std::size_t h = g; h < demand.size(); ++h) total += demand[h];
+  return total;
+}
+
+/// The shared ILP model of one deployment shape: columns per candidate,
+/// per group a workload row plus a cardinality cut, the account-cap row
+/// last.  `demand_row[g]` / `count_row[g]` locate group g's rows (kNoRow
+/// when the group contributed no terms) so the batched allocator can
+/// re-aim both rhs values without rebuilding.
+///
+/// The cardinality cut — sum of the row's instance counts >= ceil((demand
+/// + margin) / K_max) — is implied by the workload row plus integrality,
+/// so it never changes the optimum; what it changes is the LP bound.  A
+/// group whose demand sits far below one instance's capacity (the margin
+/// instance of an idle group, say) otherwise contributes demand/K of its
+/// cost to the relaxation but a whole instance to any integer solution,
+/// and branch & bound flounders in that gap for thousands of nodes (the
+/// "groups off the capacity quantum" blowup): the cut closes it at the
+/// root.
+struct allocation_model {
+  ilp::problem model;
+  std::vector<std::size_t> demand_row;
+  std::vector<std::size_t> count_row;
+  /// Largest single-instance capacity among each workload row's columns.
+  std::vector<double> max_capacity;
+  std::size_t cap_row = kNoRow;
+};
+
+/// Rhs of group g's cardinality cut for a given workload-row rhs.
+double count_row_rhs(double workload_rhs, double max_capacity) {
+  if (workload_rhs <= 0.0 || max_capacity <= 0.0) return 0.0;
+  return std::ceil(workload_rhs / max_capacity - 1e-9);
+}
+
+/// Whether the cardinality cut can tighten the LP for this demand: the
+/// relaxation buys ~rhs / K* instances of the best capacity-per-dollar
+/// candidate (capacity K*), so the cut binds only when that falls short
+/// of the integer minimum ceil(rhs / K_max).  Groups whose demand dwarfs
+/// a single instance fail this test, and their cut would be a dead
+/// tableau row that only slows every pivot down.
+bool count_row_binds(double workload_rhs, double best_value_capacity,
+                     double max_capacity) {
+  if (workload_rhs <= 0.0 || best_value_capacity <= 0.0) return false;
+  return workload_rhs / best_value_capacity <
+         count_row_rhs(workload_rhs, max_capacity) - 1e-9;
+}
+
+/// `all_cuts` emits every group's cardinality cut regardless of the
+/// current demand — the batched allocator needs them in place because
+/// later slots re-aim the rhs to demands where they do bind; one-shot
+/// solves skip the dead ones.
+allocation_model build_model(const allocation_request& request,
+                             const column_layout& layout,
+                             std::span<const double> demand, bool all_cuts) {
+  allocation_model out;
+  for (const auto& col : layout.columns) {
+    const auto& cand = request.candidates_per_group[col.group][col.candidate];
+    out.model.add_integer_variable(
+        cand.cost_per_hour, 0.0,
+        static_cast<double>(request.max_total_instances),
+        cand.type_name + "@g" + std::to_string(col.group));
+  }
+
+  const std::size_t group_count = request.candidates_per_group.size();
+  out.demand_row.assign(group_count, kNoRow);
+  out.count_row.assign(group_count, kNoRow);
+  out.max_capacity.assign(group_count, 0.0);
+  for (group_id g = 0; g < group_count; ++g) {
+    std::vector<ilp::linear_term> terms;
+    if (request.cumulative_capacity) {
+      // Faster groups may absorb this group's demand: sum capacity over
+      // groups >= g.
+      for (group_id h = g; h < group_count; ++h) {
+        for (const std::size_t i : layout.by_group[h]) {
+          terms.push_back(
+              {i, candidate_of(request, layout, i).capacity_per_instance});
+        }
+      }
+    } else {
+      for (const std::size_t i : layout.by_group[g]) {
+        terms.push_back(
+            {i, candidate_of(request, layout, i).capacity_per_instance});
+      }
+    }
+    if (terms.empty()) continue;
+    std::vector<ilp::linear_term> count_terms;
+    count_terms.reserve(terms.size());
+    double best_value_capacity = 0.0;
+    double best_value = -1.0;
+    for (const auto& term : terms) {
+      out.max_capacity[g] = std::max(out.max_capacity[g], term.coeff);
+      count_terms.push_back({term.var, 1.0});
+      const double value = value_density(candidate_of(request, layout, term.var));
+      if (value > best_value) {
+        best_value = value;
+        best_value_capacity = term.coeff;
+      }
+    }
+    const double rhs = row_demand(request, demand, g) + request.capacity_margin;
+    out.demand_row[g] = out.model.constraint_count();
+    out.model.add_constraint(std::move(terms), ilp::relation::greater_equal,
+                             rhs, "workload_g" + std::to_string(g));
+    if (all_cuts ||
+        count_row_binds(rhs, best_value_capacity, out.max_capacity[g])) {
+      out.count_row[g] = out.model.constraint_count();
+      out.model.add_constraint(std::move(count_terms),
+                               ilp::relation::greater_equal,
+                               count_row_rhs(rhs, out.max_capacity[g]),
+                               "min_count_g" + std::to_string(g));
+    }
+  }
+
+  std::vector<ilp::linear_term> cap_terms;
+  cap_terms.reserve(layout.columns.size());
+  for (std::size_t i = 0; i < layout.columns.size(); ++i) {
+    cap_terms.push_back({i, 1.0});
+  }
+  out.cap_row = out.model.constraint_count();
+  out.model.add_constraint(std::move(cap_terms), ilp::relation::less_equal,
+                           static_cast<double>(request.max_total_instances),
+                           "account_cap");
+  return out;
+}
+
+/// True when some group's demand has no capacity terms to cover it — the
+/// structurally infeasible case that short-circuits to best effort.
+bool uncoverable_demand(const allocation_request& shape,
+                        const allocation_model& m,
+                        std::span<const double> demand) {
+  for (group_id g = 0; g < m.demand_row.size(); ++g) {
+    if (m.demand_row[g] == kNoRow && row_demand(shape, demand, g) > 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Rounds solver values into instance counts and assembles the plan.  A
+/// tolerance-level negative relaxation value must clamp at zero: fed
+/// straight through llround into the unsigned count it would wrap to a
+/// huge allocation.
+allocation_plan plan_from_values(const allocation_request& request,
+                                 const column_layout& layout,
+                                 const std::vector<double>& values,
+                                 ilp::solve_status status) {
+  std::vector<std::size_t> counts(layout.columns.size(), 0);
+  for (std::size_t i = 0; i < layout.columns.size(); ++i) {
+    counts[i] =
+        static_cast<std::size_t>(std::llround(std::max(0.0, values[i])));
+  }
+  allocation_plan plan = plan_from_counts(request, layout, counts);
+  plan.feasible = true;
+  plan.status = status;
+  return plan;
+}
+
 }  // namespace
 
 std::size_t allocation_plan::total_instances() const noexcept {
@@ -138,62 +304,16 @@ allocation_plan allocate_ilp(const allocation_request& request,
     throw std::invalid_argument{"allocate_ilp: no candidates at all"};
   }
 
-  ilp::problem model;
-  for (const auto& col : layout.columns) {
-    const auto& cand = request.candidates_per_group[col.group][col.candidate];
-    model.add_integer_variable(
-        cand.cost_per_hour, 0.0,
-        static_cast<double>(request.max_total_instances),
-        cand.type_name + "@g" + std::to_string(col.group));
+  const allocation_model m = build_model(
+      request, layout, request.workload_per_group, /*all_cuts=*/false);
+  if (uncoverable_demand(request, m, request.workload_per_group)) {
+    // Demand with no candidates is structurally infeasible.
+    allocation_plan plan = allocate_best_effort(request);
+    plan.status = ilp::solve_status::infeasible;
+    return plan;
   }
 
-  const std::size_t group_count = request.workload_per_group.size();
-  for (group_id g = 0; g < group_count; ++g) {
-    std::vector<ilp::linear_term> terms;
-    double demand = 0.0;
-    if (request.cumulative_capacity) {
-      // Faster groups may absorb this group's demand: sum capacity and
-      // workload over groups >= g.
-      for (group_id h = g; h < group_count; ++h) {
-        for (const std::size_t i : layout.by_group[h]) {
-          terms.push_back(
-              {i, candidate_of(request, layout, i).capacity_per_instance});
-        }
-        demand += request.workload_per_group[h];
-      }
-    } else {
-      for (const std::size_t i : layout.by_group[g]) {
-        terms.push_back(
-            {i, candidate_of(request, layout, i).capacity_per_instance});
-      }
-      demand = request.workload_per_group[g];
-    }
-    if (terms.empty()) {
-      if (demand > 0.0) {
-        // Demand with no candidates is structurally infeasible.
-        allocation_plan plan = allocate_best_effort(request);
-        plan.status = ilp::solve_status::infeasible;
-        return plan;
-      }
-      continue;
-    }
-    model.add_constraint(std::move(terms), ilp::relation::greater_equal,
-                         demand + request.capacity_margin,
-                         "workload_g" + std::to_string(g));
-  }
-
-  {
-    std::vector<ilp::linear_term> cap_terms;
-    cap_terms.reserve(layout.columns.size());
-    for (std::size_t i = 0; i < layout.columns.size(); ++i) {
-      cap_terms.push_back({i, 1.0});
-    }
-    model.add_constraint(std::move(cap_terms), ilp::relation::less_equal,
-                         static_cast<double>(request.max_total_instances),
-                         "account_cap");
-  }
-
-  const ilp::solution solved = ilp::solve_ilp(model, opts);
+  const ilp::solution solved = ilp::solve_ilp(m.model, opts);
   // An exhausted node budget still returns the best incumbent found — a
   // feasible integral plan, usually better than the greedy fill.  Only a
   // truly empty result (infeasible, unbounded, or a budget too small to
@@ -207,19 +327,17 @@ allocation_plan allocate_ilp(const allocation_request& request,
     plan.status = solved.status;
     return plan;
   }
+  return plan_from_values(request, layout, solved.values, solved.status);
+}
 
-  std::vector<std::size_t> counts(layout.columns.size(), 0);
-  for (std::size_t i = 0; i < layout.columns.size(); ++i) {
-    // A tolerance-level negative relaxation value must clamp at zero: fed
-    // straight through llround into the unsigned count it would wrap to a
-    // huge allocation.
-    counts[i] =
-        static_cast<std::size_t>(std::llround(std::max(0.0, solved.values[i])));
+std::vector<double> demand_from_prediction(
+    std::span<const std::size_t> predicted_counts, std::size_t group_count) {
+  std::vector<double> demand(group_count, 0.0);
+  for (std::size_t g = 0; g < group_count && g < predicted_counts.size();
+       ++g) {
+    demand[g] = static_cast<double>(predicted_counts[g]);
   }
-  allocation_plan plan = plan_from_counts(request, layout, counts);
-  plan.feasible = true;
-  plan.status = solved.status;
-  return plan;
+  return demand;
 }
 
 allocation_plan allocate_greedy(const allocation_request& request) {
@@ -327,6 +445,151 @@ allocation_plan allocate_best_effort(const allocation_request& request) {
   plan.status = plan.feasible ? ilp::solve_status::optimal
                               : ilp::solve_status::infeasible;
   return plan;
+}
+
+// ---- batched multi-slot allocation ----------------------------------------
+
+struct batched_allocator::impl {
+  allocation_request shape;
+  ilp::ilp_options opts;
+  column_layout layout;
+  allocation_model m;
+  /// The persistent root tableau: built on the first ILP solve, then only
+  /// rhs-synced + dual-resolved between slots.  Its variable bounds are
+  /// never tightened — branch & bound works on copies.
+  std::optional<ilp::dense_tableau> root;
+  /// Previous slot's integral plan, fed to branch & bound as incumbent.
+  std::vector<double> incumbent;
+  std::size_t solves = 0;
+  std::size_t warm = 0;
+
+  /// The fully materialized single-slot request (for fallback paths that
+  /// reuse the plain allocators).
+  allocation_request with_demand(std::span<const double> demand,
+                                 std::size_t cap) const {
+    allocation_request request = shape;
+    request.workload_per_group.assign(demand.begin(), demand.end());
+    request.max_total_instances = cap;
+    return request;
+  }
+};
+
+batched_allocator::batched_allocator(allocation_request shape,
+                                     ilp::ilp_options opts)
+    : impl_{std::make_unique<impl>()} {
+  shape.workload_per_group.assign(shape.candidates_per_group.size(), 0.0);
+  validate(shape);
+  impl_->shape = std::move(shape);
+  impl_->opts = opts;
+  impl_->layout = flatten(impl_->shape);
+  if (impl_->layout.columns.empty()) {
+    throw std::invalid_argument{"batched_allocator: no candidates at all"};
+  }
+  impl_->m = build_model(impl_->shape, impl_->layout,
+                         impl_->shape.workload_per_group, /*all_cuts=*/true);
+}
+
+batched_allocator::batched_allocator(batched_allocator&&) noexcept = default;
+batched_allocator& batched_allocator::operator=(batched_allocator&&) noexcept =
+    default;
+batched_allocator::~batched_allocator() = default;
+
+std::size_t batched_allocator::group_count() const noexcept {
+  return impl_->shape.candidates_per_group.size();
+}
+
+std::size_t batched_allocator::solves() const noexcept {
+  return impl_->solves;
+}
+
+std::size_t batched_allocator::warm_solves() const noexcept {
+  return impl_->warm;
+}
+
+allocation_plan batched_allocator::solve(
+    std::span<const double> demand_per_group,
+    std::size_t max_total_instances) {
+  impl& im = *impl_;
+  if (demand_per_group.size() != im.shape.candidates_per_group.size()) {
+    throw std::invalid_argument{
+        "batched_allocator: demand/group count mismatch"};
+  }
+  for (const double d : demand_per_group) {
+    if (d < 0.0) {
+      throw std::invalid_argument{"batched_allocator: negative demand"};
+    }
+  }
+  const std::size_t cap =
+      max_total_instances == 0
+          ? im.shape.max_total_instances
+          : std::min(max_total_instances, im.shape.max_total_instances);
+  ++im.solves;
+
+  if (uncoverable_demand(im.shape, im.m, demand_per_group)) {
+    allocation_plan plan =
+        allocate_best_effort(im.with_demand(demand_per_group, cap));
+    plan.status = ilp::solve_status::infeasible;
+    return plan;
+  }
+
+  // Re-aim the workload rows, their cardinality cuts, and the cap row.
+  // The model mutates first so a cold rebuild inside resolve() (or the
+  // first build) reads the same demands the incremental sync applies.
+  for (group_id g = 0; g < im.m.demand_row.size(); ++g) {
+    const std::size_t row = im.m.demand_row[g];
+    if (row == kNoRow) continue;
+    const double rhs = row_demand(im.shape, demand_per_group, g) +
+                       im.shape.capacity_margin;
+    im.m.model.set_constraint_rhs(row, rhs);
+    if (im.root) im.root->sync_constraint_rhs(row);
+    const std::size_t cut = im.m.count_row[g];
+    if (cut == kNoRow) continue;
+    im.m.model.set_constraint_rhs(cut,
+                                  count_row_rhs(rhs, im.m.max_capacity[g]));
+    if (im.root) im.root->sync_constraint_rhs(cut);
+  }
+  im.m.model.set_constraint_rhs(im.m.cap_row, static_cast<double>(cap));
+  if (im.root) im.root->sync_constraint_rhs(im.m.cap_row);
+
+  ilp::solve_status root_status;
+  bool warm_solve = false;
+  if (!im.root) {
+    im.root.emplace(im.m.model, im.opts.lp.tolerance);
+    root_status = im.root->solve(im.opts.lp);
+  } else {
+    root_status = im.root->resolve(im.opts.lp);
+    warm_solve = true;
+  }
+
+  const ilp::solution solved = ilp::solve_ilp_warm(
+      im.m.model, *im.root, root_status, im.opts,
+      im.incumbent.empty() ? nullptr : &im.incumbent);
+  const bool usable =
+      solved.status == ilp::solve_status::optimal ||
+      (solved.status == ilp::solve_status::iteration_limit &&
+       !solved.values.empty());
+  if (!usable) {
+    allocation_plan plan =
+        allocate_best_effort(im.with_demand(demand_per_group, cap));
+    plan.status = solved.status;
+    return plan;
+  }
+  if (warm_solve) ++im.warm;
+  im.incumbent = solved.values;
+  return plan_from_values(im.shape, im.layout, solved.values, solved.status);
+}
+
+std::vector<allocation_plan> allocate_ilp_batched(
+    const allocation_request& shape,
+    std::span<const std::vector<double>> demand_per_period,
+    const ilp::ilp_options& opts) {
+  batched_allocator allocator{shape, opts};
+  std::vector<allocation_plan> plans;
+  plans.reserve(demand_per_period.size());
+  for (const auto& demand : demand_per_period) {
+    plans.push_back(allocator.solve(demand));
+  }
+  return plans;
 }
 
 }  // namespace mca::core

@@ -12,7 +12,9 @@
 // instances can carry).
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -70,6 +72,15 @@ struct allocation_plan {
 /// Throws std::invalid_argument on malformed input.
 void validate(const allocation_request& request);
 
+/// Widens predicted per-group user counts into the allocator's demand
+/// vector (the W_{a_n} of constraint (2)): counts become doubles, groups
+/// the prediction does not cover get zero.  This is THE derivation of
+/// demand from predictor output — the monolithic slot boundary, the fleet
+/// shards' demand digests, and the coordinator all share it, so a change
+/// here moves every consumer together.
+std::vector<double> demand_from_prediction(
+    std::span<const std::size_t> predicted_counts, std::size_t group_count);
+
 /// Exact ILP allocation.  When the request is infeasible under CC, falls
 /// back to the best-effort fill (flagged in the plan).  If the solver's
 /// node budget runs out with a feasible incumbent in hand, that incumbent
@@ -95,5 +106,59 @@ allocation_plan allocate_static_peak(const allocation_request& request,
 /// Best-effort fill: maximize covered workload under the account cap,
 /// then minimize cost among maximal covers (greedy approximation).
 allocation_plan allocate_best_effort(const allocation_request& request);
+
+/// Reusable batched allocator — the multi-slot `allocate_ilp` entry point.
+///
+/// Builds the ILP model ONCE from a fixed deployment shape (candidates per
+/// group, account cap, margin, cumulative reading) and re-solves it for a
+/// stream of per-slot demand vectors, touching only the workload rows'
+/// right-hand sides between solves.  Consecutive solves keep one warm
+/// tableau: the rhs move is applied in place (dense_tableau::
+/// sync_constraint_rhs), the dual simplex repairs feasibility from the
+/// previous optimal basis, and branch & bound is seeded with the previous
+/// slot's plan as incumbent whenever it is still feasible — so slots whose
+/// demands barely move cost a few dual pivots instead of a model build, a
+/// two-phase solve, and a cold tree search.  Results are identical to
+/// independent allocate_ilp calls (asserted by tests and the fleet bench).
+class batched_allocator {
+ public:
+  /// `shape` fixes everything except the demands; its workload_per_group
+  /// only sizes the group dimension (values are ignored).
+  /// Throws std::invalid_argument on a malformed shape.
+  explicit batched_allocator(allocation_request shape,
+                             ilp::ilp_options opts = {});
+  batched_allocator(batched_allocator&&) noexcept;
+  batched_allocator& operator=(batched_allocator&&) noexcept;
+  ~batched_allocator();
+
+  /// Solves one slot against `demand_per_group` (one entry per group).
+  /// `max_total_instances` tightens the account-cap row for this solve
+  /// only (0 keeps the shape's cap; values above it are clamped down) —
+  /// the fleet coordinator uses it to reserve instances already deployed
+  /// on shards outside this allocation.  Infeasible slots fall back to
+  /// the best-effort fill, exactly like allocate_ilp.  Throws
+  /// std::invalid_argument on a size mismatch or a negative demand.
+  allocation_plan solve(std::span<const double> demand_per_group,
+                        std::size_t max_total_instances = 0);
+
+  std::size_t group_count() const noexcept;
+  std::size_t solves() const noexcept;
+  /// Solves that reused the previous slot's tableau + incumbent (every
+  /// solve after the first that stayed on the ILP path).
+  std::size_t warm_solves() const noexcept;
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+/// One batched multi-period call: every period's allocation against a
+/// shared model and warm-started tableau.  Equivalent to — but measurably
+/// cheaper than — one allocate_ilp call per period (bench/fleet_scale
+/// records both series).
+std::vector<allocation_plan> allocate_ilp_batched(
+    const allocation_request& shape,
+    std::span<const std::vector<double>> demand_per_period,
+    const ilp::ilp_options& opts = {});
 
 }  // namespace mca::core

@@ -180,30 +180,45 @@ void offloading_system::on_slot_boundary(std::size_t slot_index) {
   if (predicted) {
     report.predicted_counts = predicted;
     if (config_.enable_adaptation) {
-      allocation_request request;
-      request.workload_per_group.assign(group_count_, 0.0);
-      request.candidates_per_group.assign(group_count_, {});
-      for (group_id g = 0; g < group_count_ && g < predicted->size(); ++g) {
-        request.workload_per_group[g] =
-            static_cast<double>((*predicted)[g]);
+      allocation_request request =
+          make_slot_allocation_request(config_, group_count_, *predicted);
+      if (config_.external_allocation) {
+        // The fleet coordinator owns the solve: park the demand for
+        // take_pending_demand() and leave the fleet untouched until
+        // apply_external_plan() answers.
+        pending_demand_ = std::move(request);
+      } else {
+        allocation_plan plan = allocate_ilp(request);
+        apply_plan(plan);
+        report.plan = std::move(plan);
       }
-      for (const auto& spec : config_.groups) {
-        const auto& type = cloud::type_by_name(spec.type_name);
-        request.candidates_per_group[spec.group].push_back(
-            {spec.type_name, spec.capacity_per_instance, type.cost_per_hour});
-      }
-      request.max_total_instances = config_.max_total_instances;
-      request.cumulative_capacity = config_.cumulative_capacity;
-      allocation_plan plan = allocate_ilp(request);
-      apply_plan(plan);
-      report.plan = std::move(plan);
     }
   }
   metrics_.slots.push_back(std::move(report));
 }
 
-void offloading_system::run(util::time_ms duration) {
+allocation_request make_slot_allocation_request(
+    const system_config& config, std::size_t group_count,
+    std::span<const std::size_t> predicted_counts) {
+  allocation_request request;
+  request.workload_per_group =
+      demand_from_prediction(predicted_counts, group_count);
+  request.candidates_per_group.assign(group_count, {});
+  for (const auto& spec : config.groups) {
+    const auto& type = cloud::type_by_name(spec.type_name);
+    request.candidates_per_group[spec.group].push_back(
+        {spec.type_name, spec.capacity_per_instance, type.cost_per_hour});
+  }
+  request.max_total_instances = config.max_total_instances;
+  request.cumulative_capacity = config.cumulative_capacity;
+  return request;
+}
+
+void offloading_system::begin(util::time_ms duration) {
   if (duration <= 0.0) throw std::invalid_argument{"run: duration <= 0"};
+  if (started_) throw std::logic_error{"begin: already started"};
+  started_ = true;
+  duration_ = duration;
 
   workload::interarrival_config load;
   load.devices = config_.user_count;
@@ -230,16 +245,43 @@ void offloading_system::run(util::time_ms duration) {
         on_slot_boundary(static_cast<std::size_t>(tick));
         return tick + 1 < total_slots;
       });
+}
 
-  sim_.run_until(duration);
+void offloading_system::advance_to(util::time_ms t) {
+  if (!started_) throw std::logic_error{"advance_to: begin() first"};
+  sim_.run_until(t);
+}
+
+void offloading_system::finish() {
+  if (!started_) throw std::logic_error{"finish: begin() first"};
   if (background_ticker_) background_ticker_->stop();
   if (slot_ticker_) slot_ticker_->stop();
   // Let in-flight requests complete so metrics cover the whole workload.
-  sim_.run_until(duration + util::minutes(10.0));
+  sim_.run_until(duration_ + util::minutes(10.0));
 
   metrics_.promotions = moderator_->promotions();
   metrics_.demotions = moderator_->demotions();
   metrics_.total_cost_usd = backend_->billing().total_cost(sim_.now());
+}
+
+void offloading_system::run(util::time_ms duration) {
+  begin(duration);
+  advance_to(duration);
+  finish();
+}
+
+std::optional<allocation_request> offloading_system::take_pending_demand() {
+  std::optional<allocation_request> demand = std::move(pending_demand_);
+  pending_demand_.reset();
+  return demand;
+}
+
+void offloading_system::apply_external_plan(const allocation_plan& plan) {
+  if (metrics_.slots.empty()) {
+    throw std::logic_error{"apply_external_plan: no slot boundary yet"};
+  }
+  apply_plan(plan);
+  metrics_.slots.back().plan = plan;
 }
 
 }  // namespace mca::core

@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "client/device.h"
@@ -68,6 +69,11 @@ struct system_config {
   /// Pre-trained knowledge base (e.g. from a warm-up run).
   std::vector<trace::time_slot> seed_history;
   bool cumulative_capacity = false;
+  /// Externally driven provisioning (the fleet coordinator's mode): slot
+  /// boundaries still predict and build the allocation request, but do not
+  /// solve or apply it — the owner reads take_pending_demand() after
+  /// advancing to the boundary and answers with apply_external_plan().
+  bool external_allocation = false;
 
   // --- induced background load (§VI-C.1) ---
   /// Requests injected into every back-end server per burst.
@@ -131,6 +137,30 @@ class offloading_system {
   /// Runs the experiment for `duration` of simulated time.
   void run(util::time_ms duration);
 
+  /// The incremental form of run(), for owners that must interleave with
+  /// the event loop at provisioning-slot boundaries (fleet::shard):
+  /// begin() installs the workload and ticker processes, advance_to() runs
+  /// the loop forward to an absolute simulated time, finish() drains
+  /// in-flight requests past the horizon and fills the run totals.
+  /// run(d) == begin(d); advance_to(d); finish().
+  /// begin() throws std::invalid_argument on a non-positive duration and
+  /// std::logic_error when called twice.
+  void begin(util::time_ms duration);
+  void advance_to(util::time_ms t);
+  void finish();
+
+  /// Under external_allocation: the allocation request built at the most
+  /// recent slot boundary (nullopt when the predictor had no forecast or
+  /// the demand was already taken).  A boundary overwrites an untaken
+  /// demand from the previous slot.
+  std::optional<allocation_request> take_pending_demand();
+
+  /// Applies an externally solved plan (the shard's fleet quota) and
+  /// records it in the current slot report.
+  /// Throws std::logic_error before the first slot boundary.
+  void apply_external_plan(const allocation_plan& plan);
+
+  const system_config& config() const noexcept { return config_; }
   const system_metrics& metrics() const noexcept { return metrics_; }
   cloud::backend_pool& backend() noexcept { return *backend_; }
   const trace::log_store& log() const noexcept { return log_; }
@@ -167,6 +197,18 @@ class offloading_system {
   std::vector<std::uint32_t> user_seq_;
   util::rng background_rng_;
   system_metrics metrics_;
+
+  util::time_ms duration_ = 0.0;
+  bool started_ = false;
+  std::optional<allocation_request> pending_demand_;
 };
+
+/// The slot-boundary allocation request implied by a deployment's group
+/// backends and a predicted per-group load — one code path shared by
+/// offloading_system's internal adaptation and the fleet's demand digests
+/// (demand derivation itself lives in core::demand_from_prediction).
+allocation_request make_slot_allocation_request(
+    const system_config& config, std::size_t group_count,
+    std::span<const std::size_t> predicted_counts);
 
 }  // namespace mca::core

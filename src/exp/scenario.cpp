@@ -15,14 +15,6 @@ namespace mca::exp {
 
 namespace {
 
-/// Max group id + 1 across the spec's backends and the implicit initial
-/// group 1 — the indexing every per-group vector in the digests uses.
-std::size_t group_count_of(const scenario_spec& spec) {
-  group_id max_group = 1;
-  for (const auto& g : spec.groups) max_group = std::max(max_group, g.group);
-  return static_cast<std::size_t>(max_group) + 1;
-}
-
 /// FNV-1a accumulator over the aggregate's scalar fields.
 struct fingerprint_state {
   std::uint64_t hash = 0xcbf29ce484222325ULL;
@@ -63,9 +55,29 @@ const char* to_string(gap_model model) noexcept {
   return "?";
 }
 
+std::size_t group_count_of(const scenario_spec& spec) {
+  group_id max_group = 1;
+  for (const auto& g : spec.groups) max_group = std::max(max_group, g.group);
+  return static_cast<std::size_t>(max_group) + 1;
+}
+
+void validate(const scenario_spec& spec) {
+  const auto reject = [&](const char* what) {
+    throw std::invalid_argument{"scenario_spec '" + spec.name + "': " + what};
+  };
+  if (spec.user_count == 0) reject("user_count must be > 0");
+  if (!(spec.duration > 0.0)) reject("duration must be positive");
+  if (!(spec.slot_length > 0.0)) reject("slot_length must be positive");
+  if (spec.groups.empty()) reject("groups must not be empty");
+  if (!(spec.session_probability >= 0.0 && spec.session_probability <= 1.0)) {
+    reject("session_probability must be in [0, 1]");
+  }
+}
+
 core::system_config make_system_config(const scenario_spec& spec,
                                        const tasks::task_pool& pool,
                                        util::rng& stream) {
+  validate(spec);
   core::system_config config;
   config.groups = spec.groups;
   config.user_count = spec.user_count;
@@ -246,6 +258,9 @@ scenario_result run_scenario(const scenario_spec& spec,
                              const replication_plan& plan,
                              const tasks::task_pool& task_pool,
                              thread_pool& pool) {
+  // A malformed spec fails the whole call, not every replication
+  // individually: the mistake is in the input, not in any one seed.
+  validate(spec);
   const std::size_t groups = group_count_of(spec);
   const auto start = std::chrono::steady_clock::now();
   auto outcome = run_replications(
@@ -306,6 +321,10 @@ std::vector<scenario_spec> builtin_scenarios() {
   fleet.promotion_probability = 1.0 / 30.0;
   fleet.background_requests_per_burst = 10;
   fleet.background_burst_period = util::seconds(5.0);
+  // Sharded by default when driven through fleet::run_fleet
+  // (examples/fleet_demo); the account cap stays the fleet-wide 96.
+  fleet.fleet_shards = 4;
+  fleet.fleet_max_total_instances = 96;
 
   scenario_spec smoke;
   smoke.name = "smoke";

@@ -71,6 +71,16 @@ struct scenario_spec {
   std::size_t background_requests_per_burst = 50;
   util::time_ms background_burst_period = util::seconds(2.0);
 
+  // --- fleet (src/fleet) ---
+  /// Shard count fleet::run_fleet splits the population into when the
+  /// caller does not override it (<= 1 means the scenario is meant to run
+  /// monolithically).
+  std::size_t fleet_shards = 0;
+  /// Account-wide instance cap of the fleet's batched ILP; 0 falls back to
+  /// max_total_instances.  Distinct knob because one shard's cap and the
+  /// whole account's cap differ by orders of magnitude at fleet scale.
+  std::size_t fleet_max_total_instances = 0;
+
   /// Experiment seed; replication i draws from rng::split(seed, i) (or
   /// from the plan's explicit per-replication seeds).
   std::uint64_t base_seed = 2017;
@@ -81,8 +91,20 @@ struct scenario_spec {
   }
 };
 
+/// Validates a spec before materialization.  Rejects a zero user_count, a
+/// non-positive duration or slot_length, an empty group list, and a
+/// session_probability outside [0, 1] with an error naming the field,
+/// instead of silently producing a degenerate run.
+/// Throws std::invalid_argument.
+void validate(const scenario_spec& spec);
+
+/// Max group id + 1 across the spec's backends (and the implicit initial
+/// group) — the indexing every per-group digest vector uses.
+std::size_t group_count_of(const scenario_spec& spec);
+
 /// Materializes the callback-based system config for one replication.
 /// `stream` provides all of the replication's randomness; it is advanced.
+/// Validates the spec first (see validate()).
 core::system_config make_system_config(const scenario_spec& spec,
                                        const tasks::task_pool& pool,
                                        util::rng& stream);

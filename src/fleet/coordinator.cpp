@@ -1,0 +1,132 @@
+#include "fleet/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "exp/bench_clock.h"
+
+namespace mca::fleet {
+namespace {
+
+/// Price of one instance of `type_name` in `group` under the shape (the
+/// same candidate list the fleet ILP priced the plan with).
+double candidate_cost(const core::allocation_request& shape, group_id group,
+                      const std::string& type_name) {
+  if (group >= shape.candidates_per_group.size()) return 0.0;
+  for (const auto& cand : shape.candidates_per_group[group]) {
+    if (cand.type_name == type_name) return cand.cost_per_hour;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<std::optional<core::allocation_plan>> split_fleet_plan(
+    const core::allocation_plan& fleet_plan,
+    std::span<const demand_digest> digests,
+    const core::allocation_request& shape) {
+  const std::size_t shard_count = digests.size();
+  std::vector<std::optional<core::allocation_plan>> quotas(shard_count);
+  std::vector<std::size_t> predicting;
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    if (!digests[k].has_prediction) continue;
+    predicting.push_back(k);
+    quotas[k].emplace();
+    quotas[k]->feasible = fleet_plan.feasible;
+    quotas[k]->best_effort = fleet_plan.best_effort;
+    quotas[k]->status = fleet_plan.status;
+  }
+  if (predicting.empty()) return quotas;
+
+  std::vector<std::size_t> base(predicting.size());
+  std::vector<double> remainder(predicting.size());
+  std::vector<std::size_t> order(predicting.size());
+  for (const auto& entry : fleet_plan.entries) {
+    // Weights: each predicting shard's own demand in this entry's group;
+    // an all-zero group (margin capacity) splits equally.
+    double total_weight = 0.0;
+    for (const std::size_t k : predicting) {
+      const auto& demand = digests[k].demand_per_group;
+      if (entry.group < demand.size()) total_weight += demand[entry.group];
+    }
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < predicting.size(); ++i) {
+      const auto& demand = digests[predicting[i]].demand_per_group;
+      const double weight =
+          entry.group < demand.size() ? demand[entry.group] : 0.0;
+      const double exact =
+          total_weight > 0.0
+              ? static_cast<double>(entry.count) * weight / total_weight
+              : static_cast<double>(entry.count) /
+                    static_cast<double>(predicting.size());
+      base[i] = static_cast<std::size_t>(std::floor(exact));
+      remainder[i] = exact - std::floor(exact);
+      assigned += base[i];
+    }
+    // Largest remainder takes the leftover counts, ties toward the lower
+    // shard index — sums exactly to the fleet entry, deterministically.
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return remainder[a] > remainder[b];
+                     });
+    for (std::size_t i = 0; assigned < entry.count; ++i) {
+      ++base[order[i % order.size()]];
+      ++assigned;
+    }
+    const double cost = candidate_cost(shape, entry.group, entry.type_name);
+    for (std::size_t i = 0; i < predicting.size(); ++i) {
+      if (base[i] == 0) continue;
+      auto& quota = *quotas[predicting[i]];
+      quota.entries.push_back({entry.group, entry.type_name, base[i]});
+      quota.total_cost_per_hour += cost * static_cast<double>(base[i]);
+    }
+  }
+  return quotas;
+}
+
+coordinator::coordinator(core::allocation_request shape, ilp::ilp_options opts)
+    : shape_{std::move(shape)}, allocator_{shape_, opts} {
+  shape_.workload_per_group.assign(shape_.candidates_per_group.size(), 0.0);
+}
+
+std::vector<std::optional<core::allocation_plan>> coordinator::allocate_slot(
+    std::span<const demand_digest> digests) {
+  coordination_record record;
+  record.slot = next_slot_++;
+  for (const auto& digest : digests) {
+    for (const std::size_t depth : digest.queue_depth_per_group) {
+      record.queue_depth += static_cast<double>(depth);
+    }
+  }
+
+  std::vector<std::optional<core::allocation_plan>> quotas(digests.size());
+  const fleet_demand fleet = combine(digests, group_count());
+  // Shards without a forecast keep their fleets untouched, so their
+  // instances are spoken for: reserve them out of the account cap before
+  // solving, or the fleet total could exceed it while predictors warm up.
+  for (const auto& digest : digests) {
+    if (!digest.has_prediction) record.reserved_instances += digest.instances;
+  }
+  const bool cap_left =
+      record.reserved_instances < shape_.max_total_instances;
+  if (fleet.any_prediction() && cap_left) {
+    record.solved = true;
+    record.fleet_demand = fleet.total();
+    core::allocation_plan plan;
+    ilp_seconds_ += exp::seconds_of([&] {
+      plan = allocator_.solve(
+          fleet.demand_per_group,
+          shape_.max_total_instances - record.reserved_instances);
+    });
+    record.fleet_instances = plan.total_instances();
+    record.cost_per_hour = plan.total_cost_per_hour;
+    solved_demands_.push_back(fleet.demand_per_group);
+    quotas = split_fleet_plan(plan, digests, shape_);
+  }
+  records_.push_back(record);
+  return quotas;
+}
+
+}  // namespace mca::fleet

@@ -1,0 +1,91 @@
+// The fleet's provisioning plane: one batched allocation per slot, split
+// into per-shard quotas.
+//
+// The shard/coordinator contract:
+//   * Shards never provision themselves.  At each provisioning-slot
+//     boundary every shard emits a demand_digest; the coordinator folds
+//     them (shard order, so the result is thread-mapping independent),
+//     solves ONE fleet-wide allocation — through core::batched_allocator,
+//     which keeps a warm ILP tableau across consecutive slots and seeds
+//     branch & bound with the previous slot's plan — and splits the fleet
+//     plan back into per-shard quotas.
+//   * The split is largest-remainder apportionment per (group, type)
+//     against the shards' own predicted demand in that group, ties broken
+//     toward the lower shard index: counts sum exactly to the fleet plan
+//     and depend only on the digests, never on timing.
+//   * A shard whose predictor has no forecast yet receives no quota
+//     (nullopt) and keeps its current fleet, exactly like a monolithic
+//     run before its first prediction.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/allocator.h"
+#include "fleet/demand_digest.h"
+
+namespace mca::fleet {
+
+/// Per-slot telemetry of the coordinator.
+struct coordination_record {
+  std::size_t slot = 0;
+  bool solved = false;  ///< a fleet ILP ran (some shard predicted)
+  double fleet_demand = 0.0;       ///< summed predicted load
+  std::size_t fleet_instances = 0; ///< instances in the fleet plan
+  /// Instances held by non-predicting shards, subtracted from the account
+  /// cap before the solve so the fleet total never exceeds it.
+  std::size_t reserved_instances = 0;
+  double cost_per_hour = 0.0;      ///< fleet plan cost
+  double queue_depth = 0.0;        ///< summed in-flight requests at gather
+};
+
+class coordinator {
+ public:
+  /// `shape` fixes the fleet deployment: candidates per group, the
+  /// account-wide instance cap, margin, cumulative reading.  Demands
+  /// arrive per slot via allocate_slot.
+  explicit coordinator(core::allocation_request shape,
+                       ilp::ilp_options opts = {});
+
+  /// One provisioning slot: fold the digests, solve the batched fleet
+  /// ILP, split into per-shard quotas (digest order).  `plans[k]` is
+  /// nullopt when digest k's shard should keep its fleet untouched.
+  std::vector<std::optional<core::allocation_plan>> allocate_slot(
+      std::span<const demand_digest> digests);
+
+  std::size_t group_count() const noexcept { return allocator_.group_count(); }
+  const std::vector<coordination_record>& records() const noexcept {
+    return records_;
+  }
+  /// The batched ILP inputs, one per solved slot (fleet_scale replays
+  /// these to time batched vs independent solving).
+  const std::vector<std::vector<double>>& solved_demands() const noexcept {
+    return solved_demands_;
+  }
+  std::size_t ilp_solves() const noexcept { return allocator_.solves(); }
+  std::size_t warm_solves() const noexcept { return allocator_.warm_solves(); }
+  /// Wall time spent inside the batched ILP (gather/split excluded).
+  double ilp_seconds() const noexcept { return ilp_seconds_; }
+
+ private:
+  core::allocation_request shape_;
+  core::batched_allocator allocator_;
+  std::vector<coordination_record> records_;
+  std::vector<std::vector<double>> solved_demands_;
+  std::size_t next_slot_ = 0;
+  double ilp_seconds_ = 0.0;
+};
+
+/// Largest-remainder split of `fleet_plan` into one quota per digest,
+/// weighted by each predicting shard's demand in the entry's group (equal
+/// split among predicting shards when the group's fleet demand is zero).
+/// Per-shard costs come from `shape`'s candidate prices.  Exposed for
+/// tests; allocate_slot is the production caller.
+std::vector<std::optional<core::allocation_plan>> split_fleet_plan(
+    const core::allocation_plan& fleet_plan,
+    std::span<const demand_digest> digests,
+    const core::allocation_request& shape);
+
+}  // namespace mca::fleet

@@ -1,0 +1,96 @@
+#include "fleet/fleet_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/bench_clock.h"
+#include "exp/runner.h"
+
+namespace mca::fleet {
+
+core::allocation_request fleet_allocation_shape(
+    const exp::scenario_spec& spec) {
+  // Reuse the slot-boundary request builder (one candidate path for
+  // monolith, shards, and coordinator) with the fleet-wide account cap.
+  core::system_config deployment;
+  deployment.groups = spec.groups;
+  deployment.max_total_instances = spec.fleet_max_total_instances != 0
+                                       ? spec.fleet_max_total_instances
+                                       : spec.max_total_instances;
+  deployment.cumulative_capacity = spec.cumulative_capacity;
+  return core::make_slot_allocation_request(deployment,
+                                            exp::group_count_of(spec), {});
+}
+
+fleet_result run_fleet(const exp::scenario_spec& spec,
+                       const fleet_options& options,
+                       const tasks::task_pool& task_pool,
+                       exp::thread_pool& pool) {
+  exp::validate(spec);
+  const std::size_t shards =
+      options.shards != 0 ? options.shards
+                          : (spec.fleet_shards != 0 ? spec.fleet_shards : 1);
+  if (shards > spec.user_count) {
+    throw std::invalid_argument{
+        "run_fleet: more shards than users (empty slices)"};
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+
+  // Shard construction (study-trace synthesis, device setup) is itself a
+  // parallel round; each shard is a pure function of (spec, index).
+  std::vector<std::unique_ptr<shard>> members =
+      exp::parallel_map(pool, shards, [&](std::size_t k) {
+        auto s = std::make_unique<shard>(spec, task_pool, k, shards);
+        s->begin();
+        return s;
+      });
+
+  coordinator coord{fleet_allocation_shape(spec), options.ilp};
+
+  fleet_result result;
+  result.total_users = spec.user_count;
+  result.shard_count = shards;
+
+  // Bulk-synchronous slot rounds: advance all shards to the boundary in
+  // parallel, then coordinate serially (gather is already ordered by
+  // shard index, so the ILP input — and with it every quota — depends
+  // only on the digests, never on the shard→thread mapping).  The
+  // boundary accumulates with the same arithmetic the shards' slot
+  // tickers rearm with, so the loop covers exactly the boundaries that
+  // fire within the horizon.
+  for (util::time_ms boundary = spec.slot_length; boundary <= spec.duration;
+       boundary += spec.slot_length) {
+    const std::size_t slot = result.slot_count;
+    const std::vector<demand_digest> digests =
+        exp::parallel_map(pool, shards, [&](std::size_t k) {
+          return members[k]->advance_to_slot(slot);
+        });
+    result.coordination_seconds += exp::seconds_of([&] {
+      const auto quotas = coord.allocate_slot(digests);
+      for (std::size_t k = 0; k < shards; ++k) {
+        if (quotas[k]) members[k]->apply_quota(*quotas[k]);
+      }
+    });
+    ++result.slot_count;
+  }
+
+  result.per_shard = exp::parallel_map(
+      pool, shards, [&](std::size_t k) { return members[k]->finish(); });
+  result.aggregate = exp::merge_replications(result.per_shard);
+
+  result.slots = coord.records();
+  result.fleet_demands = coord.solved_demands();
+  result.ilp_solves = coord.ilp_solves();
+  result.warm_solves = coord.warm_solves();
+  result.ilp_seconds = coord.ilp_seconds();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace mca::fleet

@@ -1,0 +1,83 @@
+// Sharded fleet simulator — the scale layer between `exp` and `sim`.
+//
+// run_fleet partitions a scenario's population into K shards, each a
+// self-contained single-threaded closed-loop simulation (shard.h), and
+// advances them in bulk-synchronous rounds on the experiment runner's
+// work-stealing pool: every provisioning slot, all shards advance to the
+// boundary in parallel (a barrier — shards never block mid-simulation, so
+// the pool can be smaller than the shard count without deadlock), the
+// coordinator gathers their demand digests in shard order, solves ONE
+// batched fleet allocation, and scatters per-shard quotas before the next
+// round.  Because each shard is a pure function of (spec, index, quota
+// sequence) and the coordinator consumes digests in shard order, the
+// merged aggregate — folded shard-by-shard through the same
+// exp::merge_replications path the replication sweeps use — is
+// bit-identical whatever the pool size or shard→thread mapping; the
+// fingerprint gates that in tests, fleet_scale, and CI.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "exp/thread_pool.h"
+#include "fleet/coordinator.h"
+#include "fleet/shard.h"
+
+namespace mca::fleet {
+
+struct fleet_options {
+  /// Shard count; 0 falls back to the spec's fleet_shards (and 1 if that
+  /// is unset) — a monolithic run in fleet clothing.
+  std::size_t shards = 0;
+  /// Fleet ILP knobs (node budget, tolerances).
+  ilp::ilp_options ilp;
+};
+
+/// One completed fleet run.
+struct fleet_result {
+  /// Per-shard digests folded in shard-index order; fingerprint() is the
+  /// thread-mapping-independence witness.
+  exp::aggregate_metrics aggregate;
+  std::vector<exp::replication_metrics> per_shard;
+  std::vector<coordination_record> slots;
+  /// The batched ILP inputs, one per solved slot (for allocation replay).
+  std::vector<std::vector<double>> fleet_demands;
+
+  std::size_t total_users = 0;
+  std::size_t shard_count = 0;
+  std::size_t slot_count = 0;
+  std::size_t ilp_solves = 0;
+  std::size_t warm_solves = 0;
+
+  double wall_seconds = 0.0;
+  /// Serial coordination time (gather + fleet ILP + quota scatter): the
+  /// synchronization overhead the shards pay per slot.
+  double coordination_seconds = 0.0;
+  /// The ILP share of coordination_seconds.
+  double ilp_seconds = 0.0;
+
+  std::uint64_t fingerprint() const noexcept {
+    return aggregate.fingerprint();
+  }
+  double coordination_overhead() const noexcept {
+    return wall_seconds > 0.0 ? coordination_seconds / wall_seconds : 0.0;
+  }
+};
+
+/// The fleet-wide allocation shape of a scenario: candidates per group
+/// from the group backends, the fleet account cap
+/// (fleet_max_total_instances, falling back to max_total_instances), the
+/// spec's cumulative reading.  Shared by run_fleet and the fleet_scale
+/// allocation-replay bench.
+core::allocation_request fleet_allocation_shape(const exp::scenario_spec& spec);
+
+/// Runs `spec`'s population sharded `options.shards` ways on `pool`.
+/// Throws std::invalid_argument on a malformed spec or more shards than
+/// users.
+fleet_result run_fleet(const exp::scenario_spec& spec,
+                       const fleet_options& options,
+                       const tasks::task_pool& task_pool,
+                       exp::thread_pool& pool);
+
+}  // namespace mca::fleet

@@ -1,0 +1,93 @@
+#include "fleet/shard.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mca::fleet {
+namespace {
+
+/// Domain tag folded into the shard rng streams so they never collide with
+/// the replication streams rng::split(base_seed, index) hands a seed sweep
+/// of the same scenario.
+constexpr std::uint64_t kShardStreamTag = 0x666c656574736872ULL;  // "fleetshr"
+
+}  // namespace
+
+std::size_t shard_user_count(std::size_t user_count, std::size_t index,
+                             std::size_t shard_count) {
+  return user_count / shard_count + (index < user_count % shard_count ? 1 : 0);
+}
+
+shard::shard(const exp::scenario_spec& spec, const tasks::task_pool& pool,
+             std::size_t index, std::size_t shard_count)
+    : spec_{spec}, index_{index} {
+  exp::validate(spec);
+  if (shard_count == 0) {
+    throw std::invalid_argument{"fleet::shard: zero shard count"};
+  }
+  if (index >= shard_count) {
+    throw std::invalid_argument{"fleet::shard: index out of range"};
+  }
+  spec_.user_count = shard_user_count(spec.user_count, index, shard_count);
+  if (spec_.user_count == 0) {
+    throw std::invalid_argument{
+        "fleet::shard: more shards than users (empty slice)"};
+  }
+  seed_ = spec.base_seed;
+  group_count_ = exp::group_count_of(spec_);
+
+  util::rng stream = util::rng::split(spec.base_seed ^ kShardStreamTag, index);
+  core::system_config config = exp::make_system_config(spec_, pool, stream);
+  config.external_allocation = true;
+  system_.emplace(std::move(config), pool);
+}
+
+void shard::begin() {
+  system_->begin(spec_.duration);
+  next_boundary_ = spec_.slot_length;
+}
+
+demand_digest shard::advance_to_slot(std::size_t slot_index) {
+  system_->advance_to(next_boundary_);
+  next_boundary_ += spec_.slot_length;
+
+  demand_digest digest;
+  digest.shard = index_;
+  digest.slot = slot_index;
+  if (auto request = system_->take_pending_demand()) {
+    digest.has_prediction = true;
+    digest.demand_per_group = std::move(request->workload_per_group);
+  } else {
+    digest.demand_per_group.assign(group_count_, 0.0);
+  }
+
+  digest.queue_depth_per_group.assign(group_count_, 0);
+  for (group_id g = 0; g < group_count_; ++g) {
+    const auto servers = system_->backend().instances_in(g);
+    digest.instances += servers.size();
+    for (const cloud::instance* server : servers) {
+      digest.queue_depth_per_group[g] += server->active_jobs();
+    }
+  }
+
+  // Acceptance so far: only the requests completed since the last digest
+  // need scanning, so a run's digest cost is linear overall.
+  const auto& requests = system_->metrics().requests;
+  for (; digested_requests_ < requests.size(); ++digested_requests_) {
+    if (requests[digested_requests_].success) ++successes_;
+  }
+  digest.requests = requests.size();
+  digest.successes = successes_;
+  return digest;
+}
+
+void shard::apply_quota(const core::allocation_plan& quota) {
+  system_->apply_external_plan(quota);
+}
+
+exp::replication_metrics shard::finish() {
+  system_->finish();
+  return exp::digest_metrics(system_->metrics(), group_count_, seed_);
+}
+
+}  // namespace mca::fleet

@@ -1,0 +1,79 @@
+// One fleet shard: a self-contained closed-loop simulation over a slice of
+// the population, provisioned from outside.
+//
+// A shard wraps one core::offloading_system in external_allocation mode:
+// the arena event engine underneath stays single-threaded and untouched,
+// the shard's devices / moderator / SDN front-end / backend pool are all
+// private to it, and the only things that cross its boundary are the
+// demand digest it emits at each provisioning-slot boundary and the
+// instance quota the coordinator hands back.  A shard is a pure function
+// of (scenario spec, shard index, shard count, quota sequence): it draws
+// all randomness from rng::split(spec.base_seed, index), so fleet results
+// cannot depend on which pool thread happens to advance which shard.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/system.h"
+#include "exp/scenario.h"
+#include "fleet/demand_digest.h"
+#include "tasks/task.h"
+
+namespace mca::fleet {
+
+/// The population slice of shard `index` among `shard_count` shards:
+/// user_count / shard_count users, the first user_count % shard_count
+/// shards carrying one extra.
+std::size_t shard_user_count(std::size_t user_count, std::size_t index,
+                             std::size_t shard_count);
+
+class shard {
+ public:
+  /// Builds shard `index` of `shard_count` over its population slice.
+  /// Throws std::invalid_argument on a malformed spec, a zero shard count,
+  /// an index out of range, or a slice with zero users (more shards than
+  /// users).
+  shard(const exp::scenario_spec& spec, const tasks::task_pool& pool,
+        std::size_t index, std::size_t shard_count);
+
+  /// Installs the workload; must be called once before the first advance.
+  void begin();
+
+  /// Runs the shard's event loop to the end of slot `slot_index` (the
+  /// boundary at (slot_index + 1) * slot_length) and digests its demand
+  /// state for the coordinator.
+  demand_digest advance_to_slot(std::size_t slot_index);
+
+  /// Applies this shard's slice of the fleet plan (launch/retire on the
+  /// shard's own backend pool, recorded in its slot report).
+  void apply_quota(const core::allocation_plan& quota);
+
+  /// Drains in-flight requests past the horizon and digests the shard's
+  /// full run for the deterministic fleet merge.
+  exp::replication_metrics finish();
+
+  std::size_t index() const noexcept { return index_; }
+  std::size_t user_count() const noexcept { return spec_.user_count; }
+  std::size_t group_count() const noexcept { return group_count_; }
+  core::offloading_system& system() noexcept { return *system_; }
+  const core::offloading_system& system() const noexcept { return *system_; }
+
+ private:
+  exp::scenario_spec spec_;  ///< population slice applied
+  std::size_t index_ = 0;
+  std::uint64_t seed_ = 0;
+  std::size_t group_count_ = 0;
+  std::optional<core::offloading_system> system_;
+  /// Next boundary, accumulated with the same `previous + slot_length`
+  /// arithmetic the slot ticker rearms with: a multiplied-out
+  /// (k+1)*slot_length can land an ULP before the ticker's accumulated
+  /// fire time when slot_length is not exactly representable, and
+  /// run_until would then skip the boundary event entirely.
+  util::time_ms next_boundary_ = 0.0;
+  /// Cursor into metrics().requests for incremental acceptance counting.
+  std::size_t digested_requests_ = 0;
+  std::size_t successes_ = 0;
+};
+
+}  // namespace mca::fleet

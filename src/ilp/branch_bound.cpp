@@ -1,5 +1,6 @@
 #include "ilp/branch_bound.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -40,14 +41,102 @@ std::optional<std::size_t> most_fractional(const problem& p,
   return best;
 }
 
+/// Greedy feasibility-preserving trim of an integral candidate: walk the
+/// positive-cost integer variables from most to least expensive and shed
+/// the units feasibility does not need.  Turns the blunt ceil incumbent —
+/// which rounds every fractional helper up, including ones another
+/// column's rounding already covered — into a minimal cover before it
+/// becomes the search cutoff.  Row activities are computed once and
+/// updated incrementally, so a trim costs O(nnz + shed columns), not a
+/// full feasibility scan per shed unit.
+void trim_candidate(const problem& p, std::vector<double>& x) {
+  std::vector<double> activity(p.constraint_count(), 0.0);
+  std::vector<std::vector<std::pair<std::size_t, double>>> rows_of(
+      p.variable_count());
+  for (std::size_t i = 0; i < p.constraint_count(); ++i) {
+    for (const auto& term : p.constraint(i).terms) {
+      activity[i] += term.coeff * x[term.var];
+      rows_of[term.var].push_back({i, term.coeff});
+    }
+  }
+
+  std::vector<std::size_t> order;
+  for (std::size_t j = 0; j < p.variable_count(); ++j) {
+    const auto& v = p.variable(j);
+    if (v.is_integer && v.cost > 0.0 && x[j] > v.lower + 0.5) {
+      order.push_back(j);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p.variable(a).cost > p.variable(b).cost;
+  });
+
+  for (const std::size_t j : order) {
+    // Shedding u units moves every row's lhs by -coeff * u; the row's
+    // slack bounds u from above (an equality row pins it at zero).
+    double max_shed = x[j] - p.variable(j).lower;
+    for (const auto& [i, coeff] : rows_of[j]) {
+      const auto& c = p.constraint(i);
+      switch (c.rel) {
+        case relation::greater_equal:
+          if (coeff > 0.0) {
+            max_shed = std::min(max_shed, (activity[i] - c.rhs) / coeff);
+          }
+          break;
+        case relation::less_equal:
+          if (coeff < 0.0) {
+            max_shed = std::min(max_shed, (c.rhs - activity[i]) / -coeff);
+          }
+          break;
+        case relation::equal:
+          if (std::abs(coeff) > 1e-12) max_shed = 0.0;
+          break;
+      }
+      if (max_shed <= 0.0) break;
+    }
+    const double shed = std::floor(max_shed + 1e-9);
+    if (shed <= 0.0) continue;
+    x[j] -= shed;
+    for (const auto& [i, coeff] : rows_of[j]) activity[i] -= coeff * shed;
+  }
+}
+
 }  // namespace
 
 solution solve_ilp(const problem& p, const ilp_options& opts) {
   if (!p.has_integer_variables()) return solve_lp(p, opts.lp);
+  if (opts.max_nodes == 0) {
+    solution out;
+    out.status = solve_status::iteration_limit;
+    out.objective = std::numeric_limits<double>::infinity();
+    return out;
+  }
+  dense_tableau root{p, opts.lp.tolerance};
+  const solve_status status = root.solve(opts.lp);
+  return solve_ilp_warm(p, std::move(root), status, opts);
+}
 
+solution solve_ilp_warm(const problem& p, dense_tableau root,
+                        solve_status root_status, const ilp_options& opts,
+                        const std::vector<double>* incumbent_hint) {
+  if (opts.max_nodes == 0) {
+    // Mirror solve_ilp's guard (including ignoring the hint): a zero node
+    // budget yields no incumbent on either path, so the batched
+    // allocator's results stay identical to independent cold solves.
+    solution out;
+    out.status = solve_status::iteration_limit;
+    out.objective = std::numeric_limits<double>::infinity();
+    return out;
+  }
   solution incumbent;
   incumbent.status = solve_status::infeasible;
   incumbent.objective = std::numeric_limits<double>::infinity();
+  if (incumbent_hint && incumbent_hint->size() == p.variable_count() &&
+      p.is_feasible(*incumbent_hint)) {
+    incumbent.values = *incumbent_hint;
+    incumbent.objective = p.objective_value(*incumbent_hint);
+    incumbent.status = solve_status::optimal;
+  }
 
   std::vector<search_node> stack;
   std::size_t explored = 0;
@@ -93,9 +182,10 @@ solution solve_ilp(const problem& p, const ilp_options& opts) {
           value = mode == 0 ? std::ceil(value - 1e-9) : std::round(value);
           candidate.values[j] = std::min(std::max(value, v.lower), v.upper);
         }
+        if (!p.is_feasible(candidate.values)) continue;
+        trim_candidate(p, candidate.values);
         candidate.objective = p.objective_value(candidate.values);
-        if (candidate.objective < incumbent.objective &&
-            p.is_feasible(candidate.values)) {
+        if (candidate.objective < incumbent.objective) {
           incumbent = std::move(candidate);
           incumbent.status = solve_status::optimal;
         }
@@ -155,15 +245,10 @@ solution solve_ilp(const problem& p, const ilp_options& opts) {
     }
   };
 
-  // Root relaxation: full primal solve.
-  if (opts.max_nodes == 0) {
-    budget_exhausted = true;
-  } else {
-    ++explored;
-    dense_tableau root{p, opts.lp.tolerance};
-    const solve_status status = root.solve(opts.lp);
-    consider(std::move(root), status, /*at_root=*/true);
-  }
+  // Root relaxation, solved by the caller (cold path: solve_ilp; warm
+  // path: the batched allocator's persistent tableau after an rhs sync).
+  ++explored;
+  consider(std::move(root), root_status, /*at_root=*/true);
 
   while (!stack.empty()) {
     if (explored >= opts.max_nodes) {

@@ -379,5 +379,154 @@ TEST_P(CumulativeRelaxation, NeverCostsMoreThanStrict) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CumulativeRelaxation,
                          ::testing::Range<std::uint64_t>(50, 70));
 
+TEST(DemandFromPrediction, WidensAndZeroPads) {
+  const std::size_t counts[2] = {7, 3};
+  const auto demand = demand_from_prediction(counts, 4);
+  ASSERT_EQ(demand.size(), 4u);
+  EXPECT_DOUBLE_EQ(demand[0], 7.0);
+  EXPECT_DOUBLE_EQ(demand[1], 3.0);
+  EXPECT_DOUBLE_EQ(demand[2], 0.0);
+  EXPECT_DOUBLE_EQ(demand[3], 0.0);
+  // Extra predicted groups beyond the deployment are dropped, not OOB.
+  const std::size_t wide[3] = {1, 2, 9};
+  EXPECT_EQ(demand_from_prediction(wide, 2).size(), 2u);
+}
+
+/// Multi-group, multi-tier shape for the batched allocator cross-checks.
+allocation_request batched_shape() {
+  allocation_request shape;
+  shape.workload_per_group = {0.0, 0.0, 0.0};
+  shape.candidates_per_group = {
+      {{"small", 10.0, 1.0}, {"large", 40.0, 3.0}},
+      {{"small", 12.0, 1.0}, {"wide", 90.0, 6.5}},
+      {{"large", 35.0, 3.0}, {"wide", 100.0, 7.0}},
+  };
+  shape.max_total_instances = 64;
+  return shape;
+}
+
+TEST(BatchedAllocator, ValidatesShapeAndDemands) {
+  EXPECT_THROW(batched_allocator{allocation_request{}}, std::invalid_argument);
+  batched_allocator allocator{batched_shape()};
+  EXPECT_EQ(allocator.group_count(), 3u);
+  const double two_groups[2] = {1.0, 2.0};
+  EXPECT_THROW(allocator.solve(two_groups), std::invalid_argument);
+  const double negative[3] = {1.0, -2.0, 0.0};
+  EXPECT_THROW(allocator.solve(negative), std::invalid_argument);
+}
+
+class BatchedMatchesIndependent
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchedMatchesIndependent, RandomDemandWalks) {
+  // The batched path must be a pure optimization: over a random walk of
+  // demand vectors (the consecutive-slots-barely-move regime plus jumps),
+  // every solve's cost and feasibility must match a cold allocate_ilp of
+  // the same request.
+  util::rng rng{GetParam()};
+  for (int variant = 0; variant < 2; ++variant) {
+    allocation_request shape = batched_shape();
+    shape.cumulative_capacity = variant == 1;
+    batched_allocator allocator{shape};
+    std::vector<double> demand{25.0, 40.0, 80.0};
+    for (int step = 0; step < 12; ++step) {
+      for (auto& d : demand) {
+        // Mostly small drifts, occasionally a jump or a collapse to zero.
+        const double pick = rng.uniform(0.0, 1.0);
+        if (pick < 0.7) {
+          d = std::max(0.0, d + rng.uniform(-6.0, 6.0));
+        } else if (pick < 0.85) {
+          d = rng.uniform(0.0, 400.0);
+        } else {
+          d = 0.0;
+        }
+      }
+      const allocation_plan warm = allocator.solve(demand);
+      allocation_request request = shape;
+      request.workload_per_group = demand;
+      const allocation_plan cold = allocate_ilp(request);
+      ASSERT_EQ(warm.status, cold.status) << "step " << step;
+      EXPECT_EQ(warm.feasible, cold.feasible) << "step " << step;
+      EXPECT_EQ(warm.best_effort, cold.best_effort) << "step " << step;
+      // Equal optimum cost is the contract; the plans themselves may
+      // differ between cost ties.
+      EXPECT_NEAR(warm.total_cost_per_hour, cold.total_cost_per_hour, 1e-6)
+          << "step " << step;
+    }
+    EXPECT_EQ(allocator.solves(), 12u);
+    EXPECT_GT(allocator.warm_solves(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedMatchesIndependent,
+                         ::testing::Range<std::uint64_t>(7000, 7012));
+
+TEST(BatchedAllocator, ZeroNodeBudgetMatchesColdFallback) {
+  // max_nodes == 0 yields no incumbent on the cold path; the warm path
+  // must not sneak one in via the root heuristics or the hint.
+  ilp::ilp_options opts;
+  opts.max_nodes = 0;
+  batched_allocator allocator{batched_shape(), opts};
+  const double demand[3] = {25.0, 40.0, 80.0};
+  for (int slot = 0; slot < 2; ++slot) {
+    const allocation_plan warm = allocator.solve(demand);
+    allocation_request request = batched_shape();
+    request.workload_per_group.assign(demand, demand + 3);
+    const allocation_plan cold = allocate_ilp(request, opts);
+    EXPECT_EQ(warm.status, ilp::solve_status::iteration_limit);
+    EXPECT_EQ(warm.best_effort, cold.best_effort) << "slot " << slot;
+    EXPECT_NEAR(warm.total_cost_per_hour, cold.total_cost_per_hour, 1e-9)
+        << "slot " << slot;
+  }
+}
+
+TEST(BatchedAllocator, InfeasibleSlotFallsBackLikeAllocateIlp) {
+  allocation_request shape = batched_shape();
+  // One instance per group fits (margin instances), the big demand cannot.
+  shape.max_total_instances = 4;
+  batched_allocator allocator{shape};
+  const double demand[3] = {500.0, 500.0, 500.0};
+  const allocation_plan plan = allocator.solve(demand);
+  EXPECT_TRUE(plan.best_effort);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_LE(plan.total_instances(), 4u);
+  // The allocator recovers on the next (feasible) slot.
+  const double light[3] = {5.0, 5.0, 5.0};
+  const allocation_plan next = allocator.solve(light);
+  EXPECT_TRUE(next.feasible);
+  EXPECT_FALSE(next.best_effort);
+}
+
+TEST(AllocateIlpBatched, MultiPeriodEntryPointMatchesPerSlotCalls) {
+  const allocation_request shape = batched_shape();
+  const std::vector<std::vector<double>> periods = {
+      {30.0, 50.0, 120.0}, {32.0, 48.0, 118.0}, {28.0, 55.0, 121.0},
+      {0.0, 0.0, 0.0},     {200.0, 10.0, 40.0},
+  };
+  const auto plans = allocate_ilp_batched(shape, periods);
+  ASSERT_EQ(plans.size(), periods.size());
+  for (std::size_t t = 0; t < periods.size(); ++t) {
+    allocation_request request = shape;
+    request.workload_per_group = periods[t];
+    const auto cold = allocate_ilp(request);
+    EXPECT_NEAR(plans[t].total_cost_per_hour, cold.total_cost_per_hour, 1e-6)
+        << "period " << t;
+    EXPECT_EQ(plans[t].feasible, cold.feasible) << "period " << t;
+  }
+}
+
+TEST(AllocateIlpBatched, NoCandidatesForDemandedGroupGoesBestEffort) {
+  allocation_request shape;
+  shape.workload_per_group = {0.0, 0.0};
+  shape.candidates_per_group = {{{"small", 10.0, 1.0}}, {}};
+  batched_allocator allocator{shape};
+  const double uncovered[2] = {5.0, 3.0};  // group 1 demand, no candidates
+  const allocation_plan plan = allocator.solve(uncovered);
+  EXPECT_TRUE(plan.best_effort);
+  EXPECT_EQ(plan.status, ilp::solve_status::infeasible);
+  const double covered[2] = {5.0, 0.0};
+  EXPECT_TRUE(allocator.solve(covered).feasible);
+}
+
 }  // namespace
 }  // namespace mca::core

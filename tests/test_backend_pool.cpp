@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/simulation.h"
 
 namespace mca::cloud {
@@ -154,6 +156,92 @@ TEST_F(BackendPoolTest, MutableAccessSkipsDraining) {
   pool_.route(1, 100.0, {});
   pool_.retire(1, plain_type(), 1);
   EXPECT_EQ(pool_.mutable_instances_in(1).size(), 1u);
+}
+
+TEST_F(BackendPoolTest, RetireWhileRoutingChurn) {
+  // Interleave routing with partial drains over several simulated rounds:
+  // drained instances must never accept another request, live ones must
+  // absorb the full load, and every billing record must close exactly
+  // once no matter how often the reaper runs.
+  const auto type = plain_type();
+  for (int i = 0; i < 4; ++i) pool_.launch(1, type);
+
+  std::size_t completions = 0;
+  std::size_t routed = 0;
+  std::size_t drained_total = 0;
+  for (int round = 0; round < 6; ++round) {
+    // Load every accepting instance, then mark one busy member mid-work.
+    for (int r = 0; r < 8; ++r) {
+      if (pool_.route(1, 50.0, [&](double) { ++completions; }) ==
+          route_status::ok) {
+        ++routed;
+      }
+    }
+    // Pointers stay inside the round: the reaper frees drained instances.
+    std::vector<instance*> drained;
+    if (round < 2) {
+      auto accepting = pool_.mutable_instances_in(1);
+      ASSERT_EQ(pool_.retire(1, type, 1), 1u);
+      for (instance* server : accepting) {
+        if (server->draining()) drained.push_back(server);
+      }
+      // Everyone was busy, so the drain marks a loaded server (no reap).
+      ASSERT_EQ(drained.size(), 1u);
+      ++drained_total;
+    }
+    // Mid-drain routing: new work lands only on accepting instances.
+    std::vector<std::size_t> jobs_before;
+    for (const instance* server : drained) {
+      jobs_before.push_back(server->active_jobs());
+    }
+    for (int r = 0; r < 4; ++r) {
+      if (pool_.route(1, 25.0, [&](double) { ++completions; }) ==
+          route_status::ok) {
+        ++routed;
+      }
+    }
+    for (std::size_t d = 0; d < drained.size(); ++d) {
+      EXPECT_LE(drained[d]->active_jobs(), jobs_before[d])
+          << "drained instance accepted work in round " << round;
+    }
+    // The router's accepting view must exclude every drained instance.
+    for (instance* server : pool_.mutable_instances_in(1)) {
+      EXPECT_EQ(std::find(drained.begin(), drained.end(), server),
+                drained.end())
+          << "drained instance still visible to routing in round " << round;
+    }
+    // Direct submission to a draining instance must be refused outright.
+    for (instance* server : drained) {
+      EXPECT_FALSE(server->submit(1.0, {}));
+    }
+    // Let some work finish, reap repeatedly (idempotent: a double
+    // on_terminate would throw logic_error out of sweep()).
+    sim_.run_until(sim_.now() + util::minutes(2.0));
+    ASSERT_NO_THROW(pool_.sweep());
+    ASSERT_NO_THROW(pool_.sweep());
+  }
+  EXPECT_EQ(drained_total, 2u);
+  EXPECT_EQ(pool_.instance_count(1), 2u);
+
+  // Drain the simulation: all in-flight work completes, the two retired
+  // instances are reaped, and exactly the two live records stay open.
+  sim_.run();
+  ASSERT_NO_THROW(pool_.sweep());
+  ASSERT_NO_THROW(pool_.sweep());
+  EXPECT_EQ(completions, routed);
+  EXPECT_EQ(pool_.total_completed(), routed);
+  EXPECT_EQ(pool_.billing().active_instances(), 2u);
+  // The only refusals are this test's own direct probes of the draining
+  // instances; the router itself never hit a drop.
+  EXPECT_EQ(pool_.total_dropped(), drained_total);
+  // Billing keeps charging the live instances only: cost equals two
+  // still-open records plus the two closed ones, each >= one started
+  // hour — and stays put when sweep() runs again on an already-reaped
+  // pool.
+  const double cost = pool_.billing().total_cost(sim_.now());
+  EXPECT_GE(cost, 4.0);  // four records, minimum one hour each at $1/h
+  pool_.sweep();
+  EXPECT_DOUBLE_EQ(pool_.billing().total_cost(sim_.now()), cost);
 }
 
 TEST(RouteStatus, Names) {

@@ -169,6 +169,62 @@ TEST(ScenarioRunner, BrokenScenarioSurfacesEveryFailure) {
   }
 }
 
+TEST(ScenarioSpecValidation, RejectsDegenerateSpecs) {
+  const auto expect_rejected = [](scenario_spec spec, const char* what) {
+    try {
+      validate(spec);
+      FAIL() << "accepted a spec with " << what;
+    } catch (const std::invalid_argument& e) {
+      // The message names the scenario and the offending field.
+      EXPECT_NE(std::string{e.what()}.find(spec.name), std::string::npos)
+          << what;
+    }
+  };
+
+  scenario_spec spec = tiny_scenario();
+  EXPECT_NO_THROW(validate(spec));
+
+  spec = tiny_scenario();
+  spec.user_count = 0;
+  expect_rejected(spec, "zero users");
+
+  spec = tiny_scenario();
+  spec.duration = 0.0;
+  expect_rejected(spec, "zero duration");
+
+  spec = tiny_scenario();
+  spec.slot_length = -1.0;
+  expect_rejected(spec, "negative slot length");
+
+  spec = tiny_scenario();
+  spec.groups.clear();
+  expect_rejected(spec, "no groups");
+
+  spec = tiny_scenario();
+  spec.session_probability = 1.5;
+  expect_rejected(spec, "session probability above 1");
+
+  spec = tiny_scenario();
+  spec.session_probability = -0.1;
+  expect_rejected(spec, "negative session probability");
+}
+
+TEST(ScenarioSpecValidation, RunScenarioThrowsInsteadOfFailingEverySeed) {
+  auto spec = tiny_scenario();
+  spec.user_count = 0;
+  tasks::task_pool tasks;
+  thread_pool pool{2};
+  EXPECT_THROW(run_scenario(spec, spec.plan(3), tasks, pool),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpecValidation, GroupCountCoversSparseGroupIds) {
+  auto spec = tiny_scenario();
+  EXPECT_EQ(group_count_of(spec), 3u);  // groups 1 and 2 -> ids 0..2
+  spec.groups.push_back({7, "t2.large", 1, 30.0});
+  EXPECT_EQ(group_count_of(spec), 8u);
+}
+
 TEST(ScenarioMetrics, DigestAndMergeCountConsistently) {
   core::system_metrics metrics;
   metrics.promotions = 2;
