@@ -10,36 +10,50 @@
 // BENCH_fleet.json next to the other BENCH_*.json series.
 //
 // Usage:
-//   fleet_scale [--users N] [--shards K] [--jobs a,b,c] [--ilp-solves S]
-//               [--out PATH] [--smoke]
+//   fleet_scale [--users N] [--shards K] [--slots S] [--jobs a,b,c]
+//               [--ilp-solves S] [--out PATH] [--smoke]
 //
-// --smoke shrinks everything (CI: small shard count, determinism and
-// plan-equality gates stay hard, wall-clock gates turn advisory).
+// --slots sets how many provisioning slots the 1-hour horizon is cut into
+// (slot_length = duration / slots).  --smoke shrinks everything (CI: small
+// shard count, determinism and plan-equality gates stay hard, wall-clock
+// gates turn advisory).  Besides the end-to-end runs, a per-phase
+// micro-breakdown (workload gen / decision / backend / metrics) lands in
+// BENCH_fleet.json so future perf PRs can see where request time goes.
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "client/device.h"
+#include "client/moderator.h"
+#include "cloud/instance.h"
+#include "core/system.h"
 #include "exp/bench_clock.h"
 #include "exp/thread_pool.h"
 #include "fleet/fleet_runner.h"
 #include "tasks/task.h"
+#include "workload/generator.h"
 
 namespace {
 
 using namespace mca;
 
+/// PR-4's measured full-config throughput (500k users / 16 shards, one
+/// core) — the advisory regression reference.
+constexpr double kBaselineUsersPerSecPr4 = 10'754.0;
+
 /// The fleet-scale scenario: a large population issuing sparse Poisson
 /// traffic against four acceleration groups backed by wide EC2 tiers, no
 /// induced background load (events spent on foreground scale instead).
-exp::scenario_spec fleet_scale_spec(std::size_t users, std::size_t shards) {
+exp::scenario_spec fleet_scale_spec(std::size_t users, std::size_t shards,
+                                    std::size_t slots) {
   exp::scenario_spec spec;
   spec.name = "fleet_scale";
   spec.base_seed = 500'000;
   spec.user_count = users;
   spec.duration = util::hours(1.0);
-  spec.slot_length = util::minutes(15.0);
+  spec.slot_length = spec.duration / static_cast<double>(slots);
   spec.tasks = exp::task_mix::static_minimax;
   spec.gaps = exp::gap_model::exponential;
   spec.arrival_rate_hz = 0.0005;  // ~1.8 requests per user-hour
@@ -70,12 +84,101 @@ struct run_record {
   std::uint64_t fingerprint = 0;
 };
 
+/// Nanoseconds per operation of each hot-path phase, measured in
+/// isolation on this machine (synthetic inputs shaped like the fleet
+/// scenario's).  Not simulation semantics — a where-does-request-time-go
+/// ruler for future perf PRs.
+struct phase_breakdown {
+  double workload_gen_ns = 0.0;  ///< task draw + inter-arrival gap draw
+  double decision_ns = 0.0;      ///< moderator lookup/promote + battery
+  double backend_ns = 0.0;       ///< instance submit + completion event
+  double metrics_ns = 0.0;       ///< streaming digest update
+};
+
+phase_breakdown measure_phases(const tasks::task_pool& task_pool) {
+  phase_breakdown out;
+  constexpr std::size_t kOps = 1 << 19;
+  util::rng rng{20260728};
+  volatile double guard = 0.0;
+
+  {  // workload generation: one task draw + one gap draw per request
+    auto source = workload::static_source(task_pool.static_minimax_request());
+    auto gaps = workload::exponential_interarrival(0.0005);
+    double acc = 0.0;
+    const double secs = exp::seconds_of([&] {
+      for (std::size_t i = 0; i < kOps; ++i) {
+        acc += source(rng).work_units();
+        acc += gaps(rng);
+      }
+    });
+    guard = guard + acc;
+    out.workload_gen_ns = secs * 1e9 / kOps;
+  }
+  {  // decision: group lookup, battery accounting, promotion policy
+    client::moderator moderator{
+        std::make_unique<client::static_probability_promotion>(1.0 / 50.0), 1,
+        4, rng.fork()};
+    const client::device_class mix[] = {
+        client::device_class::flagship, client::device_class::midrange,
+        client::device_class::budget, client::device_class::wearable};
+    client::device_slab slab{1024, mix};
+    double acc = 0.0;
+    const double secs = exp::seconds_of([&] {
+      for (std::size_t i = 0; i < kOps; ++i) {
+        const user_id u = static_cast<user_id>(i & 1023);
+        acc += moderator.group_of(u);
+        slab.account_offload(u, 200.0);
+        moderator.record_response(u, 150.0 + static_cast<double>(i & 255),
+                                  slab.battery(u));
+      }
+    });
+    guard = guard + acc;
+    out.decision_ns = secs * 1e9 / kOps;
+  }
+  {  // backend: processor-sharing instance, submit + completion event
+    sim::simulation sim;
+    cloud::instance server{sim, 1, cloud::type_by_name("t2.large"),
+                           rng.fork()};
+    constexpr std::size_t kBatch = 64;
+    constexpr std::size_t kRounds = 2'000;
+    const double secs = exp::seconds_of([&] {
+      for (std::size_t r = 0; r < kRounds; ++r) {
+        for (std::size_t i = 0; i < kBatch; ++i) {
+          server.submit(40.0, {});
+        }
+        sim.run();
+      }
+    });
+    out.backend_ns = secs * 1e9 / (kBatch * kRounds);
+  }
+  {  // metrics: streaming digest update per successful response
+    core::request_digest digest;
+    digest.group_response.resize(5);
+    digest.group_successes.assign(5, 0);
+    const double secs = exp::seconds_of([&] {
+      for (std::size_t i = 0; i < kOps; ++i) {
+        const double response = 120.0 + static_cast<double>(i & 511);
+        ++digest.issued;
+        ++digest.succeeded;
+        digest.response.add(response);
+        digest.latency.add(response);
+        digest.group_response[i & 3].add(response);
+        ++digest.group_successes[i & 3];
+      }
+    });
+    guard = guard + static_cast<double>(digest.latency.total());
+    out.metrics_ns = secs * 1e9 / kOps;
+  }
+  (void)guard;
+  return out;
+}
+
 bool write_fleet_json(const std::string& path, const exp::scenario_spec& spec,
                       const fleet::fleet_result& reference,
                       const std::vector<run_record>& runs, bool deterministic,
-                      double users_per_sec, std::size_t ilp_solves_timed,
-                      double batched_seconds, double independent_seconds,
-                      bool checks_passed) {
+                      double users_per_sec, const phase_breakdown& phases,
+                      std::size_t ilp_solves_timed, double batched_seconds,
+                      double independent_seconds, bool checks_passed) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "fleet_scale: cannot write %s\n", path.c_str());
@@ -94,8 +197,17 @@ bool write_fleet_json(const std::string& path, const exp::scenario_spec& spec,
   std::fprintf(f, "  \"deterministic\": %s,\n",
                deterministic ? "true" : "false");
   std::fprintf(f, "  \"users_per_sec\": %.0f,\n", users_per_sec);
+  std::fprintf(f, "  \"users_per_sec_baseline_pr4\": %.0f,\n",
+               kBaselineUsersPerSecPr4);
+  std::fprintf(f, "  \"users_per_sec_ratio_vs_pr4\": %.3f,\n",
+               users_per_sec / kBaselineUsersPerSecPr4);
   std::fprintf(f, "  \"coordination_overhead_pct\": %.3f,\n",
                reference.coordination_overhead() * 100.0);
+  std::fprintf(f,
+               "  \"phase_breakdown_ns_per_op\": {\"workload_gen\": %.1f, "
+               "\"decision\": %.1f, \"backend\": %.1f, \"metrics\": %.1f},\n",
+               phases.workload_gen_ns, phases.decision_ns, phases.backend_ns,
+               phases.metrics_ns);
   std::fprintf(f, "  \"runs\": [\n");
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const auto& run = runs[i];
@@ -131,6 +243,8 @@ int main(int argc, char** argv) {
       argc, argv, "--users", smoke ? 4'000 : 500'000, "fleet_scale");
   const std::size_t shards =
       bench::flag_count(argc, argv, "--shards", smoke ? 4 : 16, "fleet_scale");
+  const std::size_t slots =
+      bench::flag_count(argc, argv, "--slots", 4, "fleet_scale");
   const std::size_t ilp_solves_target = bench::flag_count(
       argc, argv, "--ilp-solves", smoke ? 30 : 200, "fleet_scale");
   const std::string out_path =
@@ -148,7 +262,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  const exp::scenario_spec spec = fleet_scale_spec(users, shards);
+  if (slots == 0) {
+    std::fprintf(stderr, "fleet_scale: --slots must be >= 1\n");
+    return 2;
+  }
+  const exp::scenario_spec spec = fleet_scale_spec(users, shards, slots);
   tasks::task_pool task_pool;
   fleet::fleet_options options;
   options.shards = shards;
@@ -270,16 +388,39 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- per-phase micro-breakdown ----------------------------------------
+  bench::section("hot-path phase breakdown (ns/op, synthetic)");
+  const phase_breakdown phases = measure_phases(task_pool);
+  std::printf(
+      "workload_gen %7.1f ns   decision %7.1f ns   backend %7.1f ns   "
+      "metrics %7.1f ns\n",
+      phases.workload_gen_ns, phases.decision_ns, phases.backend_ns,
+      phases.metrics_ns);
+
   double best_wall = runs[0].wall_seconds;
   for (const auto& run : runs) best_wall = std::min(best_wall, run.wall_seconds);
   const double users_per_sec =
       best_wall > 0.0 ? static_cast<double>(users) / best_wall : 0.0;
+  const double ratio = users_per_sec / kBaselineUsersPerSecPr4;
   std::printf("\nthroughput: %.0f simulated users/sec (best run)\n",
               users_per_sec);
+  // Advisory regression note: wall clock is never a hard gate in smoke
+  // mode (CI cores are noisy and this config may be scaled down); the
+  // full 500k/16 configuration gates the PR-5 3x floor hard.
+  std::printf(
+      "advisory: users_per_sec %.0f vs PR-4 full-config baseline %.0f "
+      "(%.2fx)%s\n",
+      users_per_sec, kBaselineUsersPerSecPr4, ratio,
+      ratio < 1.0 ? "  ** REGRESSION? **" : "");
+  if (!smoke && users == 500'000 && shards == 16) {
+    checks.expect(ratio >= 3.0,
+                  "full-config throughput at least 3x the PR-4 baseline",
+                  bench::ratio_detail("ratio", ratio));
+  }
 
   const int exit_code = checks.finish("fleet_scale");
   if (!write_fleet_json(out_path, spec, reference, runs, deterministic,
-                        users_per_sec, timed, batched_seconds,
+                        users_per_sec, phases, timed, batched_seconds,
                         independent_seconds, exit_code == 0)) {
     return 1;
   }

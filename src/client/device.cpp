@@ -67,4 +67,17 @@ void mobile_device::account_offload(util::time_ms active_ms) noexcept {
   battery_ = std::max(0.0, battery_ - offload_energy(active_ms));
 }
 
+device_slab::device_slab(std::size_t user_count,
+                         std::span<const device_class> mix) {
+  profiles_[0] = profile_for(device_class::wearable);
+  profiles_[1] = profile_for(device_class::budget);
+  profiles_[2] = profile_for(device_class::midrange);
+  profiles_[3] = profile_for(device_class::flagship);
+  battery_.assign(user_count, 1.0);
+  class_.resize(user_count);
+  for (std::size_t u = 0; u < user_count; ++u) {
+    class_[u] = static_cast<std::uint8_t>(mix[u % mix.size()]);
+  }
+}
+
 }  // namespace mca::client

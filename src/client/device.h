@@ -10,7 +10,10 @@
 // effort to run it — is computable.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "util/ids.h"
 #include "util/sim_time.h"
@@ -72,6 +75,45 @@ class mobile_device {
   user_id id_;
   device_profile profile_;
   double battery_;
+};
+
+/// Struct-of-arrays population state: one battery level and one device
+/// class per user, profiles shared per class.  The closed-loop system's
+/// per-request device accounting touches two flat arrays instead of a
+/// vector of full mobile_device objects; semantics match mobile_device
+/// exactly (same profiles, same clamping).
+class device_slab {
+ public:
+  /// `mix` is cycled over users, like system_config::device_mix.
+  device_slab(std::size_t user_count, std::span<const device_class> mix);
+
+  std::size_t size() const noexcept { return battery_.size(); }
+  double battery(user_id u) const noexcept { return battery_[u]; }
+  device_class cls(user_id u) const noexcept {
+    return static_cast<device_class>(class_[u]);
+  }
+  const device_profile& profile(user_id u) const noexcept {
+    return profiles_[class_[u]];
+  }
+
+  /// Battery drain of one offload round trip (radio active the whole
+  /// time); mirrors mobile_device::account_offload.
+  void account_offload(user_id u, util::time_ms active_ms) noexcept {
+    const double drained =
+        battery_[u] - active_ms * profiles_[class_[u]].radio_drain_per_ms;
+    battery_[u] = drained > 0.0 ? drained : 0.0;
+  }
+  /// Mirrors mobile_device::account_local_run.
+  void account_local_run(user_id u, double work_units) noexcept {
+    const double drained =
+        battery_[u] - work_units * profiles_[class_[u]].cpu_drain_per_wu;
+    battery_[u] = drained > 0.0 ? drained : 0.0;
+  }
+
+ private:
+  std::vector<double> battery_;
+  std::vector<std::uint8_t> class_;
+  device_profile profiles_[4];
 };
 
 }  // namespace mca::client

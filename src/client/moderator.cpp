@@ -93,10 +93,10 @@ battery_aware_promotion::battery_aware_promotion(double battery_floor)
 
 group_id battery_aware_promotion::next_group(const response_context& ctx,
                                              util::rng&) {
-  bool& done = already_promoted_[ctx.user];
+  std::uint8_t& done = already_promoted_[ctx.user];
   if (!done && ctx.battery < battery_floor_ &&
       ctx.current_group < ctx.max_group) {
-    done = true;
+    done = 1;
     return ctx.current_group + 1;
   }
   return ctx.current_group;
@@ -109,7 +109,8 @@ moderator::moderator(std::unique_ptr<promotion_policy> policy,
       initial_group_{initial_group},
       max_group_{max_group},
       rng_{rng},
-      allow_demotion_{allow_demotion} {
+      allow_demotion_{allow_demotion},
+      groups_{initial_group} {
   if (policy_ == nullptr) {
     throw std::invalid_argument{"moderator: null policy"};
   }
@@ -118,11 +119,7 @@ moderator::moderator(std::unique_ptr<promotion_policy> policy,
   }
 }
 
-group_id moderator::group_of(user_id user) {
-  const auto [it, inserted] = groups_.emplace(user, initial_group_);
-  (void)inserted;
-  return it->second;
-}
+group_id moderator::group_of(user_id user) { return groups_[user]; }
 
 group_id moderator::record_response(user_id user, util::time_ms response_ms,
                                     double battery) {

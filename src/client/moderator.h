@@ -18,13 +18,33 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "util/ids.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 
 namespace mca::client {
+
+/// Dense per-user state for moderator policies: user ids are dense
+/// (0..population) everywhere in this codebase, so a grow-on-demand flat
+/// vector replaces the former per-user hash maps — no hashing and no node
+/// allocation on the per-response path once the population is touched.
+template <typename T>
+class user_state_map {
+ public:
+  explicit user_state_map(T initial = T{}) : initial_{initial} {}
+
+  T& operator[](user_id user) {
+    if (user >= values_.size()) values_.resize(user + 1, initial_);
+    return values_[user];
+  }
+  void reserve(std::size_t users) { values_.reserve(users); }
+
+ private:
+  std::vector<T> values_;
+  T initial_{};
+};
 
 /// Everything a policy may look at when deciding on one response.
 struct response_context {
@@ -78,7 +98,7 @@ class latency_threshold_promotion final : public promotion_policy {
  private:
   util::time_ms threshold_ms_;
   int consecutive_;
-  std::unordered_map<user_id, int> strikes_;
+  user_state_map<int> strikes_;
 };
 
 /// Two-sided latency band: promote after `consecutive` responses above the
@@ -98,8 +118,8 @@ class latency_band_policy final : public promotion_policy {
   util::time_ms lower_ms_;
   util::time_ms upper_ms_;
   int consecutive_;
-  std::unordered_map<user_id, int> slow_strikes_;
-  std::unordered_map<user_id, int> fast_strikes_;
+  user_state_map<int> slow_strikes_;
+  user_state_map<int> fast_strikes_;
 };
 
 /// Promote (once per crossing) when battery falls below a floor, so the
@@ -113,7 +133,7 @@ class battery_aware_promotion final : public promotion_policy {
 
  private:
   double battery_floor_;
-  std::unordered_map<user_id, bool> already_promoted_;
+  user_state_map<std::uint8_t> already_promoted_;  ///< bool sans vector<bool>
 };
 
 /// Tracks each user's current acceleration group and applies a policy to
@@ -152,7 +172,7 @@ class moderator {
   group_id max_group_;
   util::rng rng_;
   bool allow_demotion_;
-  std::unordered_map<user_id, group_id> groups_;
+  user_state_map<group_id> groups_;
   std::uint64_t promotions_ = 0;
   std::uint64_t demotions_ = 0;
 };

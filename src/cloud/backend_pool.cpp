@@ -20,26 +20,37 @@ backend_pool::backend_pool(sim::simulation& sim, util::rng rng,
 
 instance_id backend_pool::launch(group_id group, const instance_type& type) {
   sweep();
+  if (group >= groups_.size()) groups_.resize(group + 1);
   const instance_id id = next_id_++;
-  groups_[group].push_back(std::make_unique<instance>(
-      sim_, id, type, rng_.fork(), instance_opts_));
+  auto inst = std::make_unique<instance>(sim_, id, type, rng_.fork(),
+                                         instance_opts_);
+  // Keep the sweep fast path's accounting exact no matter who calls
+  // drain() — retire() here or a white-box caller via
+  // mutable_instances_in.
+  inst->set_drain_observer(
+      [](void* self) noexcept {
+        ++static_cast<backend_pool*>(self)->draining_count_;
+      },
+      this);
+  groups_[group].push_back(std::move(inst));
   billing_.on_launch(id, type, sim_.now());
   return id;
 }
 
 std::size_t backend_pool::retire(group_id group, const instance_type& type,
                                  std::size_t count) {
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return 0;
+  if (group >= groups_.size()) return 0;
+  auto& members = groups_[group];
+  const instance_type_id wanted = intern_type_name(type.name);
   std::size_t marked = 0;
   // Prefer draining idle instances so capacity leaves the fleet gracefully.
   for (int pass = 0; pass < 2 && marked < count; ++pass) {
     const bool idle_only = (pass == 0);
-    for (auto& inst : it->second) {
+    for (auto& inst : members) {
       if (marked >= count) break;
-      if (inst->draining() || inst->type().name != type.name) continue;
+      if (inst->draining() || inst->type_id() != wanted) continue;
       if (idle_only && !inst->idle()) continue;
-      inst->drain();
+      inst->drain();  // the drain observer bumps draining_count_
       ++marked;
     }
   }
@@ -50,14 +61,13 @@ std::size_t backend_pool::retire(group_id group, const instance_type& type,
 route_status backend_pool::route(group_id group, double work_units,
                                  instance::completion_fn on_complete) {
   sweep();
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return route_status::no_instances;
+  if (group >= groups_.size()) return route_status::no_instances;
 
   // Least-loaded by active-jobs-per-core — "routes the request to the
   // corresponding group of instances" picking the member with headroom.
   instance* best = nullptr;
   double best_load = std::numeric_limits<double>::infinity();
-  for (auto& inst : it->second) {
+  for (auto& inst : groups_[group]) {
     if (inst->draining()) continue;
     const double load =
         static_cast<double>(inst->active_jobs()) / inst->type().vcpus;
@@ -73,13 +83,15 @@ route_status backend_pool::route(group_id group, double work_units,
 }
 
 void backend_pool::sweep() {
-  for (auto& [group, members] : groups_) {
+  if (draining_count_ == 0) return;
+  for (auto& members : groups_) {
     auto reap = std::remove_if(
         members.begin(), members.end(), [this](std::unique_ptr<instance>& p) {
           if (p->draining() && p->idle()) {
             billing_.on_terminate(p->id(), sim_.now());
             retired_completed_ += p->completed();
             retired_dropped_ += p->dropped();
+            if (draining_count_ > 0) --draining_count_;
             return true;
           }
           return false;
@@ -89,10 +101,9 @@ void backend_pool::sweep() {
 }
 
 std::size_t backend_pool::instance_count(group_id group) const noexcept {
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return 0;
+  if (group >= groups_.size()) return 0;
   std::size_t n = 0;
-  for (const auto& inst : it->second) {
+  for (const auto& inst : groups_[group]) {
     if (!inst->draining()) ++n;
   }
   return n;
@@ -100,20 +111,25 @@ std::size_t backend_pool::instance_count(group_id group) const noexcept {
 
 std::size_t backend_pool::instance_count(
     group_id group, const std::string& type_name) const noexcept {
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return 0;
+  const instance_type_id type = find_type_id(type_name);
+  if (type == kUnknownTypeId) return 0;  // never seen, so never launched
+  return instance_count(group, type);
+}
+
+std::size_t backend_pool::instance_count(
+    group_id group, instance_type_id type) const noexcept {
+  if (group >= groups_.size()) return 0;
   std::size_t n = 0;
-  for (const auto& inst : it->second) {
-    if (!inst->draining() && inst->type().name == type_name) ++n;
+  for (const auto& inst : groups_[group]) {
+    if (!inst->draining() && inst->type_id() == type) ++n;
   }
   return n;
 }
 
 std::vector<group_id> backend_pool::groups() const {
   std::vector<group_id> ids;
-  ids.reserve(groups_.size());
-  for (const auto& [group, members] : groups_) {
-    if (!members.empty()) ids.push_back(group);
+  for (group_id g = 0; g < groups_.size(); ++g) {
+    if (!groups_[g].empty()) ids.push_back(g);
   }
   return ids;
 }
@@ -121,9 +137,8 @@ std::vector<group_id> backend_pool::groups() const {
 std::vector<const instance*> backend_pool::instances_in(
     group_id group) const {
   std::vector<const instance*> out;
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return out;
-  for (const auto& inst : it->second) {
+  if (group >= groups_.size()) return out;
+  for (const auto& inst : groups_[group]) {
     if (!inst->draining()) out.push_back(inst.get());
   }
   return out;
@@ -131,9 +146,8 @@ std::vector<const instance*> backend_pool::instances_in(
 
 std::vector<instance*> backend_pool::mutable_instances_in(group_id group) {
   std::vector<instance*> out;
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return out;
-  for (auto& inst : it->second) {
+  if (group >= groups_.size()) return out;
+  for (auto& inst : groups_[group]) {
     if (!inst->draining()) out.push_back(inst.get());
   }
   return out;
@@ -141,7 +155,7 @@ std::vector<instance*> backend_pool::mutable_instances_in(group_id group) {
 
 std::uint64_t backend_pool::total_completed() const noexcept {
   std::uint64_t n = retired_completed_;
-  for (const auto& [group, members] : groups_) {
+  for (const auto& members : groups_) {
     for (const auto& inst : members) n += inst->completed();
   }
   return n;
@@ -149,7 +163,7 @@ std::uint64_t backend_pool::total_completed() const noexcept {
 
 std::uint64_t backend_pool::total_dropped() const noexcept {
   std::uint64_t n = retired_dropped_;
-  for (const auto& [group, members] : groups_) {
+  for (const auto& members : groups_) {
     for (const auto& inst : members) n += inst->dropped();
   }
   return n;

@@ -8,7 +8,6 @@
 // their billing record closed) once idle.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +49,8 @@ class backend_pool {
                      instance::completion_fn on_complete);
 
   /// Reaps drained+idle instances (also runs inside route/launch/retire).
+  /// O(1) while nothing is draining — the steady-state request path pays
+  /// only a counter check.
   void sweep();
 
   /// Accepting (non-draining) instance count in a group.
@@ -57,6 +58,8 @@ class backend_pool {
   /// Accepting instances of one type in a group.
   std::size_t instance_count(group_id group,
                              const std::string& type_name) const noexcept;
+  std::size_t instance_count(group_id group,
+                             instance_type_id type) const noexcept;
   /// All groups that currently have instances.
   std::vector<group_id> groups() const;
   /// Observing pointers to a group's accepting instances (simulation-owned).
@@ -64,6 +67,15 @@ class backend_pool {
   /// Mutable access to a group's accepting instances, for induced
   /// background load (§VI-C.1) and white-box tests.
   std::vector<instance*> mutable_instances_in(group_id group);
+  /// Visits a group's accepting instances without materializing a vector —
+  /// the allocation-free counterpart of mutable_instances_in.
+  template <typename F>
+  void for_each_accepting(group_id group, F&& fn) {
+    if (group >= groups_.size()) return;
+    for (auto& inst : groups_[group]) {
+      if (!inst->draining()) fn(*inst);
+    }
+  }
 
   std::uint64_t total_completed() const noexcept;
   std::uint64_t total_dropped() const noexcept;
@@ -75,7 +87,13 @@ class backend_pool {
   util::rng rng_;
   instance::options instance_opts_;
   instance_id next_id_ = 1;
-  std::map<group_id, std::vector<std::unique_ptr<instance>>> groups_;
+  /// Indexed directly by group id (ids are small and dense); empty slots
+  /// are groups never launched into.  Replaces the former std::map so the
+  /// per-request route() is a bounds check plus one vector scan.
+  std::vector<std::vector<std::unique_ptr<instance>>> groups_;
+  /// Instances marked draining but not yet reaped; sweep() is a no-op at
+  /// zero, which is the steady state between provisioning slots.
+  std::size_t draining_count_ = 0;
   billing_meter billing_;
   std::uint64_t retired_completed_ = 0;
   std::uint64_t retired_dropped_ = 0;

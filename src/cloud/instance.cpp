@@ -19,6 +19,7 @@ instance::instance(sim::simulation& sim, instance_id id,
     : sim_{sim},
       id_{id},
       type_{type},
+      type_id_{intern_type_name(type.name)},
       rng_{rng},
       opts_{opts},
       last_update_{sim.now()},
@@ -58,11 +59,11 @@ void instance::advance() {
     last_update_ = now;
     return;
   }
-  const std::size_t n = jobs_.size();
+  const std::size_t n = active_.size();
   if (n > 0) {
     const double rate = rate_per_job(n);
     const double done = elapsed * rate;
-    for (auto& [id, j] : jobs_) j.remaining_wu -= done;
+    for (const std::uint32_t idx : active_) jobs_[idx].remaining_wu -= done;
     const double busy_cores =
         std::min(static_cast<double>(n), effective_cores());
     busy_core_ms_ += elapsed * busy_cores;
@@ -86,19 +87,19 @@ void instance::reschedule() {
     sim_.cancel(pending_completion_);
     pending_completion_ = {};
   }
-  if (jobs_.empty()) return;
+  if (active_.empty()) return;
   double min_remaining = std::numeric_limits<double>::infinity();
-  for (const auto& [id, j] : jobs_) {
-    min_remaining = std::min(min_remaining, j.remaining_wu);
+  for (const std::uint32_t idx : active_) {
+    min_remaining = std::min(min_remaining, jobs_[idx].remaining_wu);
   }
-  const double rate = rate_per_job(jobs_.size());
+  const double rate = rate_per_job(active_.size());
   double eta = std::max(min_remaining, 0.0) / rate;
   if (opts_.enable_cpu_credits && credits_ > 0.0) {
     // If the balance empties before the next completion, wake up at the
     // exhaustion moment so the throttled rate takes effect from there on
     // (on_completion_event tolerates firing with nothing finished).
     const double busy_cores =
-        std::min(static_cast<double>(jobs_.size()), type_.vcpus);
+        std::min(static_cast<double>(active_.size()), type_.vcpus);
     const double accrual = type_.baseline_fraction * type_.vcpus;
     if (busy_cores > accrual) {
       const double exhaustion = credits_ / (busy_cores - accrual);
@@ -114,17 +115,25 @@ void instance::on_completion_event() {
   advance();
   // Complete every job that has (numerically) finished; callbacks run after
   // internal state is consistent so they may immediately submit again.
-  std::vector<std::pair<util::time_ms, completion_fn>> finished;
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (it->second.remaining_wu <= kWorkEpsilon) {
-      finished.emplace_back(sim_.now() - it->second.submitted_at,
-                            std::move(it->second.on_complete));
-      it = jobs_.erase(it);
+  // The scratch list keeps its capacity across events and the completed
+  // slab entries return to the free list — no steady-state allocation.
+  finished_scratch_.clear();
+  std::size_t keep = 0;
+  for (const std::uint32_t idx : active_) {
+    if (jobs_[idx].remaining_wu <= kWorkEpsilon) {
+      finished_scratch_.push_back(idx);
     } else {
-      ++it;
+      active_[keep++] = idx;
     }
   }
-  for (auto& [service_time, fn] : finished) {
+  active_.resize(keep);
+  for (const std::uint32_t idx : finished_scratch_) {
+    job& j = jobs_[idx];
+    const util::time_ms service_time = sim_.now() - j.submitted_at;
+    completion_fn fn = std::move(j.on_complete);
+    j.on_complete = nullptr;
+    j.next_free = free_head_;
+    free_head_ = idx;
     ++completed_;
     stats_.add(service_time);
     if (fn) fn(service_time);
@@ -134,7 +143,7 @@ void instance::on_completion_event() {
 
 bool instance::submit(double work_units, completion_fn on_complete) {
   if (work_units < 0.0) throw std::invalid_argument{"submit: negative work"};
-  if (draining_ || jobs_.size() >= type_.max_concurrent()) {
+  if (draining_ || active_.size() >= type_.max_concurrent()) {
     ++dropped_;
     return false;
   }
@@ -144,11 +153,19 @@ bool instance::submit(double work_units, completion_fn on_complete) {
   const double noisy =
       work_units * rng_.lognormal(0.0, type_.jitter_sigma) +
       k_spawn_overhead_wu;
-  job j;
+  std::uint32_t idx;
+  if (free_head_ != kNoFreeJob) {
+    idx = free_head_;
+    free_head_ = jobs_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(jobs_.size());
+    jobs_.emplace_back();
+  }
+  job& j = jobs_[idx];
   j.remaining_wu = noisy;
   j.submitted_at = sim_.now();
   j.on_complete = std::move(on_complete);
-  jobs_.emplace(next_job_id_++, std::move(j));
+  active_.push_back(idx);
   reschedule();
   return true;
 }
@@ -158,8 +175,8 @@ double instance::mean_utilization() const noexcept {
   // simulated moment without forcing an advance().
   double busy = busy_core_ms_;
   const double tail = sim_.now() - last_update_;
-  if (tail > 0.0 && !jobs_.empty()) {
-    busy += tail * std::min(static_cast<double>(jobs_.size()),
+  if (tail > 0.0 && !active_.empty()) {
+    busy += tail * std::min(static_cast<double>(active_.size()),
                             static_cast<double>(type_.vcpus));
   }
   const double lifetime = sim_.now() - launched_at_;

@@ -20,7 +20,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "cloud/instance_type.h"
 #include "sim/simulation.h"
@@ -60,14 +60,31 @@ class instance {
   /// is hit or the instance is draining (the callback is then never run).
   bool submit(double work_units, completion_fn on_complete);
 
-  /// Stops accepting new work; running requests finish normally.
-  void drain() noexcept { draining_ = true; }
+  /// Stops accepting new work; running requests finish normally.  Fires
+  /// the drain observer on the first call, so an owning pool's sweep
+  /// accounting stays exact even when drain() is invoked directly (e.g.
+  /// through mutable_instances_in).
+  void drain() noexcept {
+    if (!draining_) {
+      draining_ = true;
+      if (drain_observer_ != nullptr) drain_observer_(drain_observer_ctx_);
+    }
+  }
+  /// Observer invoked once, at the accepting->draining transition.
+  using drain_observer_fn = void (*)(void*) noexcept;
+  void set_drain_observer(drain_observer_fn fn, void* ctx) noexcept {
+    drain_observer_ = fn;
+    drain_observer_ctx_ = ctx;
+  }
   bool draining() const noexcept { return draining_; }
-  bool idle() const noexcept { return jobs_.empty(); }
+  bool idle() const noexcept { return active_.empty(); }
 
   instance_id id() const noexcept { return id_; }
   const instance_type& type() const noexcept { return type_; }
-  std::size_t active_jobs() const noexcept { return jobs_.size(); }
+  /// Interned id of type().name, resolved once at construction so routing
+  /// and fleet reshaping never compare type names per request.
+  instance_type_id type_id() const noexcept { return type_id_; }
+  std::size_t active_jobs() const noexcept { return active_.size(); }
 
   std::uint64_t completed() const noexcept { return completed_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
@@ -82,10 +99,15 @@ class instance {
   bool throttled() const noexcept;
 
  private:
+  /// Slab entry for one in-flight (or free) job.  Free entries chain
+  /// through `next_free`; the slab plus the `active_` index list replace
+  /// the former per-job hash-map nodes, so steady-state submissions reuse
+  /// storage instead of allocating.
   struct job {
     double remaining_wu = 0.0;
     util::time_ms submitted_at = 0.0;
     completion_fn on_complete;
+    std::uint32_t next_free = 0;
   };
 
   /// Per-job progress rate (wu/ms) for `n` active jobs under current state.
@@ -103,12 +125,18 @@ class instance {
   sim::simulation& sim_;
   instance_id id_;
   instance_type type_;
+  instance_type_id type_id_;
   util::rng rng_;
   options opts_;
 
-  std::unordered_map<std::uint64_t, job> jobs_;
-  std::uint64_t next_job_id_ = 1;
+  std::vector<job> jobs_;            ///< slab; entries recycled via free list
+  std::vector<std::uint32_t> active_;  ///< live slab indices, insertion order
+  std::vector<std::uint32_t> finished_scratch_;  ///< reused per completion
+  std::uint32_t free_head_ = kNoFreeJob;
+  static constexpr std::uint32_t kNoFreeJob = 0xffffffffu;
   sim::event_handle pending_completion_{};
+  drain_observer_fn drain_observer_ = nullptr;
+  void* drain_observer_ctx_ = nullptr;
   util::time_ms last_update_ = 0.0;
   util::time_ms launched_at_ = 0.0;
   double busy_core_ms_ = 0.0;

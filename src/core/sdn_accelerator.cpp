@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -35,82 +34,155 @@ double sdn_accelerator::hour_of_day() const noexcept {
   return std::fmod(util::to_hours(sim_.now()), 24.0);
 }
 
+std::uint32_t sdn_accelerator::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(pool_.size());
+  pool_.emplace_back();
+  return slot;
+}
+
+void sdn_accelerator::release_slot(std::uint32_t slot) noexcept {
+  inflight& s = pool_[slot];
+  s.on_response = nullptr;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
 void sdn_accelerator::submit(const workload::offload_request& request,
                              group_id group, double battery,
                              response_fn on_response) {
+  start(request, group, battery, std::move(on_response));
+}
+
+void sdn_accelerator::submit(const workload::offload_request& request,
+                             group_id group, double battery) {
+  start(request, group, battery, nullptr);
+}
+
+void sdn_accelerator::start(const workload::offload_request& request,
+                            group_id group, double battery,
+                            response_fn on_response) {
   ++received_;
   // The channel stays open for the whole operation, so both external legs
   // see the same half-RTT (§VI-B.2).
   const double external_one_way =
       mobile_link_.sample(rng_, hour_of_day()) / 2.0;
 
-  // Shared mutable timing filled in along the event chain.
-  auto timing = std::make_shared<request_timing>();
-  timing->mobile_to_front = external_one_way;
-  timing->front_to_mobile = external_one_way;
+  const std::uint32_t slot = acquire_slot();
+  inflight& s = pool_[slot];
+  s.request = request;
+  s.group = group;
+  s.battery = battery;
+  s.timing = {};
+  s.timing.mobile_to_front = external_one_way;
+  s.timing.front_to_mobile = external_one_way;
+  s.on_response = std::move(on_response);
 
-  auto finish = [this, request, timing,
-                 on_response = std::move(on_response)](bool success) {
-    timing->success = success;
-    sim_.schedule_after(timing->front_to_mobile, [this, request, timing,
-                                                  on_response, success] {
-      if (success) {
-        ++succeeded_;
-      } else {
-        ++failed_;
-      }
-      if (on_response) on_response(request, *timing);
-    });
-  };
-  // Wrap on_response so the lambda above stays copyable for std::function.
-  auto finish_shared = std::make_shared<decltype(finish)>(std::move(finish));
+  sim_.schedule_after(external_one_way,
+                      [this, slot] { stage_routing(slot); });
+}
 
-  sim_.schedule_after(timing->mobile_to_front, [this, request, group, battery,
-                                                timing, finish_shared] {
-    // Front-end: Request Handler picks a worker thread, Code Offloader
-    // resolves the target acceleration group.
-    const double overhead = sample_routing_overhead();
-    timing->routing = overhead;
-    routing_stats_[group].add(overhead);
-    if (config_.keep_routing_samples) {
-      routing_samples_[group].push_back(overhead);
+void sdn_accelerator::stage_routing(std::uint32_t slot) {
+  // Front-end: Request Handler picks a worker thread, Code Offloader
+  // resolves the target acceleration group.
+  const double overhead = sample_routing_overhead();
+  inflight& s = pool_[slot];
+  s.timing.routing = overhead;
+  if (s.group >= routing_stats_.size()) routing_stats_.resize(s.group + 1);
+  routing_stats_[s.group].add(overhead);
+  if (config_.keep_routing_samples) {
+    if (s.group >= routing_samples_.size()) {
+      routing_samples_.resize(s.group + 1);
     }
-    sim_.schedule_after(overhead, [this, request, group, battery, timing,
-                                   finish_shared] {
-      timing->front_to_back = config_.backend_one_way_ms;
-      sim_.schedule_after(config_.backend_one_way_ms, [this, request, group,
-                                                       battery, timing,
-                                                       finish_shared] {
-        const util::time_ms dispatched_at = sim_.now();
-        const auto status = backend_.route(
-            group, request.work.work_units(),
-            [this, request, group, battery, timing, finish_shared,
-             dispatched_at](util::time_ms service_time) {
-              timing->cloud = service_time;
-              timing->back_to_front = config_.backend_one_way_ms;
-              sim_.schedule_after(config_.backend_one_way_ms,
-                                  [this, request, group, battery, timing,
-                                   finish_shared, dispatched_at] {
-                                    if (log_ != nullptr && config_.log_traces) {
-                                      log_->append({request.created_at,
-                                                    request.user, group,
-                                                    battery, timing->total()});
-                                    }
-                                    (void)dispatched_at;
-                                    (*finish_shared)(true);
-                                  });
-            });
-        if (status != cloud::route_status::ok) {
-          // Rejected at the back-end: the failure notice still pays the
-          // return hops.
-          timing->cloud = 0.0;
-          timing->back_to_front = config_.backend_one_way_ms;
-          sim_.schedule_after(config_.backend_one_way_ms,
-                              [finish_shared] { (*finish_shared)(false); });
-        }
+    routing_samples_[s.group].push_back(overhead);
+  }
+  sim_.schedule_after(overhead, [this, slot] { stage_to_backend(slot); });
+}
+
+void sdn_accelerator::stage_to_backend(std::uint32_t slot) {
+  pool_[slot].timing.front_to_back = config_.backend_one_way_ms;
+  sim_.schedule_after(config_.backend_one_way_ms,
+                      [this, slot] { stage_dispatch(slot); });
+}
+
+void sdn_accelerator::stage_dispatch(std::uint32_t slot) {
+  inflight& s = pool_[slot];
+  const auto status = backend_.route(
+      s.group, s.request.work.work_units(),
+      [this, slot](util::time_ms service_time) {
+        stage_return(slot, service_time);
       });
-    });
-  });
+  if (status != cloud::route_status::ok) {
+    // Rejected at the back-end: the failure notice still pays the return
+    // hops.
+    s.timing.cloud = 0.0;
+    s.timing.back_to_front = config_.backend_one_way_ms;
+    sim_.schedule_after(config_.backend_one_way_ms,
+                        [this, slot] { finish(slot, false); });
+  }
+}
+
+void sdn_accelerator::stage_return(std::uint32_t slot,
+                                   util::time_ms service_time) {
+  inflight& s = pool_[slot];
+  s.timing.cloud = service_time;
+  s.timing.back_to_front = config_.backend_one_way_ms;
+  sim_.schedule_after(config_.backend_one_way_ms,
+                      [this, slot] { stage_logged(slot); });
+}
+
+void sdn_accelerator::stage_logged(std::uint32_t slot) {
+  inflight& s = pool_[slot];
+  // The trace point: observer and (optionally retained) log record fire in
+  // the same event, in the same order the legacy chain appended.
+  if (log_ != nullptr && config_.log_traces) {
+    if (on_trace_) {
+      on_trace_(s.request.created_at, s.request.user, s.group);
+    }
+    if (config_.retain_trace_records) {
+      log_->append({s.request.created_at, s.request.user, s.group, s.battery,
+                    s.timing.total()});
+    }
+  }
+  finish(slot, true);
+}
+
+void sdn_accelerator::finish(std::uint32_t slot, bool success) {
+  pool_[slot].timing.success = success;
+  sim_.schedule_after(pool_[slot].timing.front_to_mobile,
+                      [this, slot] { deliver(slot); });
+}
+
+void sdn_accelerator::deliver(std::uint32_t slot) {
+  inflight& s = pool_[slot];
+  if (s.timing.success) {
+    ++succeeded_;
+  } else {
+    ++failed_;
+  }
+  if (s.on_response) {
+    // Legacy per-request callback: move state out so the callback may
+    // reenter submit() (which can recycle or grow the pool).
+    response_fn fn = std::move(s.on_response);
+    const workload::offload_request request = s.request;
+    const request_timing timing = s.timing;
+    release_slot(slot);
+    fn(request, timing);
+    return;
+  }
+  if (sink_ != nullptr) {
+    const workload::offload_request request = s.request;
+    const request_timing timing = s.timing;
+    const group_id group = s.group;
+    release_slot(slot);
+    sink_->on_response(request, timing, group);
+    return;
+  }
+  release_slot(slot);
 }
 
 namespace {
@@ -120,14 +192,13 @@ const std::vector<double> kEmptySamples{};
 
 const util::running_stats& sdn_accelerator::routing_stats(
     group_id group) const {
-  const auto it = routing_stats_.find(group);
-  return it == routing_stats_.end() ? kEmptyStats : it->second;
+  return group < routing_stats_.size() ? routing_stats_[group] : kEmptyStats;
 }
 
 const std::vector<double>& sdn_accelerator::routing_samples(
     group_id group) const {
-  const auto it = routing_samples_.find(group);
-  return it == routing_samples_.end() ? kEmptySamples : it->second;
+  return group < routing_samples_.size() ? routing_samples_[group]
+                                         : kEmptySamples;
 }
 
 }  // namespace mca::core

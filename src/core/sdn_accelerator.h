@@ -8,10 +8,16 @@
 // return hops (T_b→f, T_f→m).  The paper assumes the channel stays open
 // both ways, so T_m→f = T_f→m and T_f→b = T_b→f.  Every processed request
 // is logged as a trace record — the knowledge base of the predictor.
+//
+// Hot-path layout: each accepted request occupies one slot in a pooled
+// slab of in-flight states (free-listed, reused), and every stage of the
+// event chain is a member function scheduled with a [this, slot] lambda —
+// small enough for std::function's inline storage.  The steady-state
+// request path performs no heap allocation; the legacy per-request
+// `response_fn` overload survives for tests and characterization benches.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "cloud/backend_pool.h"
@@ -31,8 +37,13 @@ struct sdn_config {
   double routing_overhead_sd_ms = 20.0;
   /// Front-end <-> back-end one-way latency (same private network).
   double backend_one_way_ms = 3.0;
-  /// Log every processed request into the trace store.
+  /// Trace every processed request (fires the trace observer and, when
+  /// retained, the log record) — the predictor's knowledge base.
   bool log_traces = true;
+  /// Keep the raw trace records in the log store.  Off, the trace point
+  /// still fires (prediction works) but nothing accumulates in memory —
+  /// the fleet-scale setting.
+  bool retain_trace_records = true;
   /// Keep raw per-group routing-time samples (Fig. 8a series).
   bool keep_routing_samples = false;
 };
@@ -63,6 +74,21 @@ struct request_timing {
 using response_fn = std::function<void(const workload::offload_request&,
                                        const request_timing&)>;
 
+/// Zero-allocation response delivery: the closed-loop system implements
+/// this once instead of allocating a response closure per request.
+/// `group` is the acceleration group the request was routed to.
+class response_sink {
+ public:
+  virtual ~response_sink() = default;
+  virtual void on_response(const workload::offload_request& request,
+                           const request_timing& timing, group_id group) = 0;
+};
+
+/// Observer of the trace point (where processed requests enter the log);
+/// lets the owner stream per-slot state without re-scanning the log.
+using trace_fn = std::function<void(util::time_ms created_at, user_id user,
+                                    group_id group)>;
+
 /// The front-end component.
 class sdn_accelerator {
  public:
@@ -76,6 +102,17 @@ class sdn_accelerator {
   void submit(const workload::offload_request& request, group_id group,
               double battery, response_fn on_response);
 
+  /// Pooled fast path: responses go to the installed sink (see
+  /// set_response_sink); no per-request callback state is allocated.
+  void submit(const workload::offload_request& request, group_id group,
+              double battery);
+
+  /// Installs the response sink the payload-free submit() reports to.
+  void set_response_sink(response_sink* sink) noexcept { sink_ = sink; }
+  /// Installs the trace observer, invoked exactly where successful
+  /// requests are logged (same event, same order).
+  void set_trace_observer(trace_fn fn) { on_trace_ = std::move(fn); }
+
   std::uint64_t received() const noexcept { return received_; }
   std::uint64_t succeeded() const noexcept { return succeeded_; }
   std::uint64_t failed() const noexcept { return failed_; }
@@ -86,6 +123,30 @@ class sdn_accelerator {
   const std::vector<double>& routing_samples(group_id group) const;
 
  private:
+  /// In-flight request state, pooled and reused across requests.
+  struct inflight {
+    workload::offload_request request;
+    request_timing timing;
+    group_id group = 0;
+    double battery = 1.0;
+    response_fn on_response;  ///< empty on the sink fast path
+    std::uint32_t next_free = 0;
+  };
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) noexcept;
+  void start(const workload::offload_request& request, group_id group,
+             double battery, response_fn on_response);
+  // Stages of the Fig. 7a chain, each fired by a [this, slot] event.
+  void stage_routing(std::uint32_t slot);
+  void stage_to_backend(std::uint32_t slot);
+  void stage_dispatch(std::uint32_t slot);
+  void stage_return(std::uint32_t slot, util::time_ms service_time);
+  void stage_logged(std::uint32_t slot);
+  void finish(std::uint32_t slot, bool success);
+  void deliver(std::uint32_t slot);
+
   double sample_routing_overhead();
   double hour_of_day() const noexcept;
 
@@ -95,12 +156,17 @@ class sdn_accelerator {
   trace::log_store* log_;
   sdn_config config_;
   util::rng rng_;
+  response_sink* sink_ = nullptr;
+  trace_fn on_trace_;
+
+  std::vector<inflight> pool_;
+  std::uint32_t free_head_ = kNoFreeSlot;
 
   std::uint64_t received_ = 0;
   std::uint64_t succeeded_ = 0;
   std::uint64_t failed_ = 0;
-  std::map<group_id, util::running_stats> routing_stats_;
-  std::map<group_id, std::vector<double>> routing_samples_;
+  std::vector<util::running_stats> routing_stats_;
+  std::vector<std::vector<double>> routing_samples_;
 };
 
 }  // namespace mca::core

@@ -7,6 +7,18 @@
 
 namespace mca::core {
 
+namespace {
+/// Placeholder mix for the device slab when the config is malformed; the
+/// constructor body rejects such configs right after member init.
+constexpr client::device_class kFallbackMix[] = {client::device_class::midrange};
+}  // namespace
+
+util::histogram default_latency_histogram() {
+  // 250 ms bins to one minute: fine enough to separate the acceleration
+  // levels, coarse enough that merged digests stay small.
+  return util::histogram{0.0, 60'000.0, 240};
+}
+
 std::optional<double> system_metrics::mean_prediction_accuracy() const {
   double total = 0.0;
   std::size_t n = 0;
@@ -22,6 +34,14 @@ std::optional<double> system_metrics::mean_prediction_accuracy() const {
 
 std::vector<double> system_metrics::user_response_series(user_id user) const {
   std::vector<double> series;
+  if (user < requests_by_user.size()) {
+    for (const std::uint32_t i : requests_by_user[user]) {
+      if (requests[i].success) series.push_back(requests[i].response_ms);
+    }
+    return series;
+  }
+  // Metrics assembled by hand (tests) may carry a raw series without the
+  // index; fall back to the linear scan.
   for (const auto& r : requests) {
     if (r.user == user && r.success) series.push_back(r.response_ms);
   }
@@ -30,6 +50,12 @@ std::vector<double> system_metrics::user_response_series(user_id user) const {
 
 std::vector<group_id> system_metrics::user_group_series(user_id user) const {
   std::vector<group_id> series;
+  if (user < requests_by_user.size()) {
+    for (const std::uint32_t i : requests_by_user[user]) {
+      if (requests[i].success) series.push_back(requests[i].group);
+    }
+    return series;
+  }
   for (const auto& r : requests) {
     if (r.user == user && r.success) series.push_back(r.group);
   }
@@ -39,6 +65,10 @@ std::vector<group_id> system_metrics::user_group_series(user_id user) const {
 offloading_system::offloading_system(system_config config,
                                      const tasks::task_pool& pool)
     : config_{std::move(config)}, pool_{pool}, rng_{config_.seed},
+      devices_{config_.user_count == 0 ? 1 : config_.user_count,
+               config_.device_mix.empty()
+                   ? std::span<const client::device_class>{kFallbackMix}
+                   : std::span<const client::device_class>{config_.device_mix}},
       background_rng_{config_.seed ^ 0xbadc0ffeULL} {
   if (config_.groups.empty()) {
     throw std::invalid_argument{"system: no backend groups"};
@@ -59,12 +89,21 @@ offloading_system::offloading_system(system_config config,
   }
   group_count_ = max_group + 1;
 
+  // Resolve every backend's type once: catalog lookup and intern id here,
+  // plain pointer/integer comparisons everywhere after.
+  spec_types_.reserve(config_.groups.size());
+  spec_type_ids_.reserve(config_.groups.size());
+  for (const auto& spec : config_.groups) {
+    spec_types_.push_back(&cloud::type_by_name(spec.type_name));
+    spec_type_ids_.push_back(cloud::intern_type_name(spec.type_name));
+  }
+
   backend_ = std::make_unique<cloud::backend_pool>(sim_, rng_.fork(),
                                                    config_.instance_options);
-  for (const auto& spec : config_.groups) {
-    const auto& type = cloud::type_by_name(spec.type_name);
-    for (std::size_t i = 0; i < spec.initial_count; ++i) {
-      backend_->launch(spec.group, type);
+  for (std::size_t i = 0; i < config_.groups.size(); ++i) {
+    const auto& spec = config_.groups[i];
+    for (std::size_t n = 0; n < spec.initial_count; ++n) {
+      backend_->launch(spec.group, *spec_types_[i]);
     }
   }
 
@@ -72,6 +111,11 @@ offloading_system::offloading_system(system_config config,
       sim_, *backend_,
       config_.mobile_link ? *config_.mobile_link : net::default_lte_model(),
       &log_, config_.sdn, rng_.fork());
+  sdn_->set_response_sink(this);
+  sdn_->set_trace_observer(
+      [this](util::time_ms created_at, user_id user, group_id group) {
+        on_trace(created_at, user, group);
+      });
 
   auto policy = config_.policy_factory
                     ? config_.policy_factory()
@@ -80,86 +124,122 @@ offloading_system::offloading_system(system_config config,
       std::move(policy), config_.initial_group, max_group, rng_.fork(),
       config_.allow_demotion);
 
-  devices_.reserve(config_.user_count);
-  for (user_id u = 0; u < config_.user_count; ++u) {
-    const auto cls = config_.device_mix[u % config_.device_mix.size()];
-    devices_.emplace_back(u, cls);
-  }
   user_seq_.assign(config_.user_count, 0);
+
+  slot_users_.resize(group_count_);
+  slot_window_start_ = 0.0;
+  slot_window_end_ = config_.slot_length;
+
+  metrics_.digest.group_response.resize(group_count_);
+  metrics_.digest.group_successes.assign(group_count_, 0);
+  if (config_.record_request_series) {
+    metrics_.requests_by_user.resize(config_.user_count);
+  }
 
   predictor_ = workload_predictor{config_.predictor_mode};
   predictor_.set_history(config_.seed_history);
 }
 
-trace::time_slot offloading_system::slot_from_log(
-    std::size_t slot_index) const {
-  const util::time_ms from =
-      static_cast<double>(slot_index) * config_.slot_length;
-  const util::time_ms to = from + config_.slot_length;
-  trace::time_slot slot{group_count_};
-  for (const auto& record : log_.in_range(from, to)) {
-    if (record.group < group_count_) slot.add_user(record.group, record.user);
-  }
-  return slot;
-}
-
 void offloading_system::handle_request(
     const workload::offload_request& request) {
   const group_id group = moderator_->group_of(request.user);
-  auto& device = devices_[request.user % devices_.size()];
-  const double battery = device.battery();
-  sdn_->submit(request, group, battery,
-               [this, group](const workload::offload_request& req,
-                             const request_timing& timing) {
-                 auto& dev = devices_[req.user % devices_.size()];
-                 dev.account_offload(timing.total());
-                 if (timing.success) {
-                   moderator_->record_response(req.user, timing.total(),
-                                               dev.battery());
-                 }
-                 request_metric metric;
-                 metric.id = req.id;
-                 metric.user = req.user;
-                 metric.user_seq = user_seq_[req.user % user_seq_.size()]++;
-                 metric.group = group;
-                 metric.response_ms = timing.total();
-                 metric.issued_at = req.created_at;
-                 metric.success = timing.success;
-                 metrics_.requests.push_back(metric);
-               });
+  const double battery = devices_.battery(request.user % devices_.size());
+  sdn_->submit(request, group, battery);
+}
+
+void offloading_system::on_response(const workload::offload_request& request,
+                                    const request_timing& timing,
+                                    group_id group) {
+  const user_id device = request.user % devices_.size();
+  devices_.account_offload(device, timing.total());
+  if (timing.success) {
+    moderator_->record_response(request.user, timing.total(),
+                                devices_.battery(device));
+  }
+  const double response_ms = timing.total();
+
+  // Streaming digest, fed in completion order — the same order (and hence
+  // the same floating-point accumulation) as the raw-series scan it
+  // replaces.
+  auto& digest = metrics_.digest;
+  ++digest.issued;
+  if (timing.success) {
+    ++digest.succeeded;
+    digest.response.add(response_ms);
+    digest.latency.add(response_ms);
+    if (group < group_count_) {
+      digest.group_response[group].add(response_ms);
+      ++digest.group_successes[group];
+    }
+  }
+
+  const std::uint32_t seq = user_seq_[request.user % user_seq_.size()]++;
+  if (config_.record_request_series) {
+    request_metric metric;
+    metric.id = request.id;
+    metric.user = request.user;
+    metric.user_seq = seq;
+    metric.group = group;
+    metric.response_ms = response_ms;
+    metric.issued_at = request.created_at;
+    metric.success = timing.success;
+    if (metric.user < metrics_.requests_by_user.size()) {
+      metrics_.requests_by_user[metric.user].push_back(
+          static_cast<std::uint32_t>(metrics_.requests.size()));
+    }
+    metrics_.requests.push_back(metric);
+  }
+}
+
+void offloading_system::on_trace(util::time_ms created_at, user_id user,
+                                 group_id group) {
+  // Mirrors the retired slot_from_log scan: a request counts toward the
+  // slot its creation time falls in, and only if it completed before that
+  // slot's boundary fired (later completions used to miss the scan).
+  if (created_at >= slot_window_start_ && created_at < slot_window_end_ &&
+      group < group_count_) {
+    slot_users_[group].push_back(user);
+  }
+}
+
+trace::time_slot offloading_system::take_current_slot() {
+  trace::time_slot slot = trace::time_slot::from_group_users(slot_users_);
+  for (auto& users : slot_users_) users.clear();  // keep capacity
+  slot_window_start_ = slot_window_end_;
+  slot_window_end_ += config_.slot_length;
+  return slot;
 }
 
 void offloading_system::inject_background() {
   for (const auto& spec : config_.groups) {
-    for (cloud::instance* server :
-         backend_->mutable_instances_in(spec.group)) {
+    backend_->for_each_accepting(spec.group, [&](cloud::instance& server) {
       for (std::size_t i = 0; i < config_.background_requests_per_burst; ++i) {
         const auto work = pool_.random_request(background_rng_).work_units();
-        if (server->submit(work, {})) ++metrics_.background_submitted;
+        if (server.submit(work, {})) ++metrics_.background_submitted;
       }
-    }
+    });
   }
 }
 
 void offloading_system::apply_plan(const allocation_plan& plan) {
-  for (const auto& spec : config_.groups) {
-    const auto& type = cloud::type_by_name(spec.type_name);
+  for (std::size_t i = 0; i < config_.groups.size(); ++i) {
+    const auto& spec = config_.groups[i];
     const std::size_t want = plan.count_of(spec.group, spec.type_name);
     const std::size_t have =
-        backend_->instance_count(spec.group, spec.type_name);
+        backend_->instance_count(spec.group, spec_type_ids_[i]);
     if (want > have) {
-      for (std::size_t i = have; i < want; ++i) {
-        backend_->launch(spec.group, type);
+      for (std::size_t n = have; n < want; ++n) {
+        backend_->launch(spec.group, *spec_types_[i]);
       }
     } else if (want < have) {
-      backend_->retire(spec.group, type, have - want);
+      backend_->retire(spec.group, *spec_types_[i], have - want);
     }
   }
 }
 
 void offloading_system::on_slot_boundary(std::size_t slot_index) {
   // The slot that just ended becomes evidence.
-  trace::time_slot finished = slot_from_log(slot_index);
+  trace::time_slot finished = take_current_slot();
   const auto actual_counts = finished.group_counts();
 
   // Score the forecast made one boundary ago.

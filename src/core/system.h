@@ -26,9 +26,15 @@
 #include "sim/simulation.h"
 #include "tasks/task.h"
 #include "trace/log_store.h"
+#include "util/histogram.h"
 #include "workload/generator.h"
 
 namespace mca::core {
+
+/// The latency-histogram layout every streaming digest uses (250 ms bins
+/// to one minute); exp::make_latency_histogram mirrors it so merged
+/// replication digests line up.
+util::histogram default_latency_histogram();
 
 /// One acceleration group's backing in the deployment (Fig. 9a style:
 /// group 1 = t2.nano, group 2 = t2.large, group 3 = m4.4xlarge).
@@ -75,6 +81,14 @@ struct system_config {
   /// advancing to the boundary and answers with apply_external_plan().
   bool external_allocation = false;
 
+  /// Keep the raw per-request metric series (system_metrics::requests and
+  /// the per-user index behind user_response_series).  The streaming
+  /// digest is always maintained; the raw series costs one push_back and
+  /// ~56 bytes per request, so fleet-scale runs turn it off
+  /// (exp::run_scenario and fleet shards run with it off; figure benches
+  /// that plot per-request series keep it on).
+  bool record_request_series = true;
+
   // --- induced background load (§VI-C.1) ---
   /// Requests injected into every back-end server per burst.
   std::size_t background_requests_per_burst = 50;
@@ -110,9 +124,27 @@ struct slot_report {
   std::optional<allocation_plan> plan;
 };
 
+/// Streaming per-request aggregates, maintained on the response path in
+/// completion order — exactly the statistics the replication digests used
+/// to recompute by scanning the raw series.  Unconditional (and cheap), so
+/// fleet-scale runs need no per-request storage at all.
+struct request_digest {
+  std::size_t issued = 0;     ///< responses delivered (success or failure)
+  std::size_t succeeded = 0;
+  util::running_stats response;          ///< successful responses
+  util::histogram latency = default_latency_histogram();
+  std::vector<util::running_stats> group_response;  ///< by routed group
+  std::vector<std::uint64_t> group_successes;
+};
+
 /// Aggregated run results.
 struct system_metrics {
+  /// Raw per-request series; filled only under record_request_series.
   std::vector<request_metric> requests;
+  /// Per-user indices into `requests` (same flag) — user series lookups
+  /// are O(own requests), not O(all requests).
+  std::vector<std::vector<std::uint32_t>> requests_by_user;
+  request_digest digest;
   std::vector<slot_report> slots;
   std::uint64_t promotions = 0;
   std::uint64_t demotions = 0;
@@ -122,13 +154,14 @@ struct system_metrics {
   /// Mean accuracy over slots that had both a prediction and an outcome.
   std::optional<double> mean_prediction_accuracy() const;
   /// All response times of successful requests for one user, in order.
+  /// Requires the raw series (empty otherwise).
   std::vector<double> user_response_series(user_id user) const;
   /// The group each successful request of a user ran in, in order.
   std::vector<group_id> user_group_series(user_id user) const;
 };
 
 /// Owns the whole simulated deployment.
-class offloading_system {
+class offloading_system : private response_sink {
  public:
   /// Validates the config (groups present, callbacks set).
   /// Throws std::invalid_argument on a malformed config.
@@ -172,10 +205,18 @@ class offloading_system {
 
  private:
   void handle_request(const workload::offload_request& request);
+  /// response_sink: the single response handler behind the pooled SDN
+  /// fast path (replaces a per-request response closure).
+  void on_response(const workload::offload_request& request,
+                   const request_timing& timing, group_id group) override;
+  /// Trace point: streams (group, user) into the current slot window —
+  /// the predictor's evidence — without re-scanning the request log.
+  void on_trace(util::time_ms created_at, user_id user, group_id group);
   void on_slot_boundary(std::size_t slot_index);
   void inject_background();
   void apply_plan(const allocation_plan& plan);
-  trace::time_slot slot_from_log(std::size_t slot_index) const;
+  /// The finished slot accumulated so far; resets the window.
+  trace::time_slot take_current_slot();
 
   system_config config_;
   const tasks::task_pool& pool_;
@@ -187,12 +228,24 @@ class offloading_system {
   std::unique_ptr<cloud::backend_pool> backend_;
   std::unique_ptr<sdn_accelerator> sdn_;
   std::unique_ptr<client::moderator> moderator_;
-  std::vector<client::mobile_device> devices_;
+  client::device_slab devices_;
   workload_predictor predictor_;
 
   std::unique_ptr<workload::interarrival_generator> generator_;
   std::unique_ptr<sim::periodic_process> slot_ticker_;
   std::unique_ptr<sim::periodic_process> background_ticker_;
+
+  /// Per-group backends resolved once (type_by_name + interned id) so no
+  /// provisioning path resolves strings per slot, let alone per request.
+  std::vector<const cloud::instance_type*> spec_types_;
+  std::vector<cloud::instance_type_id> spec_type_ids_;
+
+  /// Streaming slot accumulator: users seen per group in the current
+  /// window [slot_window_start_, slot_window_end_); buffers keep their
+  /// capacity across slots.
+  std::vector<std::vector<user_id>> slot_users_;
+  util::time_ms slot_window_start_ = 0.0;
+  util::time_ms slot_window_end_ = 0.0;
 
   std::vector<std::uint32_t> user_seq_;
   util::rng background_rng_;

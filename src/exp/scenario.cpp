@@ -42,6 +42,7 @@ const char* to_string(task_mix mix) noexcept {
     case task_mix::static_minimax: return "static_minimax";
     case task_mix::random_pool: return "random_pool";
     case task_mix::heavy_pool: return "heavy_pool";
+    case task_mix::weighted_pool: return "weighted_pool";
   }
   return "?";
 }
@@ -72,6 +73,25 @@ void validate(const scenario_spec& spec) {
   if (!(spec.session_probability >= 0.0 && spec.session_probability <= 1.0)) {
     reject("session_probability must be in [0, 1]");
   }
+  if (spec.tasks == task_mix::weighted_pool) {
+    if (spec.task_weights.empty()) reject("weighted_pool requires task_weights");
+    double total = 0.0;
+    for (const double w : spec.task_weights) {
+      if (w < 0.0) reject("task_weights must be non-negative");
+      total += w;
+    }
+    if (!(total > 0.0)) reject("task_weights must have a positive sum");
+  }
+}
+
+void validate(const scenario_spec& spec, const tasks::task_pool& pool) {
+  validate(spec);
+  if (spec.tasks == task_mix::weighted_pool &&
+      spec.task_weights.size() != pool.size()) {
+    throw std::invalid_argument{"scenario_spec '" + spec.name +
+                                "': task_weights needs one entry per pool "
+                                "task"};
+  }
 }
 
 core::system_config make_system_config(const scenario_spec& spec,
@@ -99,6 +119,9 @@ core::system_config make_system_config(const scenario_spec& spec,
       break;
     case task_mix::heavy_pool:
       config.tasks = workload::heavy_pool_source(pool);
+      break;
+    case task_mix::weighted_pool:
+      config.tasks = workload::weighted_pool_source(pool, spec.task_weights);
       break;
   }
 
@@ -132,20 +155,38 @@ core::system_config make_system_config(const scenario_spec& spec,
   return config;
 }
 
-core::system_metrics run_replication(const scenario_spec& spec,
-                                     const tasks::task_pool& pool,
-                                     const replication_context& context) {
+namespace {
+
+/// The one place a replication is materialized and run.  `record_raw`
+/// keeps the per-request series and trace records (the figure benches'
+/// mode); off, only the streaming digest accumulates (the fleet /
+/// digest-sweep mode).  Identical simulation either way (gated by
+/// test_golden_equivalence).
+core::system_metrics run_one_replication(const scenario_spec& spec,
+                                         const tasks::task_pool& pool,
+                                         const replication_context& context,
+                                         bool record_raw) {
   util::rng stream = context.stream();
-  core::offloading_system system{make_system_config(spec, pool, stream),
-                                 pool};
+  core::system_config config = make_system_config(spec, pool, stream);
+  config.record_request_series = record_raw;
+  config.sdn.retain_trace_records = record_raw;
+  core::offloading_system system{std::move(config), pool};
   system.run(spec.duration);
   return system.metrics();
 }
 
+}  // namespace
+
+core::system_metrics run_replication(const scenario_spec& spec,
+                                     const tasks::task_pool& pool,
+                                     const replication_context& context) {
+  return run_one_replication(spec, pool, context, /*record_raw=*/true);
+}
+
 util::histogram make_latency_histogram() {
-  // 250 ms bins to one minute: fine enough to separate the acceleration
-  // levels, coarse enough that merged digests stay small.
-  return util::histogram{0.0, 60'000.0, 240};
+  // The core streaming digest's layout (250 ms bins to one minute), so
+  // per-replication digests and system digests merge bin-for-bin.
+  return core::default_latency_histogram();
 }
 
 replication_metrics::replication_metrics(std::size_t group_count)
@@ -165,19 +206,39 @@ replication_metrics digest_metrics(const core::system_metrics& metrics,
                                    std::uint64_t seed) {
   replication_metrics digest{group_count};
   digest.seed = seed;
-  digest.requests = metrics.requests.size();
   digest.promotions = metrics.promotions;
   digest.demotions = metrics.demotions;
   digest.background_submitted = metrics.background_submitted;
   digest.total_cost_usd = metrics.total_cost_usd;
-  for (const auto& request : metrics.requests) {
-    if (!request.success) continue;
-    ++digest.successes;
-    digest.response.add(request.response_ms);
-    digest.latency.add(request.response_ms);
-    if (request.group < group_count) {
-      digest.group_response[request.group].add(request.response_ms);
-      ++digest.group_successes[request.group];
+  if (metrics.digest.issued == 0 && !metrics.requests.empty()) {
+    // Metrics assembled by hand (tests, imported series): derive the
+    // aggregates from the raw request series, as digest_metrics always
+    // did before the streaming digest existed.
+    digest.requests = metrics.requests.size();
+    for (const auto& request : metrics.requests) {
+      if (!request.success) continue;
+      ++digest.successes;
+      digest.response.add(request.response_ms);
+      digest.latency.add(request.response_ms);
+      if (request.group < group_count) {
+        digest.group_response[request.group].add(request.response_ms);
+        ++digest.group_successes[request.group];
+      }
+    }
+  } else {
+    // The system streamed these aggregates on its response path, in the
+    // same completion order the scan above would visit — the raw series
+    // is not needed (and fleet-scale runs never record it).
+    const auto& streamed = metrics.digest;
+    digest.requests = streamed.issued;
+    digest.successes = streamed.succeeded;
+    digest.response = streamed.response;
+    digest.latency = streamed.latency;
+    const std::size_t groups =
+        std::min(group_count, streamed.group_response.size());
+    for (std::size_t g = 0; g < groups; ++g) {
+      digest.group_response[g] = streamed.group_response[g];
+      digest.group_successes[g] = streamed.group_successes[g];
     }
   }
   for (const auto& slot : metrics.slots) {
@@ -260,13 +321,18 @@ scenario_result run_scenario(const scenario_spec& spec,
                              thread_pool& pool) {
   // A malformed spec fails the whole call, not every replication
   // individually: the mistake is in the input, not in any one seed.
-  validate(spec);
+  validate(spec, task_pool);
   const std::size_t groups = group_count_of(spec);
   const auto start = std::chrono::steady_clock::now();
   auto outcome = run_replications(
       pool, plan, [&](const replication_context& context) {
-        return digest_metrics(run_replication(spec, task_pool, context),
-                              groups, context.seed);
+        // Digest-only replications run lean: no raw request series, no
+        // retained trace records — the streaming digest carries
+        // everything the merge needs.
+        return digest_metrics(
+            run_one_replication(spec, task_pool, context,
+                                /*record_raw=*/false),
+            groups, context.seed);
       });
   const auto stop = std::chrono::steady_clock::now();
 

@@ -26,7 +26,7 @@
 namespace mca::exp {
 
 /// Task mix of the workload (maps onto workload::*_source factories).
-enum class task_mix { static_minimax, random_pool, heavy_pool };
+enum class task_mix { static_minimax, random_pool, heavy_pool, weighted_pool };
 /// Inter-arrival model per device.
 enum class gap_model { study_sessions, exponential, fixed };
 
@@ -52,6 +52,9 @@ struct scenario_spec {
   std::size_t user_count = 100;
   util::time_ms duration = util::hours(8);
   task_mix tasks = task_mix::static_minimax;
+  /// weighted_pool: one weight per pool task, drawn via an O(1) alias
+  /// table (ignored by the other mixes).
+  std::vector<double> task_weights;
   gap_model gaps = gap_model::study_sessions;
   /// study_sessions: probability the next gap comes from the smartphone
   /// study band (the rest are lognormal between-session idle periods).
@@ -92,11 +95,16 @@ struct scenario_spec {
 };
 
 /// Validates a spec before materialization.  Rejects a zero user_count, a
-/// non-positive duration or slot_length, an empty group list, and a
-/// session_probability outside [0, 1] with an error naming the field,
-/// instead of silently producing a degenerate run.
-/// Throws std::invalid_argument.
+/// non-positive duration or slot_length, an empty group list, a
+/// session_probability outside [0, 1], and degenerate weighted_pool
+/// weights with an error naming the field, instead of silently producing
+/// a degenerate run.  Throws std::invalid_argument.
 void validate(const scenario_spec& spec);
+
+/// Same, plus the checks that need the task pool (weighted_pool weight
+/// arity) — the sweep entry points use this so a bad spec fails once,
+/// upfront, not once per replication.
+void validate(const scenario_spec& spec, const tasks::task_pool& pool);
 
 /// Max group id + 1 across the spec's backends (and the implicit initial
 /// group) — the indexing every per-group digest vector uses.

@@ -29,7 +29,7 @@ fleet_result run_fleet(const exp::scenario_spec& spec,
                        const fleet_options& options,
                        const tasks::task_pool& task_pool,
                        exp::thread_pool& pool) {
-  exp::validate(spec);
+  exp::validate(spec, task_pool);
   const std::size_t shards =
       options.shards != 0 ? options.shards
                           : (spec.fleet_shards != 0 ? spec.fleet_shards : 1);

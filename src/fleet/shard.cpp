@@ -39,6 +39,12 @@ shard::shard(const exp::scenario_spec& spec, const tasks::task_pool& pool,
   util::rng stream = util::rng::split(spec.base_seed ^ kShardStreamTag, index);
   core::system_config config = exp::make_system_config(spec_, pool, stream);
   config.external_allocation = true;
+  // Shards are digest-only consumers: the streaming request digest covers
+  // acceptance and latency, so neither the raw per-request series nor the
+  // trace log's record storage is kept (the trace point still feeds the
+  // predictor's slot windows).
+  config.record_request_series = false;
+  config.sdn.retain_trace_records = false;
   system_.emplace(std::move(config), pool);
 }
 
@@ -70,14 +76,9 @@ demand_digest shard::advance_to_slot(std::size_t slot_index) {
     }
   }
 
-  // Acceptance so far: only the requests completed since the last digest
-  // need scanning, so a run's digest cost is linear overall.
-  const auto& requests = system_->metrics().requests;
-  for (; digested_requests_ < requests.size(); ++digested_requests_) {
-    if (requests[digested_requests_].success) ++successes_;
-  }
-  digest.requests = requests.size();
-  digest.successes = successes_;
+  // Acceptance so far, straight off the streaming request digest.
+  digest.requests = system_->metrics().digest.issued;
+  digest.successes = system_->metrics().digest.succeeded;
   return digest;
 }
 

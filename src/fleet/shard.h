@@ -71,9 +71,6 @@ class shard {
   /// fire time when slot_length is not exactly representable, and
   /// run_until would then skip the boundary event entirely.
   util::time_ms next_boundary_ = 0.0;
-  /// Cursor into metrics().requests for incremental acceptance counting.
-  std::size_t digested_requests_ = 0;
-  std::size_t successes_ = 0;
 };
 
 }  // namespace mca::fleet

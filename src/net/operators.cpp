@@ -38,7 +38,13 @@ rtt_model calibrated_model(const operator_profile& profile, technology tech) {
 }
 
 rtt_model default_lte_model() {
-  return calibrated_model(operator_by_name("beta"), technology::lte);
+  // The grid-search calibration costs tens of milliseconds and is a pure
+  // function of the published operator numbers; fleet runs construct one
+  // model per shard, so fit once per process and hand out copies.
+  // (Magic-static init is thread-safe; shards are built in parallel.)
+  static const rtt_model model =
+      calibrated_model(operator_by_name("beta"), technology::lte);
+  return model;
 }
 
 }  // namespace mca::net

@@ -34,7 +34,11 @@ const task* task_pool::find(std::string_view name) const noexcept {
 task_request task_pool::random_request(util::rng& rng) const {
   const auto index = static_cast<std::size_t>(
       rng.uniform_int(0, static_cast<std::int64_t>(tasks_.size()) - 1));
-  const task& chosen = *tasks_[index];
+  return request_for(index, rng);
+}
+
+task_request task_pool::request_for(std::size_t index, util::rng& rng) const {
+  const task& chosen = *tasks_.at(index);
   auto size = static_cast<std::uint32_t>(
       rng.uniform_int(chosen.min_size(), chosen.max_size()));
   if (chosen.name() == "fft") {

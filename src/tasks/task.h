@@ -93,6 +93,12 @@ class task_pool {
   /// required for each task is also determined randomly").
   task_request random_request(util::rng& rng) const;
 
+  /// A request for pool task `index` with a uniformly random valid size
+  /// (the size rule shared by every mix, including per-task constraints
+  /// like FFT's power-of-two inputs).  Throws std::out_of_range on a bad
+  /// index.
+  task_request request_for(std::size_t index, util::rng& rng) const;
+
   /// The paper's static benchmark request: minimax at its default size.
   task_request static_minimax_request() const;
 

@@ -19,6 +19,18 @@ void time_slot::add_user(group_id group, user_id user) {
   users.insert(pos, user);
 }
 
+time_slot time_slot::from_group_users(
+    std::vector<std::vector<user_id>> groups) {
+  time_slot slot{groups.size()};
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    auto& users = groups[g];
+    std::sort(users.begin(), users.end());
+    users.erase(std::unique(users.begin(), users.end()), users.end());
+    slot.groups_[g] = std::move(users);
+  }
+  return slot;
+}
+
 std::span<const user_id> time_slot::users_in(group_id group) const {
   if (group >= groups_.size()) {
     throw std::out_of_range{"time_slot: unknown group"};

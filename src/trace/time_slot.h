@@ -26,6 +26,12 @@ class time_slot {
   /// for an unknown group.
   void add_user(group_id group, user_id user);
 
+  /// Bulk construction from per-group user lists (any order, duplicates
+  /// allowed): one sort+unique per group instead of an O(n) sorted insert
+  /// per observation — the slot-boundary path at fleet scale.  The result
+  /// equals add_user() over every (group, user) pair.
+  static time_slot from_group_users(std::vector<std::vector<user_id>> groups);
+
   std::size_t group_count() const noexcept { return groups_.size(); }
   /// Sorted, de-duplicated users of a group.
   std::span<const user_id> users_in(group_id group) const;

@@ -160,5 +160,68 @@ TEST_P(EditDistanceVsReference, DpMatchesNaiveRecursion) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceVsReference,
                          ::testing::Range<std::uint64_t>(20, 26));
 
+namespace {
+
+/// Textbook two-row Levenshtein, the oracle for the bit-parallel fast
+/// path that kicks in on strictly increasing (sorted-unique) sequences.
+std::size_t dp_edit_distance(std::span<const user_id> a,
+                             std::span<const user_id> b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> curr(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1,
+                          prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1)});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+users random_sorted_unique(util::rng& rng, std::size_t max_len,
+                           std::uint32_t universe) {
+  users out;
+  const auto len = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < len && next < universe; ++i) {
+    next += static_cast<std::uint32_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(universe / max_len + 2)));
+    out.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(EditDistanceBitParallel, MatchesDpOnSortedUniqueSequences) {
+  util::rng rng{777};
+  for (int round = 0; round < 300; ++round) {
+    // Lengths straddle the 64-bit word boundary so the multiword carry
+    // chain (blocks 1..3) is exercised, not just the single-word case.
+    const users a = random_sorted_unique(rng, 150, 4'000);
+    const users b = random_sorted_unique(rng, 150, 4'000);
+    EXPECT_EQ(edit_distance(a, b), dp_edit_distance(a, b))
+        << "round " << round << " |a|=" << a.size() << " |b|=" << b.size();
+  }
+}
+
+TEST(EditDistanceBitParallel, ExactWordBoundaryLengths) {
+  // Pattern lengths 63, 64, 65, 128: the top-bit bookkeeping edge cases.
+  util::rng rng{778};
+  for (const std::size_t len : {63u, 64u, 65u, 127u, 128u, 129u}) {
+    users a;
+    users b;
+    for (std::size_t i = 0; i < len; ++i) {
+      a.push_back(static_cast<user_id>(2 * i));
+      if (rng.bernoulli(0.5)) b.push_back(static_cast<user_id>(2 * i + 1));
+    }
+    EXPECT_EQ(edit_distance(a, b), dp_edit_distance(a, b)) << "len " << len;
+    EXPECT_EQ(edit_distance(a, a), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace mca::trace

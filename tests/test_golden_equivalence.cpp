@@ -1,0 +1,190 @@
+// Golden semantic-equivalence gate for the PR-5 hot-path overhaul.
+//
+// The per-request pipeline was rewritten around pooled state, SoA user
+// slabs, and streaming digests; the bit-parallel edit distance replaced
+// the DP; the slot scan became a streaming accumulator.  None of that may
+// change simulation semantics.  Two layers of protection:
+//
+//  1. Pinned goldens — request counts, acceptance, billing totals, and
+//     latency-digest numbers recorded from the pre-refactor tree (PR-4
+//     code) for a fixed scenario/seed, asserted here.  Integer counts are
+//     exact; monetary/latency aggregates allow float-noise tolerance.
+//  2. Properties — the streaming request digest must equal the digest
+//     recomputed from the raw per-request series, and a run must not
+//     depend on whether the raw series is recorded at all.
+#include "exp/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/thread_pool.h"
+#include "fleet/fleet_runner.h"
+#include "tasks/task.h"
+
+namespace mca {
+namespace {
+
+/// The fixed scenario the goldens were recorded on (PR-4 tree, seed
+/// 20170): mixed task pool, Poisson gaps, background load, promotions,
+/// four backend tiers over three groups, five 10-minute slots.
+exp::scenario_spec golden_spec() {
+  exp::scenario_spec spec;
+  spec.name = "golden";
+  spec.base_seed = 20170;
+  spec.user_count = 600;
+  spec.duration = util::minutes(50.0);
+  spec.slot_length = util::minutes(10.0);
+  spec.tasks = exp::task_mix::random_pool;
+  spec.gaps = exp::gap_model::exponential;
+  spec.arrival_rate_hz = 0.02;
+  spec.background_requests_per_burst = 5;
+  spec.background_burst_period = util::seconds(10.0);
+  spec.promotion_probability = 1.0 / 40.0;
+  spec.groups = {
+      {1, "t2.nano", 2, 6.0},      {1, "t2.small", 0, 18.0},
+      {2, "t2.large", 1, 30.0},    {3, "m4.4xlarge", 1, 100.0},
+  };
+  spec.max_total_instances = 40;
+  spec.fleet_max_total_instances = 40;
+  spec.fleet_shards = 3;
+  return spec;
+}
+
+exp::replication_metrics run_golden_digest() {
+  tasks::task_pool pool;
+  const exp::scenario_spec spec = golden_spec();
+  exp::replication_context ctx;
+  ctx.index = 0;
+  ctx.seed = spec.base_seed;
+  const core::system_metrics metrics = exp::run_replication(spec, pool, ctx);
+  return exp::digest_metrics(metrics, exp::group_count_of(spec), ctx.seed);
+}
+
+TEST(GoldenEquivalence, MonolithicRunMatchesPreRefactorGoldens) {
+  const exp::replication_metrics digest = run_golden_digest();
+
+  // Recorded from the PR-4 tree (see CHANGES.md): any drift here means
+  // the refactor changed what is simulated, not just how fast.
+  EXPECT_EQ(digest.requests, 36182u);
+  EXPECT_EQ(digest.successes, 36182u);
+  EXPECT_EQ(digest.promotions, 740u);
+  EXPECT_EQ(digest.background_submitted, 66005u);
+  EXPECT_NEAR(digest.total_cost_usd, 4.2681, 1e-9);
+  EXPECT_EQ(digest.response.count(), 36182u);
+  EXPECT_NEAR(digest.response.mean(), 221.4674971996, 1e-6);
+  EXPECT_EQ(digest.latency.total(), 36182u);
+  EXPECT_NEAR(digest.latency.quantile(0.50), 125.0, 1e-9);
+  EXPECT_NEAR(digest.latency.quantile(0.95), 375.0, 1e-9);
+}
+
+TEST(GoldenEquivalence, ShardedFleetMatchesPreRefactorGoldens) {
+  tasks::task_pool pool;
+  const exp::scenario_spec spec = golden_spec();
+  exp::thread_pool tpool{2};
+  fleet::fleet_options options;
+  options.shards = 3;
+  const fleet::fleet_result result =
+      fleet::run_fleet(spec, options, pool, tpool);
+
+  EXPECT_EQ(result.aggregate.requests, 36269u);
+  EXPECT_EQ(result.aggregate.successes, 32521u);
+  EXPECT_EQ(result.aggregate.promotions, 713u);
+  EXPECT_NEAR(result.aggregate.cost_usd.mean(), 1.5004666667, 1e-9);
+  EXPECT_EQ(result.aggregate.latency.total(), 32521u);
+  EXPECT_NEAR(result.aggregate.response.mean(), 222.0504903205, 1e-6);
+  EXPECT_EQ(result.ilp_solves, 4u);
+  EXPECT_EQ(result.slot_count, 5u);
+}
+
+TEST(GoldenEquivalence, StreamingDigestEqualsRawSeriesScan) {
+  tasks::task_pool pool;
+  const exp::scenario_spec spec = golden_spec();
+  exp::replication_context ctx;
+  ctx.index = 0;
+  ctx.seed = spec.base_seed;
+  // run_replication records the raw series, so the metrics carry both the
+  // streaming digest and the per-request vector.
+  const core::system_metrics metrics = exp::run_replication(spec, pool, ctx);
+  ASSERT_FALSE(metrics.requests.empty());
+
+  const auto& streamed = metrics.digest;
+  EXPECT_EQ(streamed.issued, metrics.requests.size());
+
+  // Recompute every aggregate from the raw series, in push order — the
+  // streaming path must be bit-identical (same add order, same floats).
+  util::running_stats response;
+  util::histogram latency = core::default_latency_histogram();
+  std::vector<util::running_stats> group_response(
+      streamed.group_response.size());
+  std::vector<std::uint64_t> group_successes(streamed.group_successes.size(),
+                                             0);
+  std::size_t successes = 0;
+  for (const auto& r : metrics.requests) {
+    if (!r.success) continue;
+    ++successes;
+    response.add(r.response_ms);
+    latency.add(r.response_ms);
+    if (r.group < group_response.size()) {
+      group_response[r.group].add(r.response_ms);
+      ++group_successes[r.group];
+    }
+  }
+  EXPECT_EQ(streamed.succeeded, successes);
+  EXPECT_EQ(streamed.response.count(), response.count());
+  EXPECT_EQ(streamed.response.mean(), response.mean());
+  EXPECT_EQ(streamed.response.variance(), response.variance());
+  EXPECT_EQ(streamed.response.min(), response.min());
+  EXPECT_EQ(streamed.response.max(), response.max());
+  ASSERT_EQ(streamed.latency.bin_count(), latency.bin_count());
+  for (std::size_t b = 0; b < latency.bin_count(); ++b) {
+    EXPECT_EQ(streamed.latency.count_in_bin(b), latency.count_in_bin(b));
+  }
+  for (std::size_t g = 0; g < group_response.size(); ++g) {
+    EXPECT_EQ(streamed.group_response[g].count(), group_response[g].count());
+    EXPECT_EQ(streamed.group_response[g].mean(), group_response[g].mean());
+    EXPECT_EQ(streamed.group_successes[g], group_successes[g]);
+  }
+
+  // The per-user index must agree with a linear scan of the raw series.
+  for (user_id u = 0; u < 5; ++u) {
+    std::vector<double> scanned;
+    for (const auto& r : metrics.requests) {
+      if (r.user == u && r.success) scanned.push_back(r.response_ms);
+    }
+    EXPECT_EQ(metrics.user_response_series(u), scanned);
+  }
+}
+
+TEST(GoldenEquivalence, RawSeriesFlagDoesNotChangeSimulation) {
+  tasks::task_pool pool;
+  exp::scenario_spec spec = golden_spec();
+  spec.user_count = 120;  // keep this variant quick
+  spec.duration = util::minutes(30.0);
+
+  const std::size_t groups = exp::group_count_of(spec);
+  auto run_with_series = [&](bool record) {
+    util::rng stream{spec.base_seed};
+    core::system_config config = exp::make_system_config(spec, pool, stream);
+    config.record_request_series = record;
+    config.sdn.retain_trace_records = record;
+    core::offloading_system system{std::move(config), pool};
+    system.run(spec.duration);
+    return exp::digest_metrics(system.metrics(), groups, spec.base_seed);
+  };
+
+  const exp::replication_metrics with_series = run_with_series(true);
+  const exp::replication_metrics without_series = run_with_series(false);
+
+  EXPECT_EQ(with_series.requests, without_series.requests);
+  EXPECT_EQ(with_series.successes, without_series.successes);
+  EXPECT_EQ(with_series.promotions, without_series.promotions);
+  EXPECT_EQ(with_series.total_cost_usd, without_series.total_cost_usd);
+  EXPECT_EQ(with_series.response.mean(), without_series.response.mean());
+  EXPECT_EQ(with_series.latency.total(), without_series.latency.total());
+  EXPECT_EQ(with_series.mean_prediction_accuracy,
+            without_series.mean_prediction_accuracy);
+}
+
+}  // namespace
+}  // namespace mca
