@@ -18,8 +18,11 @@
 #include <utility>
 #include <vector>
 
+#include "cloud/instance_type.h"
 #include "core/allocator.h"
 #include "ilp/problem.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
 #include "util/sim_time.h"
 
 namespace mca::legacy {
@@ -588,5 +591,155 @@ inline core::allocation_plan allocate_ilp(const core::allocation_request& reques
   plan.feasible = true;
   return plan;
 }
+
+// ---- seed processor-sharing backend (pre virtual-time overhaul) ----------
+//
+// The event-rescheduling PS instance exactly as it ran through PR 5: every
+// submit and completion sweeps all active jobs decrementing `remaining_wu`,
+// rescans them for the minimum, and cancels + re-inserts the single pending
+// completion event — O(n) math plus heap churn per event.  It runs against
+// the *current* sim::simulation so micro_ops' backend_event series isolates
+// the PS math from the event-engine comparison made elsewhere.
+
+class ps_instance {
+ public:
+  using completion_fn = std::function<void(util::time_ms)>;
+
+  ps_instance(sim::simulation& sim, const cloud::instance_type& type,
+              util::rng rng)
+      : sim_{sim}, type_{type}, rng_{rng}, last_update_{sim.now()} {}
+
+  ps_instance(const ps_instance&) = delete;
+  ps_instance& operator=(const ps_instance&) = delete;
+  ~ps_instance() {
+    if (pending_completion_.valid()) sim_.cancel(pending_completion_);
+  }
+
+  bool submit(double work_units, completion_fn on_complete) {
+    if (work_units < 0.0) throw std::invalid_argument{"submit: negative work"};
+    if (active_.size() >= type_.max_concurrent()) {
+      ++dropped_;
+      return false;
+    }
+    advance();
+    const double noisy =
+        work_units * rng_.lognormal(0.0, type_.jitter_sigma) +
+        cloud::k_spawn_overhead_wu;
+    std::uint32_t idx;
+    if (free_head_ != kNoFreeJob) {
+      idx = free_head_;
+      free_head_ = jobs_[idx].next_free;
+    } else {
+      idx = static_cast<std::uint32_t>(jobs_.size());
+      jobs_.emplace_back();
+    }
+    job& j = jobs_[idx];
+    j.remaining_wu = noisy;
+    j.submitted_at = sim_.now();
+    j.on_complete = std::move(on_complete);
+    active_.push_back(idx);
+    reschedule();
+    return true;
+  }
+
+  std::uint64_t completed() const noexcept { return completed_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  double service_sum() const noexcept { return service_sum_; }
+
+ private:
+  static constexpr double kWorkEpsilon = 1e-6;
+  static constexpr std::uint32_t kNoFreeJob = 0xffffffffu;
+
+  struct job {
+    double remaining_wu = 0.0;
+    util::time_ms submitted_at = 0.0;
+    completion_fn on_complete;
+    std::uint32_t next_free = 0;
+  };
+
+  double steal(std::size_t n) const noexcept {
+    if (type_.steal_max <= 0.0 || n == 0) return 0.0;
+    const double x = static_cast<double>(n);
+    return type_.steal_max * x / (x + 8.0);
+  }
+
+  double rate_per_job(std::size_t n) const noexcept {
+    if (n == 0) return 0.0;
+    const double share =
+        std::min(1.0, type_.vcpus / static_cast<double>(n));
+    return type_.speed_factor * (1.0 - steal(n)) * share;
+  }
+
+  void advance() {
+    const util::time_ms now = sim_.now();
+    const double elapsed = now - last_update_;
+    if (elapsed <= 0.0) {
+      last_update_ = now;
+      return;
+    }
+    const std::size_t n = active_.size();
+    if (n > 0) {
+      const double done = elapsed * rate_per_job(n);
+      for (const std::uint32_t idx : active_) jobs_[idx].remaining_wu -= done;
+    }
+    last_update_ = now;
+  }
+
+  void reschedule() {
+    if (pending_completion_.valid()) {
+      sim_.cancel(pending_completion_);
+      pending_completion_ = {};
+    }
+    if (active_.empty()) return;
+    double min_remaining = std::numeric_limits<double>::infinity();
+    for (const std::uint32_t idx : active_) {
+      min_remaining = std::min(min_remaining, jobs_[idx].remaining_wu);
+    }
+    const double rate = rate_per_job(active_.size());
+    const double eta = std::max(min_remaining, 0.0) / rate;
+    pending_completion_ =
+        sim_.schedule_after(eta, [this] { on_completion_event(); });
+  }
+
+  void on_completion_event() {
+    pending_completion_ = {};
+    advance();
+    finished_scratch_.clear();
+    std::size_t keep = 0;
+    for (const std::uint32_t idx : active_) {
+      if (jobs_[idx].remaining_wu <= kWorkEpsilon) {
+        finished_scratch_.push_back(idx);
+      } else {
+        active_[keep++] = idx;
+      }
+    }
+    active_.resize(keep);
+    for (const std::uint32_t idx : finished_scratch_) {
+      job& j = jobs_[idx];
+      const util::time_ms service_time = sim_.now() - j.submitted_at;
+      completion_fn fn = std::move(j.on_complete);
+      j.on_complete = nullptr;
+      j.next_free = free_head_;
+      free_head_ = idx;
+      ++completed_;
+      service_sum_ += service_time;
+      if (fn) fn(service_time);
+    }
+    reschedule();
+  }
+
+  sim::simulation& sim_;
+  cloud::instance_type type_;
+  util::rng rng_;
+  std::vector<job> jobs_;
+  std::vector<std::uint32_t> active_;
+  std::vector<std::uint32_t> finished_scratch_;
+  std::uint32_t free_head_ = kNoFreeJob;
+  sim::event_handle pending_completion_{};
+  util::time_ms last_update_ = 0.0;
+  double service_sum_ = 0.0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
 
 }  // namespace mca::legacy

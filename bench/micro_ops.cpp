@@ -5,12 +5,15 @@
 // overridable via argv[1]) so the perf trajectory is tracked PR over PR.
 //
 // Usage: micro_ops [output.json]
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "cloud/instance.h"
 #include "core/allocator.h"
 #include "exp/bench_clock.h"
 #include "ilp/simplex.h"
@@ -126,6 +129,67 @@ std::size_t event_cancel_workload() {
   // schedule+cancel ops, not the 64 surviving events.  The executed count
   // still cross-checks determinism because both engines must agree on it.
   return sim.executed_events() == window.size() ? kEventCount : 0;
+}
+
+/// Backend PS workload: a c5.xlarge-shaped server under a closed loop
+/// (every completion resubmits) holding ~192 requests in flight — deep
+/// enough that the legacy sweep's O(n) advance + min-scan + cancel/
+/// re-insert per event dominates its cost.  (At shallow depths the sweep
+/// vectorizes to near-free and the two legs are within host noise; the
+/// series exists to track the asymptotic O(1)-vs-O(n) difference, so the
+/// depth must make that difference the signal.)  Both legs run on the
+/// current event engine with identical work and jitter streams, so the
+/// series isolates the PS math.
+constexpr int kBackendOps = 60'000;
+constexpr int kBackendInFlight = 192;
+
+cloud::instance_type backend_type() {
+  cloud::instance_type t;
+  t.name = "bench.backend";
+  t.vcpus = 4.0;
+  t.memory_gb = 64.0;
+  t.cost_per_hour = 0.2;
+  t.speed_factor = 1.0;
+  t.jitter_sigma = 0.25;
+  t.steal_max = 0.3;
+  t.baseline_fraction = 1.0;
+  return t;
+}
+
+template <typename Server>
+void drive_backend(sim::simulation& sim, Server& server) {
+  std::uint64_t seed = 99;
+  std::uint64_t budget = kBackendOps;
+  std::function<void(double)> on_done = [&](double) {
+    if (budget == 0) return;
+    --budget;
+    const double work = 1.0 + static_cast<double>(splitmix(seed) % 200u);
+    server.submit(work, on_done);
+  };
+  for (int i = 0; i < kBackendInFlight; ++i) {
+    const double work = 1.0 + static_cast<double>(splitmix(seed) % 200u);
+    server.submit(work, on_done);
+  }
+  sim.run();
+}
+
+struct backend_run {
+  std::uint64_t completions = 0;
+  double service_sum = 0.0;
+};
+
+backend_run backend_workload_new() {
+  sim::simulation sim;
+  cloud::instance server{sim, 1, backend_type(), util::rng{2024}};
+  drive_backend(sim, server);
+  return {server.completed(), server.service_stats().sum()};
+}
+
+backend_run backend_workload_legacy() {
+  sim::simulation sim;
+  legacy::ps_instance server{sim, backend_type(), util::rng{2024}};
+  drive_backend(sim, server);
+  return {server.completed(), server.service_sum()};
 }
 
 /// A mid-size allocation-shaped LP: 24 columns, capacity rows per group
@@ -264,6 +328,47 @@ int main(int argc, char** argv) {
                event_cancel_workload<sim::simulation, sim::event_handle>,
                event_cancel_workload<legacy::simulation, legacy::event_handle>,
                2.0);
+
+  // ---- processor-sharing backend -----------------------------------------
+  bench::section("backend: PS event math (virtual-time vs legacy sweep)");
+  {
+    backend_run run_new;
+    backend_run run_old;
+    // Interleave the trials (new, legacy, new, legacy, ...) instead of
+    // running each leg as one best-of-N block: a multi-second host-noise
+    // window then degrades both legs' candidate timings equally rather
+    // than cratering whichever block it happens to land on, so the ratio
+    // below stays stable even when absolute ns/op swings.
+    double t_new = std::numeric_limits<double>::infinity();
+    double t_old = std::numeric_limits<double>::infinity();
+    for (int trial = 0; trial < kTrials; ++trial) {
+      t_new = std::min(
+          t_new, exp::seconds_of([&] { run_new = backend_workload_new(); }));
+      t_old = std::min(
+          t_old, exp::seconds_of([&] { run_old = backend_workload_legacy(); }));
+    }
+    checks.expect(run_new.completions == run_old.completions,
+                  "backend_event: identical completion counts",
+                  bench::ratio_detail(
+                      "completions", static_cast<double>(run_new.completions)));
+    const double sum_scale =
+        std::max(std::abs(run_new.service_sum), std::abs(run_old.service_sum));
+    checks.expect(std::abs(run_new.service_sum - run_old.service_sum) <=
+                      1e-6 * sum_scale,
+                  "backend_event: service-time totals agree with legacy sweep",
+                  bench::ratio_detail("sum_ms", run_new.service_sum));
+    series_entry s;
+    s.name = "backend_event";
+    s.unit = "ns/op";
+    s.current = 1e9 * t_new / static_cast<double>(run_new.completions);
+    s.legacy = 1e9 * t_old / static_cast<double>(run_old.completions);
+    s.speedup = s.legacy / s.current;  // ns/op: smaller is better
+    std::printf("new:    %10.1f ns/op\nlegacy: %10.1f ns/op\n", s.current,
+                s.legacy);
+    checks.expect(s.speedup >= 1.5, "backend_event >= 1.5x legacy",
+                  bench::ratio_detail("speedup", s.speedup));
+    series.push_back(s);
+  }
 
   // ---- simplex -----------------------------------------------------------
   bench::section("simplex: LP relaxation solves");

@@ -2,16 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <stdexcept>
 
 namespace mca::cloud {
 
 namespace {
-/// Work below this is considered finished (guards float drift).
+/// Work below this is considered finished (guards float drift).  A job
+/// whose finish-V is within this of the clock completes now.
 constexpr double kWorkEpsilon = 1e-6;
 /// Cap on banked credits: 24 hours of baseline accrual.
 constexpr double kCreditCapHours = 24.0;
+/// Finish-heap key packing, mirroring sim::simulation: low 24 bits are the
+/// job-slab slot, high 40 bits the per-instance submission sequence.  2^40
+/// submissions per instance is unreachable in any experiment (a fleet run
+/// totals ~10^6 requests across hundreds of instances).
+constexpr std::uint32_t kJobSlotBits = 24;
+constexpr std::uint64_t kJobSlotMask = (1u << kJobSlotBits) - 1;
 }  // namespace
 
 instance::instance(sim::simulation& sim, instance_id id,
@@ -59,11 +65,12 @@ void instance::advance() {
     last_update_ = now;
     return;
   }
-  const std::size_t n = active_.size();
+  // The per-job rate is piecewise-constant between events (submissions,
+  // completions, and the credit-exhaustion wake are all events), so the
+  // whole interval integrates to one multiply — no per-job state to touch.
+  const std::size_t n = heap_.size();
   if (n > 0) {
-    const double rate = rate_per_job(n);
-    const double done = elapsed * rate;
-    for (const std::uint32_t idx : active_) jobs_[idx].remaining_wu -= done;
+    vclock_ += elapsed * rate_per_job(n);
     const double busy_cores =
         std::min(static_cast<double>(n), effective_cores());
     busy_core_ms_ += elapsed * busy_cores;
@@ -82,51 +89,64 @@ void instance::advance() {
   last_update_ = now;
 }
 
-void instance::reschedule() {
-  if (pending_completion_.valid()) {
-    sim_.cancel(pending_completion_);
-    pending_completion_ = {};
-  }
-  if (active_.empty()) return;
-  double min_remaining = std::numeric_limits<double>::infinity();
-  for (const std::uint32_t idx : active_) {
-    min_remaining = std::min(min_remaining, jobs_[idx].remaining_wu);
-  }
-  const double rate = rate_per_job(active_.size());
-  double eta = std::max(min_remaining, 0.0) / rate;
+double instance::next_wake_delay() const noexcept {
+  const double remaining = heap_.front().finish_v - vclock_;
+  const double rate = rate_per_job(heap_.size());
+  double eta = std::max(remaining, 0.0) / rate;
   if (opts_.enable_cpu_credits && credits_ > 0.0) {
     // If the balance empties before the next completion, wake up at the
     // exhaustion moment so the throttled rate takes effect from there on
     // (on_completion_event tolerates firing with nothing finished).
     const double busy_cores =
-        std::min(static_cast<double>(active_.size()), type_.vcpus);
+        std::min(static_cast<double>(heap_.size()), type_.vcpus);
     const double accrual = type_.baseline_fraction * type_.vcpus;
     if (busy_cores > accrual) {
       const double exhaustion = credits_ / (busy_cores - accrual);
       if (exhaustion + 1e-9 < eta) eta = std::max(exhaustion, 1e-6);
     }
   }
+  return eta;
+}
+
+void instance::arm_no_later_than(double delay) {
+  const util::time_ms target = sim_.now() + delay;
+  if (pending_completion_.valid()) {
+    // Never push the armed event later: an early fire merely advances the
+    // clock and re-arms, but a late one would delay a real completion.
+    if (target < armed_at_) {
+      sim_.reschedule(pending_completion_, target);
+      armed_at_ = target;
+    }
+    return;
+  }
   pending_completion_ =
-      sim_.schedule_after(eta, [this] { on_completion_event(); });
+      sim_.schedule_at(target, [this] { on_completion_event(); });
+  armed_at_ = target;
 }
 
 void instance::on_completion_event() {
   pending_completion_ = {};
   advance();
-  // Complete every job that has (numerically) finished; callbacks run after
-  // internal state is consistent so they may immediately submit again.
-  // The scratch list keeps its capacity across events and the completed
-  // slab entries return to the free list — no steady-state allocation.
+  // Pop every job whose finish-V the clock has (numerically) reached — a
+  // whole batch of simultaneous finishers drains in this one event.
+  // Callbacks run after internal state is consistent so they may submit
+  // again immediately.  The scratch list keeps its capacity across events
+  // and the completed slab entries return to the free list — no
+  // steady-state allocation.
   finished_scratch_.clear();
-  std::size_t keep = 0;
-  for (const std::uint32_t idx : active_) {
-    if (jobs_[idx].remaining_wu <= kWorkEpsilon) {
-      finished_scratch_.push_back(idx);
-    } else {
-      active_[keep++] = idx;
-    }
+  const double due = vclock_ + kWorkEpsilon;
+  while (!heap_.empty() && heap_.front().finish_v <= due) {
+    finished_scratch_.push_back(
+        static_cast<std::uint32_t>(heap_.front().key & kJobSlotMask));
+    std::pop_heap(heap_.begin(), heap_.end(), finishes_later);
+    heap_.pop_back();
   }
-  active_.resize(keep);
+  if (heap_.empty()) {
+    // Fresh busy period, fresh origin: V never accumulates across idle
+    // gaps, so its magnitude (and hence the absolute rounding error of
+    // `finish_v - vclock_`) stays bounded by one busy period's work.
+    vclock_ = 0.0;
+  }
   for (const std::uint32_t idx : finished_scratch_) {
     job& j = jobs_[idx];
     const util::time_ms service_time = sim_.now() - j.submitted_at;
@@ -138,12 +158,15 @@ void instance::on_completion_event() {
     stats_.add(service_time);
     if (fn) fn(service_time);
   }
-  reschedule();
+  // A stale-early fire (submissions slowed the shared rate after arming)
+  // lands here with nothing due; either way, re-arm exactly for the new
+  // heap top.  Resubmitting callbacks have already armed via submit().
+  if (!heap_.empty()) arm_no_later_than(next_wake_delay());
 }
 
 bool instance::submit(double work_units, completion_fn on_complete) {
   if (work_units < 0.0) throw std::invalid_argument{"submit: negative work"};
-  if (draining_ || active_.size() >= type_.max_concurrent()) {
+  if (draining_ || heap_.size() >= type_.max_concurrent()) {
     ++dropped_;
     return false;
   }
@@ -162,22 +185,41 @@ bool instance::submit(double work_units, completion_fn on_complete) {
     jobs_.emplace_back();
   }
   job& j = jobs_[idx];
-  j.remaining_wu = noisy;
   j.submitted_at = sim_.now();
   j.on_complete = std::move(on_complete);
-  active_.push_back(idx);
-  reschedule();
+  const double new_finish = vclock_ + noisy;
+  // The pending event (if any) was armed for a faster rate and therefore
+  // fires no later than the true next completion — leave it alone unless
+  // this job (or the now-nearer credit exhaustion) needs an earlier wake:
+  //  * the new job undercuts the heap front (it is the next completion), or
+  //  * the heap was empty (nothing armed at all), or
+  //  * credits are burning faster than they accrue, so this extra job pulls
+  //    the exhaustion slope-change closer.
+  // Otherwise the armed event already fires early-or-exact, and a spurious
+  // early fire just advances the clock and re-arms — skipping the wake math
+  // here is what keeps bursty submits O(log n) with no event churn.
+  bool need_arm = heap_.empty() || new_finish < heap_.front().finish_v;
+  heap_.push_back({new_finish, (next_sequence_++ << kJobSlotBits) | idx});
+  std::push_heap(heap_.begin(), heap_.end(), finishes_later);
+  if (!need_arm && opts_.enable_cpu_credits && credits_ > 0.0) {
+    const double busy_cores =
+        std::min(static_cast<double>(heap_.size()), type_.vcpus);
+    need_arm = busy_cores > type_.baseline_fraction * type_.vcpus;
+  }
+  if (need_arm) arm_no_later_than(next_wake_delay());
   return true;
 }
 
 double instance::mean_utilization() const noexcept {
   // Include the interval since the last event so callers can sample at any
-  // simulated moment without forcing an advance().
+  // simulated moment without forcing an advance().  The tail uses the same
+  // busy-core formula as advance() — in particular effective_cores(), not
+  // raw vcpus, so a credit-throttled instance is not overstated.
   double busy = busy_core_ms_;
   const double tail = sim_.now() - last_update_;
-  if (tail > 0.0 && !active_.empty()) {
-    busy += tail * std::min(static_cast<double>(active_.size()),
-                            static_cast<double>(type_.vcpus));
+  if (tail > 0.0 && !heap_.empty()) {
+    busy += tail * std::min(static_cast<double>(heap_.size()),
+                            effective_cores());
   }
   const double lifetime = sim_.now() - launched_at_;
   if (lifetime <= 0.0) return 0.0;

@@ -13,9 +13,46 @@
 // `instance_type::max_concurrent()`; beyond it requests are dropped, which
 // produces the success/fail split of Fig. 8c.
 //
+// Implementation: analytic virtual-time accounting, O(1) per event.  A
+// single virtual-work clock V(t) accumulates the per-job progress rate —
+// piecewise linear in wall time, with slope changes only at submissions,
+// completions, and credit exhaustion (each of which is an event, so V
+// advances by `elapsed * rate` per event and never needs sub-interval
+// integration).  A job submitted when the clock reads V with `w` noisy work
+// units finishes exactly when V reaches V + w; under egalitarian sharing
+// every active job progresses at the same rate, so ordering jobs in a
+// min-heap keyed by that finish-V *is* completion order.  advance() is a
+// constant-time clock/credit/utilization update instead of an O(n) sweep
+// decrementing per-job remaining work, the next completion is the heap top
+// instead of an O(n) min scan, and all jobs whose finish-V falls within
+// kWorkEpsilon of the clock drain in one event.  The one pending
+// sim-event is kept at a time <= the true next completion (submissions
+// slow the shared rate, pushing completions later, so the armed event may
+// fire early, find nothing due, and re-arm exactly — which replaces the
+// former cancel/re-insert pair per submission with at most one O(1)
+// spurious wake per busy burst); it is moved earlier in place via
+// sim::simulation::reschedule when a short job or a credit-exhaustion
+// boundary needs a sooner wake.
+//
 // An optional t2 CPU-credit model (off by default, matching the paper's
 // cool-down methodology) throttles the instance to its baseline share when
-// the credit balance empties; `bench/ablation_credits` exercises it.
+// the credit balance empties; the throttle changes only the V(t) slope (a
+// piecewise segment starting at the exhaustion wake-up), so the heap order
+// is unaffected.  `bench/ablation_credits` exercises it.
+//
+// Numerical note for re-goldening: the virtual-time formulation computes a
+// job's remaining work as `finish_V - V` (one subtraction against a shared
+// accumulator) where the legacy event-rescheduling implementation kept a
+// per-job `remaining_wu` decremented every event.  The two accumulate
+// floating-point rounding differently, so individual completion times can
+// drift by O(1 ulp of V) — semantically identical service times, but not
+// guaranteed bit-identical.  In practice every scenario-level golden
+// (tests/test_golden_equivalence.cpp) and the 100k-user fleet fingerprint
+// came out bit-identical; only the 500k-user fleet fingerprint moved (its
+// deeper per-instance queues hit the rounding difference), and was
+// re-recorded in the PR that introduced this file after
+// tests/test_ps_differential.cpp bounded the drift against the legacy
+// sweep kept in-test.
 #pragma once
 
 #include <cstdint>
@@ -77,14 +114,14 @@ class instance {
     drain_observer_ctx_ = ctx;
   }
   bool draining() const noexcept { return draining_; }
-  bool idle() const noexcept { return active_.empty(); }
+  bool idle() const noexcept { return heap_.empty(); }
 
   instance_id id() const noexcept { return id_; }
   const instance_type& type() const noexcept { return type_; }
   /// Interned id of type().name, resolved once at construction so routing
   /// and fleet reshaping never compare type names per request.
   instance_type_id type_id() const noexcept { return type_id_; }
-  std::size_t active_jobs() const noexcept { return active_.size(); }
+  std::size_t active_jobs() const noexcept { return heap_.size(); }
 
   std::uint64_t completed() const noexcept { return completed_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
@@ -100,15 +137,28 @@ class instance {
 
  private:
   /// Slab entry for one in-flight (or free) job.  Free entries chain
-  /// through `next_free`; the slab plus the `active_` index list replace
-  /// the former per-job hash-map nodes, so steady-state submissions reuse
-  /// storage instead of allocating.
+  /// through `next_free`; steady-state submissions reuse storage instead
+  /// of allocating.  Remaining work is not stored — it is implied by the
+  /// job's finish-V heap entry relative to the clock.
   struct job {
-    double remaining_wu = 0.0;
     util::time_ms submitted_at = 0.0;
     completion_fn on_complete;
     std::uint32_t next_free = 0;
   };
+
+  /// Finish-V min-heap entry: 16 bytes, primary key `finish_v`, FIFO
+  /// tie-break and slab identity in the packed (sequence << 24 | slot)
+  /// key, mirroring the event engine's layout — simultaneous finishers
+  /// complete in submission order, exactly like the legacy sweep.
+  struct finish_entry {
+    double finish_v = 0.0;
+    std::uint64_t key = 0;
+  };
+  static bool finishes_later(const finish_entry& a,
+                             const finish_entry& b) noexcept {
+    if (a.finish_v != b.finish_v) return a.finish_v > b.finish_v;
+    return a.key > b.key;
+  }
 
   /// Per-job progress rate (wu/ms) for `n` active jobs under current state.
   double rate_per_job(std::size_t n) const noexcept;
@@ -116,10 +166,16 @@ class instance {
   double effective_cores() const noexcept;
   /// Steal fraction under `n`-way contention.
   double steal(std::size_t n) const noexcept;
-  /// Accrues progress/credits/utilization from `last_update_` to now.
+  /// Advances the virtual-work clock and accrues credits/utilization from
+  /// `last_update_` to now.  O(1): no per-job state is touched.
   void advance();
-  /// (Re)schedules the completion event for the closest-to-done job.
-  void reschedule();
+  /// Wall delay until the next state change (heap-top completion, or
+  /// credit exhaustion if that comes first).  Requires a non-empty heap.
+  double next_wake_delay() const noexcept;
+  /// Ensures the single pending event fires no later than `delay` from
+  /// now, moving it earlier in place when necessary (never later: a
+  /// too-early event is harmless, it re-arms exactly).
+  void arm_no_later_than(double delay);
   void on_completion_event();
 
   sim::simulation& sim_;
@@ -129,12 +185,18 @@ class instance {
   util::rng rng_;
   options opts_;
 
-  std::vector<job> jobs_;            ///< slab; entries recycled via free list
-  std::vector<std::uint32_t> active_;  ///< live slab indices, insertion order
+  std::vector<job> jobs_;              ///< slab; entries recycled via free list
+  std::vector<finish_entry> heap_;     ///< active jobs, keyed by finish-V
   std::vector<std::uint32_t> finished_scratch_;  ///< reused per completion
   std::uint32_t free_head_ = kNoFreeJob;
   static constexpr std::uint32_t kNoFreeJob = 0xffffffffu;
+  std::uint64_t next_sequence_ = 1;
+  /// Virtual work completed per active job this busy period (wu); resets
+  /// to zero whenever the instance idles so precision never degrades over
+  /// a long simulation.
+  double vclock_ = 0.0;
   sim::event_handle pending_completion_{};
+  util::time_ms armed_at_ = 0.0;  ///< wall time pending_completion_ fires
   drain_observer_fn drain_observer_ = nullptr;
   void* drain_observer_ctx_ = nullptr;
   util::time_ms last_update_ = 0.0;

@@ -278,10 +278,13 @@ aggregate_metrics merge_replications(
     if (r.scored_slots > 0) aggregate.accuracy.add(r.mean_prediction_accuracy);
     aggregate.response.merge(r.response);
     aggregate.latency.merge(r.latency);
+    // Whole-array merges: the histogram fold vectorizes over bins and the
+    // batched Welford fold overlaps independent groups (util/simd.h,
+    // util::merge_each) — per-element math is unchanged.
+    util::merge_each(aggregate.group_response, r.group_response);
+    util::merge_each(aggregate.group_instances, r.group_instances);
     for (std::size_t g = 0; g < groups; ++g) {
-      aggregate.group_response[g].merge(r.group_response[g]);
       aggregate.group_successes[g] += r.group_successes[g];
-      aggregate.group_instances[g].merge(r.group_instances[g]);
     }
   }
   return aggregate;

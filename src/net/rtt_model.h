@@ -37,8 +37,13 @@ double mixture_median(const rtt_model_params& p);
 
 /// Calibrates mixture parameters to a target triple by coordinate grid
 /// refinement on (log_mu, log_sigma, spike_probability, spike_max).
+/// The grid is range-split across `threads` workers (0 = one per hardware
+/// thread, 1 = serial); the result is bit-identical at any thread count
+/// because every cell is a pure function of its index and the reduction
+/// reproduces the serial first-minimum scan.
 /// Throws std::invalid_argument on non-positive targets.
-rtt_model_params fit_rtt_params(const rtt_target_stats& target);
+rtt_model_params fit_rtt_params(const rtt_target_stats& target,
+                                unsigned threads = 0);
 
 /// Relative fitting error of `p` against `target` (max over the 3 stats).
 double fit_error(const rtt_model_params& p, const rtt_target_stats& target);

@@ -128,6 +128,19 @@ void simulation::cancel(event_handle handle) noexcept {
   heap_remove(pos);
 }
 
+bool simulation::reschedule(event_handle handle, util::time_ms at) noexcept {
+  if (!handle.valid()) return false;
+  const std::uint32_t index = static_cast<std::uint32_t>(handle.id & kSlotMask);
+  if (index >= slots_.size()) return false;
+  const event_slot& slot = slots_[index];
+  if (!slot.live || slot.sequence != (handle.id >> kSlotBits)) return false;
+  const std::size_t pos = slot.heap_pos;
+  heap_entry entry = heap_base()[pos];
+  entry.at = at > now_ ? at : now_;
+  if (sift_down(pos, entry) == pos) sift_up(pos, entry);
+  return true;
+}
+
 bool simulation::step() {
   if (heap_empty()) return false;
   const heap_entry top = heap_base()[0];

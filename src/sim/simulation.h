@@ -56,6 +56,13 @@ class simulation {
   /// handle is a harmless no-op.
   void cancel(event_handle handle) noexcept;
 
+  /// Moves a pending event to a new absolute time (clamped to now) without
+  /// releasing its slot or callback: one heap sift instead of a cancel +
+  /// schedule pair.  The handle stays valid and the event keeps its
+  /// original FIFO tie-break sequence.  Returns false (and does nothing)
+  /// for an already-fired or unknown handle.
+  bool reschedule(event_handle handle, util::time_ms at) noexcept;
+
   /// Runs the next pending event.  Returns false when the queue is empty.
   bool step();
 

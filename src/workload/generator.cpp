@@ -1,5 +1,6 @@
 #include "workload/generator.h"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <utility>
@@ -158,20 +159,42 @@ replay_generator::replay_generator(sim::simulation& sim, task_source source,
       source_{std::move(source)},
       sink_{std::move(sink)},
       rng_{rng},
-      total_{events.size()} {
+      events_{std::move(events)},
+      total_{events_.size()} {
   if (!source_ || !sink_) {
     throw std::invalid_argument{"replay: missing source/sink"};
   }
-  for (const auto& event : events) {
-    sim_.schedule_at(event.at, [this, event] {
-      offload_request request;
-      request.id = next_request_id();
-      request.user = event.user;
-      request.work = source_(rng_);
-      request.created_at = sim_.now();
-      ++emitted_;
-      sink_(request);
-    });
+  // Traces carry same-millisecond bursts (a round of concurrent users, a
+  // log with coarse timestamps); schedule one wake-up per distinct
+  // timestamp and emit the whole burst from it, not one event per entry.
+  // The stable sort replays entries in (time, original-order) order —
+  // exactly the order the event loop's FIFO tie-break produced when every
+  // entry was its own event, so rng draw order is unchanged.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const replay_event& a, const replay_event& b) {
+                     return a.at < b.at;
+                   });
+  std::size_t first = 0;
+  while (first < events_.size()) {
+    std::size_t last = first + 1;
+    while (last < events_.size() && events_[last].at == events_[first].at) {
+      ++last;
+    }
+    sim_.schedule_at(events_[first].at,
+                     [this, first, last] { emit_range(first, last); });
+    first = last;
+  }
+}
+
+void replay_generator::emit_range(std::size_t first, std::size_t last) {
+  for (std::size_t e = first; e < last; ++e) {
+    offload_request request;
+    request.id = next_request_id();
+    request.user = events_[e].user;
+    request.work = source_(rng_);
+    request.created_at = sim_.now();
+    ++emitted_;
+    sink_(request);
   }
 }
 

@@ -123,19 +123,26 @@ struct replay_event {
 
 class replay_generator {
  public:
-  /// Schedules every event (events need not be sorted).
+  /// Schedules the trace (events need not be sorted).  Same-timestamp
+  /// bursts share one simulator wake-up — a trace of n events at k
+  /// distinct timestamps schedules k events, not n — while emission
+  /// order (and hence rng draw order) matches per-event scheduling.
   /// Throws std::invalid_argument on empty callbacks.
   replay_generator(sim::simulation& sim, task_source source,
                    request_sink sink, std::vector<replay_event> events,
                    util::rng rng);
   std::uint64_t emitted() const noexcept { return emitted_; }
+  /// Total trace entries (not the number of simulator events).
   std::size_t scheduled() const noexcept { return total_; }
 
  private:
+  void emit_range(std::size_t first, std::size_t last);
+
   sim::simulation& sim_;
   task_source source_;
   request_sink sink_;
   util::rng rng_;
+  std::vector<replay_event> events_;  ///< sorted by (at, original order)
   std::size_t total_ = 0;
   std::uint64_t emitted_ = 0;
 };

@@ -222,6 +222,26 @@ TEST_F(GeneratorTest, ReplayFiresAtExactTimestamps) {
   EXPECT_EQ(received_[2].user, 2u);
 }
 
+TEST_F(GeneratorTest, ReplayBatchesSameTimestampBursts) {
+  // Six trace entries at two distinct timestamps must cost two simulator
+  // events, not six, while emitting every entry in (time, original-order)
+  // order.
+  std::vector<replay_event> events = {{200.0, 10}, {100.0, 20}, {200.0, 11},
+                                      {100.0, 21}, {200.0, 12}, {100.0, 22}};
+  replay_generator gen{sim_, random_pool_source(pool_), collect(), events,
+                       util::rng{7}};
+  EXPECT_EQ(gen.scheduled(), 6u);
+  EXPECT_EQ(sim_.pending_events(), 2u);
+  sim_.run();
+  EXPECT_EQ(gen.emitted(), 6u);
+  ASSERT_EQ(received_.size(), 6u);
+  const std::vector<user_id> expected_users = {20, 21, 22, 10, 11, 12};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(received_[i].user, expected_users[i]) << "entry " << i;
+    EXPECT_EQ(received_[i].created_at, i < 3 ? 100.0 : 200.0);
+  }
+}
+
 TEST_F(GeneratorTest, ReplayEmptyEventListIsFine) {
   replay_generator gen{sim_, random_pool_source(pool_), collect(), {},
                        util::rng{7}};

@@ -200,6 +200,27 @@ TEST(Instance, CreditExhaustionThrottlesToBaseline) {
   EXPECT_TRUE(server.throttled());
 }
 
+TEST(Instance, ThrottledUtilizationUsesEffectiveCores) {
+  // Regression: the since-last-event tail of mean_utilization() used raw
+  // vcpus, overstating busy cores while credit-throttled.  Sampled mid
+  // throttled interval (no event since exhaustion), the tail must accrue
+  // at the baseline share like advance() does.
+  sim::simulation sim;
+  auto type = exact_type();
+  type.baseline_fraction = 0.1;
+  instance::options opts;
+  opts.enable_cpu_credits = true;
+  opts.initial_credits_core_ms = 50.0;
+  instance server{sim, 1, type, util::rng{1}, opts};
+  server.submit(992.0, {});  // 1000 wu: throttles at ~55.6 ms, runs long
+  sim.run_until(500.0);
+  ASSERT_TRUE(server.throttled());
+  ASSERT_EQ(server.completed(), 0u);
+  // Busy core-ms by t=500: 55.56 at one full core, then 444.4 ms at 0.1
+  // cores = 100 total -> 0.2 mean utilization.  The bug reported ~1.0.
+  EXPECT_NEAR(server.mean_utilization(), 0.2, 1e-3);
+}
+
 TEST(Instance, CreditsRecoverWhenIdle) {
   sim::simulation sim;
   auto type = exact_type();

@@ -58,6 +58,22 @@ TEST(FitRtt, RejectsNonPositiveTargets) {
   EXPECT_THROW(fit_rtt_params({1.0, 1.0, 0.0}), std::invalid_argument);
 }
 
+TEST(FitRtt, ParallelFitIsBitIdenticalToSerial) {
+  // The range-split grid scan must reproduce the serial first-minimum
+  // incumbent exactly — same cells, same reduction order semantics — at
+  // any thread count, odd slice counts included.
+  const rtt_target_stats target{141.0, 60.0, 376.0};  // beta LTE
+  const auto serial = fit_rtt_params(target, 1);
+  for (unsigned threads : {2u, 3u, 4u, 7u}) {
+    const auto parallel = fit_rtt_params(target, threads);
+    EXPECT_EQ(serial.log_mu, parallel.log_mu) << threads;
+    EXPECT_EQ(serial.log_sigma, parallel.log_sigma) << threads;
+    EXPECT_EQ(serial.spike_probability, parallel.spike_probability) << threads;
+    EXPECT_EQ(serial.spike_min_ms, parallel.spike_min_ms) << threads;
+    EXPECT_EQ(serial.spike_max_ms, parallel.spike_max_ms) << threads;
+  }
+}
+
 /// Property sweep: calibration must hit every published operator target
 /// (all six mean/median/SD triples of Fig. 11) within 5%.
 struct fit_case {
