@@ -24,6 +24,7 @@
 #include "exp/runner.h"
 #include "exp/scenario.h"
 #include "exp/thread_pool.h"
+#include "obs/slo.h"
 #include "tasks/task.h"
 
 namespace {
@@ -43,6 +44,9 @@ struct figure_record {
   double acceptance_pct = 0.0;
   double mean_response_ms = 0.0;
   double mean_cost_usd = 0.0;
+  /// Response-time percentiles off the merged latency histogram
+  /// (within-bin interpolated; the SLO columns of Fig. 9-style tables).
+  obs::slo_row slo;
   std::size_t errors = 0;
 };
 
@@ -78,9 +82,15 @@ bool write_figures_json(const std::string& path, std::size_t jobs,
                  static_cast<unsigned long long>(fig.fingerprint));
     std::fprintf(f,
                  "     \"requests\": %zu, \"acceptance_pct\": %.2f, "
-                 "\"mean_response_ms\": %.2f, \"mean_cost_usd\": %.4f}%s\n",
+                 "\"mean_response_ms\": %.2f, \"mean_cost_usd\": %.4f,\n",
                  fig.requests, fig.acceptance_pct, fig.mean_response_ms,
-                 fig.mean_cost_usd, i + 1 < figures.size() ? "," : "");
+                 fig.mean_cost_usd);
+    std::fprintf(f,
+                 "     \"slo_ms\": {\"samples\": %zu, \"p50\": %.2f, "
+                 "\"p95\": %.2f, \"p99\": %.2f, \"p999\": %.2f}}%s\n",
+                 fig.slo.samples, fig.slo.p50_ms, fig.slo.p95_ms,
+                 fig.slo.p99_ms, fig.slo.p999_ms,
+                 i + 1 < figures.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -167,6 +177,7 @@ int main(int argc, char** argv) {
     record.acceptance_pct = serial.aggregate.acceptance_rate() * 100.0;
     record.mean_response_ms = serial.aggregate.response.mean();
     record.mean_cost_usd = serial.aggregate.cost_usd.mean();
+    record.slo = obs::slo_from_histogram(serial.aggregate.latency, spec.name);
     // At jobs <= 1 `parallel` is a copy of `serial`, not a second run.
     record.errors = serial.errors.size() +
                     (jobs > 1 ? parallel.errors.size() : 0);
@@ -174,10 +185,11 @@ int main(int argc, char** argv) {
     std::printf(
         "serial %6.2f s   jobs=%zu %6.2f s   speedup %.2fx\n"
         "requests %zu   acceptance %.1f%%   mean response %.0f ms   "
-        "mean cost $%.3f\n",
+        "p50/p95/p99 %.0f/%.0f/%.0f ms   mean cost $%.3f\n",
         record.wall_seconds_serial, jobs, record.wall_seconds_parallel,
         record.speedup, record.requests, record.acceptance_pct,
-        record.mean_response_ms, record.mean_cost_usd);
+        record.mean_response_ms, record.slo.p50_ms, record.slo.p95_ms,
+        record.slo.p99_ms, record.mean_cost_usd);
 
     checks.expect(record.errors == 0, spec.name + ": no failed replications",
                   std::to_string(record.errors) + " errors");

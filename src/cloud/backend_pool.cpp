@@ -32,6 +32,7 @@ instance_id backend_pool::launch(group_id group, const instance_type& type) {
         ++static_cast<backend_pool*>(self)->draining_count_;
       },
       this);
+  inst->set_observability(obs_);
   groups_[group].push_back(std::move(inst));
   billing_.on_launch(id, type, sim_.now());
   return id;

@@ -53,6 +53,15 @@ class backend_pool {
   /// only a counter check.
   void sweep();
 
+  /// Attaches the PS observability counters to every current and future
+  /// instance (nullptr detaches).  Setup-time only.
+  void set_observability(obs::registry* registry) noexcept {
+    obs_ = registry;
+    for (auto& members : groups_) {
+      for (auto& inst : members) inst->set_observability(registry);
+    }
+  }
+
   /// Accepting (non-draining) instance count in a group.
   std::size_t instance_count(group_id group) const noexcept;
   /// Accepting instances of one type in a group.
@@ -94,6 +103,7 @@ class backend_pool {
   /// Instances marked draining but not yet reaped; sweep() is a no-op at
   /// zero, which is the steady state between provisioning slots.
   std::size_t draining_count_ = 0;
+  obs::registry* obs_ = nullptr;
   billing_meter billing_;
   std::uint64_t retired_completed_ = 0;
   std::uint64_t retired_dropped_ = 0;

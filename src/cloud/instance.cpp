@@ -141,6 +141,16 @@ void instance::on_completion_event() {
     std::pop_heap(heap_.begin(), heap_.end(), finishes_later);
     heap_.pop_back();
   }
+  if (obs_ != nullptr) {
+    obs_->add(obs::counter::ps_completion_events);
+    obs_->add(obs::counter::ps_completions, finished_scratch_.size());
+    obs_->observe(obs::series::ps_event_batch,
+                  static_cast<double>(finished_scratch_.size()));
+    if (finished_scratch_.empty()) {
+      obs_->add(obs::counter::ps_spurious_wakes);
+    }
+    if (heap_.empty()) obs_->add(obs::counter::ps_vclock_resets);
+  }
   if (heap_.empty()) {
     // Fresh busy period, fresh origin: V never accumulates across idle
     // gaps, so its magnitude (and hence the absolute rounding error of
@@ -168,7 +178,13 @@ bool instance::submit(double work_units, completion_fn on_complete) {
   if (work_units < 0.0) throw std::invalid_argument{"submit: negative work"};
   if (draining_ || heap_.size() >= type_.max_concurrent()) {
     ++dropped_;
+    if (obs_ != nullptr) obs_->add(obs::counter::ps_drops);
     return false;
+  }
+  if (obs_ != nullptr) {
+    obs_->add(obs::counter::ps_submits);
+    obs_->observe(obs::series::ps_queue_depth,
+                  static_cast<double>(heap_.size()));
   }
   advance();
   // Multi-tenancy jitter multiplies the compute portion; the dalvikvm spawn

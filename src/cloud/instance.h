@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "cloud/instance_type.h"
+#include "obs/registry.h"
 #include "sim/simulation.h"
 #include "util/ids.h"
 #include "util/rng.h"
@@ -115,6 +116,14 @@ class instance {
   }
   bool draining() const noexcept { return draining_; }
   bool idle() const noexcept { return heap_.empty(); }
+
+  /// Attaches the PS counters (submits/drops/completions, queue-depth and
+  /// event-batch series, virtual-clock resets).  nullptr (the default)
+  /// disables them; the pointer is fixed after setup, so the off path is
+  /// one predictable branch per event.
+  void set_observability(obs::registry* registry) noexcept {
+    obs_ = registry;
+  }
 
   instance_id id() const noexcept { return id_; }
   const instance_type& type() const noexcept { return type_; }
@@ -199,6 +208,7 @@ class instance {
   util::time_ms armed_at_ = 0.0;  ///< wall time pending_completion_ fires
   drain_observer_fn drain_observer_ = nullptr;
   void* drain_observer_ctx_ = nullptr;
+  obs::registry* obs_ = nullptr;
   util::time_ms last_update_ = 0.0;
   util::time_ms launched_at_ = 0.0;
   double busy_core_ms_ = 0.0;

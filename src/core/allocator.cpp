@@ -462,6 +462,7 @@ struct batched_allocator::impl {
   std::vector<double> incumbent;
   std::size_t solves = 0;
   std::size_t warm = 0;
+  obs::registry* obs = nullptr;
 
   /// The fully materialized single-slot request (for fallback paths that
   /// reuse the plain allocators).
@@ -506,6 +507,10 @@ std::size_t batched_allocator::warm_solves() const noexcept {
   return impl_->warm;
 }
 
+void batched_allocator::set_observability(obs::registry* registry) noexcept {
+  impl_->obs = registry;
+}
+
 allocation_plan batched_allocator::solve(
     std::span<const double> demand_per_group,
     std::size_t max_total_instances) {
@@ -524,8 +529,10 @@ allocation_plan batched_allocator::solve(
           ? im.shape.max_total_instances
           : std::min(max_total_instances, im.shape.max_total_instances);
   ++im.solves;
+  if (im.obs) im.obs->add(obs::counter::ilp_solves);
 
   if (uncoverable_demand(im.shape, im.m, demand_per_group)) {
+    if (im.obs) im.obs->add(obs::counter::ilp_best_effort);
     allocation_plan plan =
         allocate_best_effort(im.with_demand(demand_per_group, cap));
     plan.status = ilp::solve_status::infeasible;
@@ -541,40 +548,64 @@ allocation_plan batched_allocator::solve(
     const double rhs = row_demand(im.shape, demand_per_group, g) +
                        im.shape.capacity_margin;
     im.m.model.set_constraint_rhs(row, rhs);
-    if (im.root) im.root->sync_constraint_rhs(row);
+    if (im.root) {
+      im.root->sync_constraint_rhs(row);
+      if (im.obs) im.obs->add(obs::counter::ilp_rhs_reaims);
+    }
     const std::size_t cut = im.m.count_row[g];
     if (cut == kNoRow) continue;
     im.m.model.set_constraint_rhs(cut,
                                   count_row_rhs(rhs, im.m.max_capacity[g]));
-    if (im.root) im.root->sync_constraint_rhs(cut);
+    if (im.root) {
+      im.root->sync_constraint_rhs(cut);
+      if (im.obs) im.obs->add(obs::counter::ilp_rhs_reaims);
+    }
   }
   im.m.model.set_constraint_rhs(im.m.cap_row, static_cast<double>(cap));
-  if (im.root) im.root->sync_constraint_rhs(im.m.cap_row);
+  if (im.root) {
+    im.root->sync_constraint_rhs(im.m.cap_row);
+    if (im.obs) im.obs->add(obs::counter::ilp_rhs_reaims);
+  }
 
   ilp::solve_status root_status;
   bool warm_solve = false;
+  const std::size_t pivots_before = im.root ? im.root->pivots() : 0;
   if (!im.root) {
     im.root.emplace(im.m.model, im.opts.lp.tolerance);
+    if (im.obs) im.obs->add(obs::counter::ilp_root_builds);
     root_status = im.root->solve(im.opts.lp);
   } else {
     root_status = im.root->resolve(im.opts.lp);
     warm_solve = true;
   }
 
+  const bool seeded = !im.incumbent.empty();
   const ilp::solution solved = ilp::solve_ilp_warm(
       im.m.model, *im.root, root_status, im.opts,
-      im.incumbent.empty() ? nullptr : &im.incumbent);
+      seeded ? &im.incumbent : nullptr);
+  if (im.obs) {
+    im.obs->add(obs::counter::ilp_bb_nodes, solved.iterations);
+    im.obs->observe(obs::series::ilp_nodes_per_solve,
+                    static_cast<double>(solved.iterations));
+    im.obs->add(obs::counter::ilp_root_pivots,
+                im.root->pivots() - pivots_before);
+    if (seeded) im.obs->add(obs::counter::ilp_incumbent_seeds);
+  }
   const bool usable =
       solved.status == ilp::solve_status::optimal ||
       (solved.status == ilp::solve_status::iteration_limit &&
        !solved.values.empty());
   if (!usable) {
+    if (im.obs) im.obs->add(obs::counter::ilp_best_effort);
     allocation_plan plan =
         allocate_best_effort(im.with_demand(demand_per_group, cap));
     plan.status = solved.status;
     return plan;
   }
-  if (warm_solve) ++im.warm;
+  if (warm_solve) {
+    ++im.warm;
+    if (im.obs) im.obs->add(obs::counter::ilp_warm_solves);
+  }
   im.incumbent = solved.values;
   return plan_from_values(im.shape, im.layout, solved.values, solved.status);
 }

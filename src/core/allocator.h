@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ilp/branch_bound.h"
+#include "obs/registry.h"
 #include "util/ids.h"
 
 namespace mca::core {
@@ -146,6 +147,11 @@ class batched_allocator {
   /// Solves that reused the previous slot's tableau + incumbent (every
   /// solve after the first that stayed on the ILP path).
   std::size_t warm_solves() const noexcept;
+
+  /// Attaches ILP solve-internals counters (solves, warm reuses, rhs
+  /// re-aims, root builds/pivots, branch & bound nodes, incumbent seeds,
+  /// best-effort fallbacks).  nullptr detaches; the pointer is not owned.
+  void set_observability(obs::registry* registry) noexcept;
 
  private:
   struct impl;

@@ -67,6 +67,7 @@ void sdn_accelerator::start(const workload::offload_request& request,
                             group_id group, double battery,
                             response_fn on_response) {
   ++received_;
+  if (obs_ != nullptr) obs_->add(obs::counter::sdn_requests);
   // The channel stays open for the whole operation, so both external legs
   // see the same half-RTT (§VI-B.2).
   const double external_one_way =
@@ -81,6 +82,13 @@ void sdn_accelerator::start(const workload::offload_request& request,
   s.timing.mobile_to_front = external_one_way;
   s.timing.front_to_mobile = external_one_way;
   s.on_response = std::move(on_response);
+  s.sampled =
+      tracer_ != nullptr && (received_ - 1) % trace_sample_every_ == 0;
+  if (s.sampled) {
+    s.span_wall_us = tracer_->now_us();
+    s.span_sim_start = sim_.now();
+    if (obs_ != nullptr) obs_->add(obs::counter::sdn_sampled_spans);
+  }
 
   sim_.schedule_after(external_one_way,
                       [this, slot] { stage_routing(slot); });
@@ -163,6 +171,23 @@ void sdn_accelerator::deliver(std::uint32_t slot) {
     ++succeeded_;
   } else {
     ++failed_;
+  }
+  if (obs_ != nullptr) {
+    obs_->add(s.timing.success ? obs::counter::sdn_successes
+                               : obs::counter::sdn_failures);
+  }
+  if (s.sampled) {
+    // Wall extent: host time this shard spent simulating the request's
+    // window; sim extent: the response time itself.
+    obs::span_record span;
+    span.kind = obs::span_kind::request_lifecycle;
+    span.wall_start_us = s.span_wall_us;
+    span.wall_dur_us = tracer_->now_us() - s.span_wall_us;
+    span.sim_start_ms = s.span_sim_start;
+    span.sim_dur_ms = sim_.now() - s.span_sim_start;
+    span.arg_a = s.request.user;
+    span.arg_b = s.timing.success ? 1 : 0;
+    tracer_->ring(trace_ring_).push(span);
   }
   if (s.on_response) {
     // Legacy per-request callback: move state out so the callback may

@@ -22,6 +22,8 @@
 
 #include "cloud/backend_pool.h"
 #include "net/rtt_model.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "sim/simulation.h"
 #include "trace/log_store.h"
 #include "util/rng.h"
@@ -109,6 +111,20 @@ class sdn_accelerator {
 
   /// Installs the response sink the payload-free submit() reports to.
   void set_response_sink(response_sink* sink) noexcept { sink_ = sink; }
+
+  /// Attaches the observability layer: `registry` (nullptr = counters
+  /// off) takes the request counters; `tracer` (nullptr = no tracing)
+  /// receives a request_lifecycle span for 1 request in `sample_every`
+  /// into `tracer->ring(ring)`.  Both pointers are fixed after setup, so
+  /// the disabled path is one predictable branch; span state lives in the
+  /// pooled in-flight slab, so sampling allocates nothing.
+  void set_observability(obs::registry* registry, obs::tracer* tracer,
+                         std::size_t ring, std::size_t sample_every) noexcept {
+    obs_ = registry;
+    tracer_ = tracer;
+    trace_ring_ = ring;
+    trace_sample_every_ = sample_every == 0 ? 1 : sample_every;
+  }
   /// Installs the trace observer, invoked exactly where successful
   /// requests are logged (same event, same order).
   void set_trace_observer(trace_fn fn) { on_trace_ = std::move(fn); }
@@ -131,6 +147,10 @@ class sdn_accelerator {
     double battery = 1.0;
     response_fn on_response;  ///< empty on the sink fast path
     std::uint32_t next_free = 0;
+    // Sampled-span state (set at start, consumed at deliver).
+    bool sampled = false;
+    double span_wall_us = 0.0;
+    util::time_ms span_sim_start = 0.0;
   };
   static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
 
@@ -158,6 +178,10 @@ class sdn_accelerator {
   util::rng rng_;
   response_sink* sink_ = nullptr;
   trace_fn on_trace_;
+  obs::registry* obs_ = nullptr;
+  obs::tracer* tracer_ = nullptr;
+  std::size_t trace_ring_ = 0;
+  std::size_t trace_sample_every_ = 1024;
 
   std::vector<inflight> pool_;
   std::uint32_t free_head_ = kNoFreeSlot;

@@ -124,6 +124,13 @@ offloading_system::offloading_system(system_config config,
       std::move(policy), config_.initial_group, max_group, rng_.fork(),
       config_.allow_demotion);
 
+  obs_.resize_groups(group_count_);
+  obs_.set_gauge(obs::gauge::groups, group_count_);
+  obs_ptr_ = config_.obs_counters ? &obs_ : nullptr;
+  backend_->set_observability(obs_ptr_);
+  sdn_->set_observability(obs_ptr_, config_.trace_sink, config_.trace_ring,
+                          config_.trace_sample_every);
+
   user_seq_.assign(config_.user_count, 0);
 
   slot_users_.resize(group_count_);
@@ -171,6 +178,9 @@ void offloading_system::on_response(const workload::offload_request& request,
       digest.group_response[group].add(response_ms);
       ++digest.group_successes[group];
     }
+    // Per-group SLO histogram (preallocated; the digest only keeps the
+    // all-groups latency histogram).
+    if (obs_ptr_ != nullptr) obs_ptr_->observe_response(group, response_ms);
   }
 
   const std::uint32_t seq = user_seq_[request.user % user_seq_.size()]++;
@@ -238,6 +248,7 @@ void offloading_system::apply_plan(const allocation_plan& plan) {
 }
 
 void offloading_system::on_slot_boundary(std::size_t slot_index) {
+  if (obs_ptr_ != nullptr) obs_ptr_->add(obs::counter::slot_boundaries);
   // The slot that just ended becomes evidence.
   trace::time_slot finished = take_current_slot();
   const auto actual_counts = finished.group_counts();
@@ -268,7 +279,11 @@ void offloading_system::on_slot_boundary(std::size_t slot_index) {
         // apply_external_plan() answers.
         pending_demand_ = std::move(request);
       } else {
+        if (obs_ptr_ != nullptr) obs_ptr_->add(obs::counter::ilp_solves);
         allocation_plan plan = allocate_ilp(request);
+        if (obs_ptr_ != nullptr && plan.best_effort) {
+          obs_ptr_->add(obs::counter::ilp_best_effort);
+        }
         apply_plan(plan);
         report.plan = std::move(plan);
       }

@@ -23,6 +23,8 @@
 #include "core/predictor.h"
 #include "core/sdn_accelerator.h"
 #include "net/rtt_model.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "sim/simulation.h"
 #include "tasks/task.h"
 #include "trace/log_store.h"
@@ -93,6 +95,21 @@ struct system_config {
   /// Requests injected into every back-end server per burst.
   std::size_t background_requests_per_burst = 50;
   util::time_ms background_burst_period = util::seconds(2);
+
+  // --- observability ---
+  /// Master switch for the preregistered obs counters (SDN request
+  /// pipeline, PS backend, slot boundaries).  The registry itself is
+  /// always owned and preallocated by the system; off means components
+  /// get a nullptr and the recording sites reduce to one predictable
+  /// branch.  On by default — the counters are cheap enough to keep in
+  /// the allocation-free hot path (gated by bench/fleet_scale).
+  bool obs_counters = true;
+  /// Optional span tracer (not owned; must outlive the system).  When
+  /// set, 1 in `trace_sample_every` requests records a lifecycle span
+  /// into `trace_sink->ring(trace_ring)`.
+  obs::tracer* trace_sink = nullptr;
+  std::size_t trace_ring = 0;
+  std::size_t trace_sample_every = 1024;
 
   // --- plumbing ---
   sdn_config sdn;
@@ -202,6 +219,9 @@ class offloading_system : private response_sink {
   client::moderator& moderator() noexcept { return *moderator_; }
   sim::simulation& simulation() noexcept { return sim_; }
   std::size_t group_count() const noexcept { return group_count_; }
+  /// The run's observability registry (zeroed but valid when
+  /// obs_counters is off).
+  const obs::registry& observability() const noexcept { return obs_; }
 
  private:
   void handle_request(const workload::offload_request& request);
@@ -250,6 +270,12 @@ class offloading_system : private response_sink {
   std::vector<std::uint32_t> user_seq_;
   util::rng background_rng_;
   system_metrics metrics_;
+
+  /// Owned registry; obs_ptr_ is &obs_ under obs_counters and nullptr
+  /// otherwise — fixed at construction, THE branch-on-a-constant every
+  /// recording site tests.
+  obs::registry obs_;
+  obs::registry* obs_ptr_ = nullptr;
 
   util::time_ms duration_ = 0.0;
   bool started_ = false;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/tracer.h"
+
 namespace mca::exp {
 
 /// One worker's deque.  The owner pushes/pops at the front; thieves take
@@ -105,6 +107,7 @@ void thread_pool::worker_loop(std::size_t self) {
     if (try_acquire(self, fn)) {
       fn();
       std::lock_guard lock{state_mutex_};
+      ++executed_;
       if (--pending_ == 0) all_idle_.notify_all();
       continue;
     }
@@ -115,7 +118,21 @@ void thread_pool::worker_loop(std::size_t self) {
     // through and the sweep runs again.  (A sweep can still come back
     // empty if a sibling claimed the task first — that is just another
     // pass through the loop.)
-    work_ready_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    if (!stopping_ && queued_ <= 0) {
+      ++idle_waits_;
+      obs::tracer* const tracer = tracer_;
+      const std::size_t ring = trace_ring_base_ + self;
+      const double idle_from = tracer != nullptr ? tracer->now_us() : 0.0;
+      work_ready_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+      if (tracer != nullptr) {
+        obs::span_record span;
+        span.kind = obs::span_kind::pool_idle;
+        span.wall_start_us = idle_from;
+        span.wall_dur_us = tracer->now_us() - idle_from;
+        span.arg_a = self;
+        tracer->ring(ring).push(span);
+      }
+    }
     if (stopping_) return;
   }
 }
@@ -128,6 +145,18 @@ void thread_pool::wait_idle() {
 std::size_t thread_pool::steal_count() const noexcept {
   std::lock_guard lock{state_mutex_};
   return steals_;
+}
+
+pool_counters thread_pool::counters() const noexcept {
+  std::lock_guard lock{state_mutex_};
+  return {executed_, static_cast<std::uint64_t>(steals_), idle_waits_};
+}
+
+void thread_pool::set_observability(obs::tracer* tracer,
+                                    std::size_t ring_base) {
+  std::lock_guard lock{state_mutex_};
+  tracer_ = tracer;
+  trace_ring_base_ = ring_base;
 }
 
 }  // namespace mca::exp

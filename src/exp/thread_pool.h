@@ -16,6 +16,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <latch>
@@ -24,7 +25,20 @@
 #include <thread>
 #include <vector>
 
+namespace mca::obs {
+class tracer;
+}
+
 namespace mca::exp {
+
+/// Pool telemetry snapshot (monotonic since construction).  `executed` is
+/// exact; `steals`/`idle_waits` depend on scheduling and are reported
+/// through the observability registry as scheduling-dependent counters.
+struct pool_counters {
+  std::uint64_t executed = 0;    ///< tasks run to completion
+  std::uint64_t steals = 0;      ///< tasks taken from another worker's deque
+  std::uint64_t idle_waits = 0;  ///< times a worker blocked for work
+};
 
 class thread_pool {
  public:
@@ -49,6 +63,13 @@ class thread_pool {
   std::size_t worker_count() const noexcept { return queues_.size(); }
   /// Tasks stolen from another worker's deque (for tests/telemetry).
   std::size_t steal_count() const noexcept;
+  /// Full telemetry snapshot (executed / steals / idle waits).
+  pool_counters counters() const noexcept;
+
+  /// Attaches a tracer: worker `w` records its idle gaps as pool_idle
+  /// spans into `tracer->ring(ring_base + w)` (one ring per worker, single
+  /// writer).  Call only while the pool is idle; nullptr detaches.
+  void set_observability(obs::tracer* tracer, std::size_t ring_base);
 
   /// std::thread::hardware_concurrency with a floor of 1.
   static std::size_t hardware_workers() noexcept;
@@ -72,6 +93,10 @@ class thread_pool {
   std::ptrdiff_t queued_ = 0;
   std::size_t next_queue_ = 0;
   std::size_t steals_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t idle_waits_ = 0;
+  obs::tracer* tracer_ = nullptr;  ///< read under state_mutex_
+  std::size_t trace_ring_base_ = 0;
   bool stopping_ = false;
 };
 

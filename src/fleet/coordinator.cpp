@@ -89,12 +89,24 @@ std::vector<std::optional<core::allocation_plan>> split_fleet_plan(
 coordinator::coordinator(core::allocation_request shape, ilp::ilp_options opts)
     : shape_{std::move(shape)}, allocator_{shape_, opts} {
   shape_.workload_per_group.assign(shape_.candidates_per_group.size(), 0.0);
+  obs_.resize_groups(allocator_.group_count());
+  obs_ptr_ = &obs_;
+  allocator_.set_observability(obs_ptr_);
+}
+
+void coordinator::set_observability(bool counters, obs::tracer* tracer,
+                                    std::size_t ring) noexcept {
+  obs_ptr_ = counters ? &obs_ : nullptr;
+  allocator_.set_observability(obs_ptr_);
+  tracer_ = tracer;
+  trace_ring_ = ring;
 }
 
 std::vector<std::optional<core::allocation_plan>> coordinator::allocate_slot(
     std::span<const demand_digest> digests) {
   coordination_record record;
   record.slot = next_slot_++;
+  if (obs_ptr_) obs_ptr_->add(obs::counter::fleet_slot_rounds);
   for (const auto& digest : digests) {
     for (const std::size_t depth : digest.queue_depth_per_group) {
       record.queue_depth += static_cast<double>(depth);
@@ -115,6 +127,7 @@ std::vector<std::optional<core::allocation_plan>> coordinator::allocate_slot(
     record.solved = true;
     record.fleet_demand = fleet.total();
     core::allocation_plan plan;
+    const double solve_t0 = tracer_ ? tracer_->now_us() : 0.0;
     ilp_seconds_ += exp::seconds_of([&] {
       plan = allocator_.solve(
           fleet.demand_per_group,
@@ -122,8 +135,28 @@ std::vector<std::optional<core::allocation_plan>> coordinator::allocate_slot(
     });
     record.fleet_instances = plan.total_instances();
     record.cost_per_hour = plan.total_cost_per_hour;
+    if (tracer_) {
+      obs::span_record span;
+      span.wall_start_us = solve_t0;
+      span.wall_dur_us = tracer_->now_us() - solve_t0;
+      span.arg_a = record.slot;
+      span.arg_b = record.fleet_instances;
+      span.kind = obs::span_kind::coordinator_solve;
+      tracer_->ring(trace_ring_).push(span);
+    }
     solved_demands_.push_back(fleet.demand_per_group);
+    const double split_t0 = tracer_ ? tracer_->now_us() : 0.0;
     quotas = split_fleet_plan(plan, digests, shape_);
+    if (obs_ptr_) obs_ptr_->add(obs::counter::fleet_quota_splits);
+    if (tracer_) {
+      obs::span_record span;
+      span.wall_start_us = split_t0;
+      span.wall_dur_us = tracer_->now_us() - split_t0;
+      span.arg_a = record.slot;
+      span.arg_b = digests.size();
+      span.kind = obs::span_kind::quota_split;
+      tracer_->ring(trace_ring_).push(span);
+    }
   }
   records_.push_back(record);
   return quotas;

@@ -25,6 +25,8 @@
 
 #include "core/allocator.h"
 #include "fleet/demand_digest.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 namespace mca::fleet {
 
@@ -69,6 +71,16 @@ class coordinator {
   /// Wall time spent inside the batched ILP (gather/split excluded).
   double ilp_seconds() const noexcept { return ilp_seconds_; }
 
+  /// Observability: `counters` toggles the coordinator-owned registry
+  /// (ILP solve internals + slot-round counters; on by default), `tracer`
+  /// adds coordinator_solve / quota_split wall spans into
+  /// `tracer->ring(ring)` (nullptr: no spans; not owned).
+  void set_observability(bool counters, obs::tracer* tracer = nullptr,
+                         std::size_t ring = 0) noexcept;
+  /// The coordinator's registry: ilp_* counters from the batched
+  /// allocator plus fleet_slot_rounds / fleet_quota_splits.
+  const obs::registry& observability() const noexcept { return obs_; }
+
  private:
   core::allocation_request shape_;
   core::batched_allocator allocator_;
@@ -76,6 +88,10 @@ class coordinator {
   std::vector<std::vector<double>> solved_demands_;
   std::size_t next_slot_ = 0;
   double ilp_seconds_ = 0.0;
+  obs::registry obs_;
+  obs::registry* obs_ptr_ = nullptr;
+  obs::tracer* tracer_ = nullptr;
+  std::size_t trace_ring_ = 0;
 };
 
 /// Largest-remainder split of `fleet_plan` into one quota per digest,

@@ -37,6 +37,12 @@ fleet_result run_fleet(const exp::scenario_spec& spec,
     throw std::invalid_argument{
         "run_fleet: more shards than users (empty slices)"};
   }
+  obs::tracer* const tracer = options.tracer;
+  if (tracer != nullptr && tracer->ring_count() < shards + 1) {
+    throw std::invalid_argument{
+        "run_fleet: tracer needs at least shards + 1 rings "
+        "(one per shard plus the coordinator's)"};
+  }
 
   const auto start = std::chrono::steady_clock::now();
 
@@ -44,12 +50,27 @@ fleet_result run_fleet(const exp::scenario_spec& spec,
   // parallel round; each shard is a pure function of (spec, index).
   std::vector<std::unique_ptr<shard>> members =
       exp::parallel_map(pool, shards, [&](std::size_t k) {
-        auto s = std::make_unique<shard>(spec, task_pool, k, shards);
+        shard_obs obs;
+        obs.counters = options.obs_counters;
+        obs.tracer = tracer;
+        obs.ring = k;
+        obs.sample_every = options.trace_sample_every;
+        auto s = std::make_unique<shard>(spec, task_pool, k, shards, obs);
         s->begin();
         return s;
       });
 
   coordinator coord{fleet_allocation_shape(spec), options.ilp};
+  coord.set_observability(options.obs_counters, tracer, shards);
+
+  // Worker idle-gap rings ride after the coordinator's when the tracer
+  // was sized for them; the pool snapshot brackets the run so only this
+  // run's scheduling-dependent deltas land in the merged registry.
+  const exp::pool_counters pool_before = pool.counters();
+  const bool worker_rings =
+      tracer != nullptr &&
+      tracer->ring_count() >= shards + 1 + pool.worker_count();
+  if (worker_rings) pool.set_observability(tracer, shards + 1);
 
   fleet_result result;
   result.total_users = spec.user_count;
@@ -65,9 +86,23 @@ fleet_result run_fleet(const exp::scenario_spec& spec,
   for (util::time_ms boundary = spec.slot_length; boundary <= spec.duration;
        boundary += spec.slot_length) {
     const std::size_t slot = result.slot_count;
+    const double round_t0 = tracer != nullptr ? tracer->now_us() : 0.0;
     const std::vector<demand_digest> digests =
         exp::parallel_map(pool, shards, [&](std::size_t k) {
-          return members[k]->advance_to_slot(slot);
+          const double t0 = tracer != nullptr ? tracer->now_us() : 0.0;
+          demand_digest digest = members[k]->advance_to_slot(slot);
+          if (tracer != nullptr) {
+            obs::span_record span;
+            span.wall_start_us = t0;
+            span.wall_dur_us = tracer->now_us() - t0;
+            span.sim_start_ms = boundary - spec.slot_length;
+            span.sim_dur_ms = spec.slot_length;
+            span.arg_a = slot;
+            span.arg_b = k;
+            span.kind = obs::span_kind::shard_advance;
+            tracer->ring(k).push(span);
+          }
+          return digest;
         });
     result.coordination_seconds += exp::seconds_of([&] {
       const auto quotas = coord.allocate_slot(digests);
@@ -75,12 +110,47 @@ fleet_result run_fleet(const exp::scenario_spec& spec,
         if (quotas[k]) members[k]->apply_quota(*quotas[k]);
       }
     });
+    if (tracer != nullptr) {
+      obs::span_record span;
+      span.wall_start_us = round_t0;
+      span.wall_dur_us = tracer->now_us() - round_t0;
+      span.sim_start_ms = boundary - spec.slot_length;
+      span.sim_dur_ms = spec.slot_length;
+      span.arg_a = slot;
+      span.kind = obs::span_kind::slot_round;
+      tracer->ring(shards).push(span);
+    }
     ++result.slot_count;
   }
 
   result.per_shard = exp::parallel_map(
       pool, shards, [&](std::size_t k) { return members[k]->finish(); });
   result.aggregate = exp::merge_replications(result.per_shard);
+
+  // Deterministic counter merge: shard registries in shard-index order,
+  // then the coordinator's, then the pool's scheduling-dependent deltas
+  // (excluded from the registry fingerprint by construction).
+  if (worker_rings) pool.set_observability(nullptr, 0);
+  for (const auto& member : members) {
+    result.observability.merge(member->observability());
+  }
+  result.observability.merge(coord.observability());
+  if (options.obs_counters) {
+    const exp::pool_counters pool_after = pool.counters();
+    result.observability.add(obs::counter::pool_tasks_executed,
+                             pool_after.executed - pool_before.executed);
+    result.observability.add(obs::counter::pool_steals,
+                             pool_after.steals - pool_before.steals);
+    result.observability.add(obs::counter::pool_idle_waits,
+                             pool_after.idle_waits - pool_before.idle_waits);
+    result.observability.set_gauge(obs::gauge::pool_workers,
+                                   pool.worker_count());
+    result.observability.set_gauge(obs::gauge::fleet_shards, shards);
+  }
+  if (tracer != nullptr) {
+    result.observability.set_gauge(obs::gauge::trace_spans_dropped,
+                                   tracer->total_dropped());
+  }
 
   result.slots = coord.records();
   result.fleet_demands = coord.solved_demands();

@@ -32,6 +32,18 @@ struct fleet_options {
   std::size_t shards = 0;
   /// Fleet ILP knobs (node budget, tolerances).
   ilp::ilp_options ilp;
+  /// Preregistered counters in every shard and the coordinator, merged in
+  /// shard order into fleet_result::observability.  Off reduces every
+  /// recording site to one branch on a constant.
+  bool obs_counters = true;
+  /// Optional span tracer (not owned).  Ring layout: ring k is shard k's,
+  /// ring `shards` the coordinator's, rings `shards + 1 + w` the pool
+  /// workers' (attached only when the tracer has that many rings).
+  /// run_fleet throws std::invalid_argument when the tracer has fewer
+  /// than shards + 1 rings.
+  obs::tracer* tracer = nullptr;
+  /// 1-in-N request-lifecycle span sampling inside each shard's SDN.
+  std::size_t trace_sample_every = 1024;
 };
 
 /// One completed fleet run.
@@ -43,6 +55,10 @@ struct fleet_result {
   std::vector<coordination_record> slots;
   /// The batched ILP inputs, one per solved slot (for allocation replay).
   std::vector<std::vector<double>> fleet_demands;
+  /// Fleet-wide counter registry: shard registries merged in shard-index
+  /// order, then the coordinator's, then the pool's scheduling-dependent
+  /// deltas — fingerprint() is bit-identical across pool sizes.
+  obs::registry observability;
 
   std::size_t total_users = 0;
   std::size_t shard_count = 0;

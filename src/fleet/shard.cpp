@@ -19,7 +19,7 @@ std::size_t shard_user_count(std::size_t user_count, std::size_t index,
 }
 
 shard::shard(const exp::scenario_spec& spec, const tasks::task_pool& pool,
-             std::size_t index, std::size_t shard_count)
+             std::size_t index, std::size_t shard_count, shard_obs obs)
     : spec_{spec}, index_{index} {
   exp::validate(spec);
   if (shard_count == 0) {
@@ -45,6 +45,10 @@ shard::shard(const exp::scenario_spec& spec, const tasks::task_pool& pool,
   // predictor's slot windows).
   config.record_request_series = false;
   config.sdn.retain_trace_records = false;
+  config.obs_counters = obs.counters;
+  config.trace_sink = obs.tracer;
+  config.trace_ring = obs.ring;
+  config.trace_sample_every = obs.sample_every;
   system_.emplace(std::move(config), pool);
 }
 

@@ -28,6 +28,17 @@ namespace mca::fleet {
 std::size_t shard_user_count(std::size_t user_count, std::size_t index,
                              std::size_t shard_count);
 
+/// Observability wiring handed to one shard at construction.  Counter
+/// totals are deterministic per shard; spans go to `tracer->ring(ring)`
+/// (written only by whichever pool thread advances this shard — the
+/// bulk-synchronous rounds order the writes).
+struct shard_obs {
+  bool counters = true;            ///< preregistered counters + SLO digest
+  obs::tracer* tracer = nullptr;   ///< not owned; nullptr = no spans
+  std::size_t ring = 0;            ///< this shard's span ring
+  std::size_t sample_every = 1024; ///< request-lifecycle sampling period
+};
+
 class shard {
  public:
   /// Builds shard `index` of `shard_count` over its population slice.
@@ -35,7 +46,7 @@ class shard {
   /// an index out of range, or a slice with zero users (more shards than
   /// users).
   shard(const exp::scenario_spec& spec, const tasks::task_pool& pool,
-        std::size_t index, std::size_t shard_count);
+        std::size_t index, std::size_t shard_count, shard_obs obs = {});
 
   /// Installs the workload; must be called once before the first advance.
   void begin();
@@ -56,6 +67,11 @@ class shard {
   std::size_t index() const noexcept { return index_; }
   std::size_t user_count() const noexcept { return spec_.user_count; }
   std::size_t group_count() const noexcept { return group_count_; }
+  /// The shard system's counter registry (zeroed when counters are off);
+  /// fleet_runner merges these in shard order.
+  const obs::registry& observability() const noexcept {
+    return system_->observability();
+  }
   core::offloading_system& system() noexcept { return *system_; }
   const core::offloading_system& system() const noexcept { return *system_; }
 

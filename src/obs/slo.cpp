@@ -1,0 +1,44 @@
+#include "obs/slo.h"
+
+#include <utility>
+
+namespace mca::obs {
+
+slo_row slo_from_histogram(const util::histogram& h, std::string label) {
+  slo_row row;
+  row.label = std::move(label);
+  row.samples = h.total();
+  if (row.samples > 0) {
+    row.p50_ms = h.quantile_interpolated(0.50);
+    row.p95_ms = h.quantile_interpolated(0.95);
+    row.p99_ms = h.quantile_interpolated(0.99);
+    row.p999_ms = h.quantile_interpolated(0.999);
+  }
+  return row;
+}
+
+slo_report build_slo_report(const registry& reg) {
+  slo_report report;
+  report.rows.push_back(slo_from_histogram(reg.fleet_slo(), "fleet"));
+  for (std::size_t g = 0; g < reg.group_count(); ++g) {
+    report.rows.push_back(slo_from_histogram(
+        reg.group_slo(g), "group " + std::to_string(g)));
+  }
+  return report;
+}
+
+void write_slo_json(std::FILE* out, const slo_report& report, int indent) {
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const slo_row& row = report.rows[i];
+    std::fprintf(out,
+                 "%*s{\"label\": \"%s\", \"samples\": %zu, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f}%s\n",
+                 indent, "", row.label.c_str(), row.samples, row.p50_ms,
+                 row.p95_ms, row.p99_ms, row.p999_ms,
+                 i + 1 < report.rows.size() ? "," : "");
+  }
+  std::fprintf(out, "%*s]", indent > 2 ? indent - 2 : 0, "");
+}
+
+}  // namespace mca::obs

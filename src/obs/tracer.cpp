@@ -1,0 +1,121 @@
+#include "obs/tracer.h"
+
+#include <stdexcept>
+
+namespace mca::obs {
+
+namespace {
+
+/// The two trace processes: every span lands on the wall timeline; spans
+/// with a simulated extent land on the sim timeline too.
+constexpr int kWallPid = 1;
+constexpr int kSimPid = 2;
+
+void write_metadata(std::FILE* out, int pid, const char* process_name,
+                    std::size_t rings,
+                    const std::vector<std::string>& ring_names, bool* first) {
+  std::fprintf(out,
+               "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+               "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+               *first ? "" : ",\n", pid, process_name);
+  *first = false;
+  for (std::size_t r = 0; r < rings; ++r) {
+    if (r < ring_names.size()) {
+      std::fprintf(out,
+                   ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                   "\"tid\":%zu,\"args\":{\"name\":\"%s\"}}",
+                   pid, r, ring_names[r].c_str());
+    }
+  }
+}
+
+}  // namespace
+
+const char* span_name(span_kind k) noexcept {
+  switch (k) {
+    case span_kind::slot_round:
+      return "slot_round";
+    case span_kind::shard_advance:
+      return "shard_advance";
+    case span_kind::coordinator_solve:
+      return "coordinator_solve";
+    case span_kind::quota_split:
+      return "quota_split";
+    case span_kind::request_lifecycle:
+      return "request_lifecycle";
+    case span_kind::pool_idle:
+      return "pool_idle";
+  }
+  return "span";
+}
+
+span_ring::span_ring(std::size_t capacity) : slots_(capacity) {
+  if (capacity == 0) throw std::invalid_argument{"span_ring: zero capacity"};
+}
+
+tracer::tracer(options opts) : epoch_{std::chrono::steady_clock::now()} {
+  if (opts.rings == 0) throw std::invalid_argument{"tracer: zero rings"};
+  rings_.reserve(opts.rings);
+  for (std::size_t i = 0; i < opts.rings; ++i) {
+    rings_.emplace_back(opts.capacity_per_ring);
+  }
+}
+
+std::uint64_t tracer::total_spans() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring.size();
+  return total;
+}
+
+std::uint64_t tracer::total_dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring.dropped();
+  return total;
+}
+
+void tracer::export_chrome_trace(
+    std::FILE* out, const std::vector<std::string>& ring_names) const {
+  std::fprintf(out, "{\"traceEvents\":[\n");
+  bool first = true;
+  write_metadata(out, kWallPid, "wall clock", rings_.size(), ring_names,
+                 &first);
+  write_metadata(out, kSimPid, "simulated time (1ms = 1us)", rings_.size(),
+                 ring_names, &first);
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    const span_ring& ring = rings_[r];
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const span_record& s = ring.at(i);
+      const char* name = span_name(s.kind);
+      std::fprintf(out,
+                   ",\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%zu,"
+                   "\"ts\":%.3f,\"dur\":%.3f,"
+                   "\"args\":{\"a\":%llu,\"b\":%llu}}",
+                   name, kWallPid, r, s.wall_start_us, s.wall_dur_us,
+                   static_cast<unsigned long long>(s.arg_a),
+                   static_cast<unsigned long long>(s.arg_b));
+      if (s.sim_start_ms >= 0.0) {
+        // The sim timeline renders 1 simulated ms as 1 µs, so an 8-hour
+        // scenario spans ~29 s of trace time — comfortably navigable.
+        std::fprintf(out,
+                     ",\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,"
+                     "\"tid\":%zu,\"ts\":%.3f,\"dur\":%.3f,"
+                     "\"args\":{\"a\":%llu,\"b\":%llu}}",
+                     name, kSimPid, r, s.sim_start_ms, s.sim_dur_ms,
+                     static_cast<unsigned long long>(s.arg_a),
+                     static_cast<unsigned long long>(s.arg_b));
+      }
+    }
+  }
+  std::fprintf(out, "\n]}\n");
+}
+
+bool tracer::export_chrome_trace(
+    const std::string& path, const std::vector<std::string>& ring_names) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  export_chrome_trace(out, ring_names);
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace mca::obs

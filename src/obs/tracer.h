@@ -1,0 +1,121 @@
+// Span tracing into preallocated per-shard ring buffers, exported as
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// Every span carries both clocks: the wall time the host spent producing
+// it (where did the run's real seconds go) and, when meaningful, the
+// simulated interval it covers (where did the scenario's virtual hours
+// go).  The exporter emits two trace processes — pid 1 is the wall-clock
+// timeline, pid 2 the simulated-time timeline (1 simulated ms rendered as
+// 1 µs) — with one trace thread per ring, so a fleet run reads as: shard
+// lanes showing advance rounds with sampled request lifecycles inside
+// them, a coordinator lane with per-slot solve/split spans, and pool
+// worker lanes showing idle gaps between rounds.
+//
+// Concurrency contract: each ring has exactly one writer at a time (ring k
+// is written only by whichever pool thread is advancing shard k, and the
+// bulk-synchronous barriers order successive rounds; the coordinator ring
+// is written by the coordinating thread; each pool worker owns its own
+// ring).  Rings are preallocated at tracer construction and never grow: a
+// full ring overwrites its oldest span, so a trace is always the newest
+// window of activity and recording is allocation-free.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mca::obs {
+
+enum class span_kind : std::uint8_t {
+  slot_round,         ///< one bulk-synchronous fleet round (a=slot)
+  shard_advance,      ///< one shard advancing to the boundary (a=slot, b=shard)
+  coordinator_solve,  ///< fleet ILP solve (a=slot, b=plan instances)
+  quota_split,        ///< largest-remainder quota split (a=slot, b=shards)
+  request_lifecycle,  ///< sampled request through the SDN (a=user, b=success)
+  pool_idle,          ///< worker idle gap between tasks (a=worker)
+};
+
+/// Trace-event name of a kind.
+const char* span_name(span_kind k) noexcept;
+
+struct span_record {
+  double wall_start_us = 0.0;  ///< relative to the tracer's epoch
+  double wall_dur_us = 0.0;
+  double sim_start_ms = -1.0;  ///< negative: wall-only span
+  double sim_dur_ms = 0.0;
+  std::uint64_t arg_a = 0;     ///< kind-specific (see span_kind)
+  std::uint64_t arg_b = 0;
+  span_kind kind = span_kind::slot_round;
+};
+
+/// Fixed-capacity overwrite-oldest span buffer; single writer.
+class span_ring {
+ public:
+  explicit span_ring(std::size_t capacity);
+
+  void push(const span_record& r) noexcept {
+    slots_[pushed_ % slots_.size()] = r;
+    ++pushed_;
+  }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Spans currently held: min(pushed, capacity).
+  std::size_t size() const noexcept {
+    return pushed_ < slots_.size() ? static_cast<std::size_t>(pushed_)
+                                   : slots_.size();
+  }
+  std::uint64_t pushed() const noexcept { return pushed_; }
+  /// Spans lost to wraparound (the oldest ones).
+  std::uint64_t dropped() const noexcept {
+    return pushed_ <= slots_.size() ? 0 : pushed_ - slots_.size();
+  }
+  /// i-th retained span, oldest first (i < size()).
+  const span_record& at(std::size_t i) const noexcept {
+    const std::uint64_t first = dropped();
+    return slots_[(first + i) % slots_.size()];
+  }
+
+ private:
+  std::vector<span_record> slots_;
+  std::uint64_t pushed_ = 0;
+};
+
+class tracer {
+ public:
+  struct options {
+    std::size_t rings = 1;
+    std::size_t capacity_per_ring = 4096;
+  };
+
+  explicit tracer(options opts);
+
+  std::size_t ring_count() const noexcept { return rings_.size(); }
+  span_ring& ring(std::size_t i) noexcept { return rings_[i]; }
+  const span_ring& ring(std::size_t i) const noexcept { return rings_[i]; }
+
+  /// Wall microseconds since tracer construction (span timestamps).
+  double now_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  std::uint64_t total_spans() const noexcept;
+  std::uint64_t total_dropped() const noexcept;
+
+  /// Writes the whole trace as Chrome trace-event JSON.  `ring_names`
+  /// labels the trace threads (thread_name metadata); rings beyond the
+  /// list fall back to "ring N".
+  void export_chrome_trace(std::FILE* out,
+                           const std::vector<std::string>& ring_names) const;
+  /// Same, to a file path.  Returns false when the file cannot be opened.
+  bool export_chrome_trace(const std::string& path,
+                           const std::vector<std::string>& ring_names) const;
+
+ private:
+  std::vector<span_ring> rings_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace mca::obs

@@ -54,6 +54,45 @@ double histogram::quantile(double q) const {
   return bin_lower(counts_.size() - 1) + width_ / 2.0;
 }
 
+double histogram::quantile_interpolated(double q) const {
+  if (total_ == 0) throw std::logic_error{"histogram: quantile of empty"};
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"histogram: q outside [0,1]"};
+  // Value of the k-th sample (0-based, ascending): the c samples in a bin
+  // sit at evenly spaced offsets (j + 0.5)/c of the bin width, so within-
+  // bin order is resolved uniformly.  One pass serves both ranks because
+  // hi is either lo or its successor.
+  const double rank = q * static_cast<double>(total_ - 1);
+  const auto lo_rank = static_cast<std::size_t>(rank);
+  const std::size_t hi_rank = std::min(lo_rank + 1, total_ - 1);
+  const double frac = rank - static_cast<double>(lo_rank);
+  double lo_value = 0.0;
+  double hi_value = 0.0;
+  std::size_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size() && seen <= hi_rank; ++b) {
+    const std::size_t c = counts_[b];
+    if (c == 0) continue;
+    const auto sample_at = [&](std::size_t k) {
+      return bin_lower(b) +
+             width_ * (static_cast<double>(k - seen) + 0.5) /
+                 static_cast<double>(c);
+    };
+    if (lo_rank >= seen && lo_rank < seen + c) lo_value = sample_at(lo_rank);
+    if (hi_rank >= seen && hi_rank < seen + c) hi_value = sample_at(hi_rank);
+    seen += c;
+  }
+  return lo_value + frac * (hi_value - lo_value);
+}
+
+void log_histogram::merge(const log_histogram& other) {
+  if (counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument{"log_histogram: merge of mismatched layouts"};
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+}
+
 log_histogram::log_histogram(std::size_t max_buckets)
     : counts_(std::max<std::size_t>(max_buckets, 2), 0) {}
 

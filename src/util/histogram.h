@@ -27,6 +27,14 @@ class histogram {
   double bin_width() const noexcept { return width_; }
   /// Approximate quantile from bin midpoints; q in [0,1].
   double quantile(double q) const;
+  /// Quantile with within-bin linear interpolation (numpy's "linear"
+  /// method applied to the binned samples): the c samples of a bin are
+  /// placed at evenly spaced positions inside it, and the fractional rank
+  /// q*(total-1) interpolates between adjacent sample values — exact on
+  /// distributions with one sample per bin, and strictly finer than the
+  /// midpoint quantile() everywhere else.  The SLO percentile extraction
+  /// (p50/p95/p99/p99.9) builds on this.  Throws like quantile().
+  double quantile_interpolated(double q) const;
 
  private:
   double lo_;
@@ -42,6 +50,9 @@ class log_histogram {
   explicit log_histogram(std::size_t max_buckets = 32);
 
   void add(double x) noexcept;
+  /// Combines bucket counts; throws std::invalid_argument on a bucket
+  /// count mismatch.
+  void merge(const log_histogram& other);
   std::size_t total() const noexcept { return total_; }
   std::size_t bucket_count() const noexcept { return counts_.size(); }
   std::size_t count_in_bucket(std::size_t b) const { return counts_.at(b); }

@@ -103,6 +103,27 @@ TEST(ThreadPool, PoolIsReusableAcrossWaves) {
   EXPECT_EQ(total.load(), 200);
 }
 
+TEST(ThreadPool, CountersReportExactExecutedTotal) {
+  thread_pool pool{4};
+  EXPECT_EQ(pool.counters().executed, 0u);
+  parallel_for(pool, 100, [](std::size_t) {});
+  parallel_for(pool, 57, [](std::size_t) {});
+  const pool_counters after = pool.counters();
+  EXPECT_EQ(after.executed, 157u);
+  // Steals and idle waits are scheduling-dependent; only sanity-bound
+  // them: a worker cannot steal more tasks than ran in total.
+  EXPECT_LE(after.steals, after.executed);
+  EXPECT_EQ(after.steals, static_cast<std::uint64_t>(pool.steal_count()));
+}
+
+TEST(ThreadPool, SingleWorkerNeverSteals) {
+  thread_pool pool{1};
+  parallel_for(pool, 64, [](std::size_t) {});
+  const pool_counters counters = pool.counters();
+  EXPECT_EQ(counters.executed, 64u);
+  EXPECT_EQ(counters.steals, 0u);
+}
+
 TEST(ThreadPool, DestructorDrainsOutstandingTasks) {
   std::atomic<int> executed{0};
   {

@@ -73,6 +73,68 @@ TEST(Histogram, QuantileErrors) {
   EXPECT_THROW(h.quantile(1.5), std::invalid_argument);
 }
 
+TEST(Histogram, InterpolatedQuantileExactWithOneSamplePerBin) {
+  // One sample per bin at the bin's (j+0.5)/c position == the sample's
+  // actual value: the interpolated quantile must reproduce numpy's
+  // "linear" method on the underlying values exactly.
+  histogram h{0.0, 100.0, 100};
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  // numpy.percentile([0.5..99.5], 50, method="linear") = 50.0
+  EXPECT_NEAR(h.quantile_interpolated(0.5), 50.0, 1e-9);
+  // rank 0.95*(100-1) = 94.05 -> between samples 94 (94.5) and 95 (95.5).
+  EXPECT_NEAR(h.quantile_interpolated(0.95), 94.55, 1e-9);
+  // rank 0.999*99 = 98.901 -> 98.5 + 0.901 * (99.5 - 98.5).
+  EXPECT_NEAR(h.quantile_interpolated(0.999), 99.401, 1e-9);
+}
+
+TEST(Histogram, InterpolatedQuantileBounds) {
+  histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  // q=0 is the smallest sample, q=1 the largest (no extrapolation past
+  // the data).
+  EXPECT_NEAR(h.quantile_interpolated(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(h.quantile_interpolated(1.0), 9.5, 1e-9);
+}
+
+TEST(Histogram, InterpolatedQuantileWithinBinSpacing) {
+  // Four samples in one bin sit at 1/8, 3/8, 5/8, 7/8 of the bin width.
+  histogram h{0.0, 8.0, 1};
+  for (int i = 0; i < 4; ++i) h.add(1.0);
+  EXPECT_NEAR(h.quantile_interpolated(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(h.quantile_interpolated(1.0), 7.0, 1e-9);
+  // rank 0.5*3 = 1.5 -> midway between samples 1 (3.0) and 2 (5.0).
+  EXPECT_NEAR(h.quantile_interpolated(0.5), 4.0, 1e-9);
+}
+
+TEST(Histogram, InterpolatedQuantileMonotonic) {
+  histogram h{0.0, 60.0, 240};
+  for (int i = 0; i < 1000; ++i) h.add((i * 37) % 60 + 0.25);
+  double prev = h.quantile_interpolated(0.0);
+  for (int step = 1; step <= 20; ++step) {
+    const double q = static_cast<double>(step) / 20.0;
+    const double v = h.quantile_interpolated(q);
+    EXPECT_GE(v, prev - 1e-12) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(Histogram, InterpolatedQuantileSingleSample) {
+  histogram h{0.0, 10.0, 10};
+  h.add(3.0);
+  // The lone sample sits at the middle of its bin.
+  EXPECT_NEAR(h.quantile_interpolated(0.0), 3.5, 1e-9);
+  EXPECT_NEAR(h.quantile_interpolated(0.5), 3.5, 1e-9);
+  EXPECT_NEAR(h.quantile_interpolated(1.0), 3.5, 1e-9);
+}
+
+TEST(Histogram, InterpolatedQuantileErrors) {
+  histogram h{0.0, 1.0, 2};
+  EXPECT_THROW(h.quantile_interpolated(0.5), std::logic_error);
+  h.add(0.5);
+  EXPECT_THROW(h.quantile_interpolated(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile_interpolated(1.5), std::invalid_argument);
+}
+
 TEST(Histogram, ConstructorValidation) {
   EXPECT_THROW(histogram(0.0, 1.0, 0), std::invalid_argument);
   EXPECT_THROW(histogram(1.0, 1.0, 4), std::invalid_argument);
@@ -103,6 +165,27 @@ TEST(LogHistogram, SaturatesAtLastBucket) {
   log_histogram h{4};
   h.add(1e12);
   EXPECT_EQ(h.count_in_bucket(3), 1u);
+}
+
+TEST(LogHistogram, MergeCombinesBuckets) {
+  log_histogram a;
+  log_histogram b;
+  a.add(0.5);
+  a.add(3.0);
+  b.add(3.5);
+  b.add(1000.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count_in_bucket(0), 1u);
+  EXPECT_EQ(a.count_in_bucket(2), 2u);
+  EXPECT_EQ(a.count_in_bucket(10), 1u);
+  EXPECT_EQ(b.total(), 2u);  // b untouched
+}
+
+TEST(LogHistogram, MergeRejectsMismatchedBucketCounts) {
+  log_histogram a{8};
+  log_histogram b{16};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
 TEST(LogHistogram, ToStringListsNonEmpty) {
