@@ -63,6 +63,18 @@ namespace {
 
 using namespace mca;
 
+/// True when the build carries -fsanitize instrumentation (the CMake
+/// MCA_SANITIZE option defines this).  Sanitizers slow and skew wall
+/// clocks wildly (ASan ~2x, TSan ~10x, unevenly across phases), so every
+/// wall-clock *ratio* gate downgrades to advisory under instrumentation;
+/// fingerprint, determinism, and plan-equality gates stay hard — those
+/// are exactly what a sanitizer leg is there to re-verify.
+#ifdef MCA_SANITIZE_ENABLED
+constexpr bool kSanitizedBuild = true;
+#else
+constexpr bool kSanitizedBuild = false;
+#endif
+
 /// PR-4's measured full-config throughput (500k users / 16 shards, one
 /// core) — the advisory regression reference.
 constexpr double kBaselineUsersPerSecPr4 = 10'754.0;
@@ -554,9 +566,15 @@ int main(int argc, char** argv) {
       "jobs=%zu:   counters on %6.2f s   off %6.2f s   overhead %.2f%%\n",
       runs.back().jobs, obs.counters_on_seconds, obs.counters_off_seconds,
       (obs.overhead_ratio - 1.0) * 100.0);
-  checks.expect(obs.overhead_ratio <= 1.05,
-                "counters-on wall time within 5% of counters-off",
-                bench::ratio_detail("on/off", obs.overhead_ratio));
+  if (kSanitizedBuild) {
+    std::printf(
+        "sanitized build: counters-overhead gate advisory (ratio %.3f)\n",
+        obs.overhead_ratio);
+  } else {
+    checks.expect(obs.overhead_ratio <= 1.05,
+                  "counters-on wall time within 5% of counters-off",
+                  bench::ratio_detail("on/off", obs.overhead_ratio));
+  }
   checks.expect(reference.observability.get(obs::counter::sdn_requests) ==
                     reference.aggregate.requests,
                 "sdn_requests counter matches the merged request total",
@@ -693,7 +711,7 @@ int main(int argc, char** argv) {
                   "batched and per-slot plans cost the same optimum",
                   bench::ratio_detail("total cost delta",
                                       batched_cost - independent_cost));
-    if (!smoke) {
+    if (!smoke && !kSanitizedBuild) {
       checks.expect(batched_seconds < independent_seconds,
                     "batched multi-slot path cheaper than per-slot calls",
                     bench::ratio_detail("speedup",
@@ -753,7 +771,7 @@ int main(int argc, char** argv) {
       users_per_sec, kBaselineUsersPerSecPr4, ratio_pr4,
       kBaselineUsersPerSecPr5, ratio_pr5,
       ratio_pr4 < 1.0 ? "  ** REGRESSION? **" : "");
-  if (!smoke && users == 500'000 && shards == 16) {
+  if (!smoke && !kSanitizedBuild && users == 500'000 && shards == 16) {
     checks.expect(ratio_pr4 >= 3.0,
                   "full-config throughput at least 3x the PR-4 baseline",
                   bench::ratio_detail("ratio", ratio_pr4));

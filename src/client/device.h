@@ -87,6 +87,9 @@ class device_slab {
   /// `mix` is cycled over users, like system_config::device_mix.
   device_slab(std::size_t user_count, std::span<const device_class> mix);
 
+  // Per-request SoA accessors: one array read/write per decision or
+  // accounting call, no indirection — lint-enforced as a hot-path region.
+  // mca:hot-path-begin(client-soa-state)
   std::size_t size() const noexcept { return battery_.size(); }
   double battery(user_id u) const noexcept { return battery_[u]; }
   device_class cls(user_id u) const noexcept {
@@ -109,6 +112,7 @@ class device_slab {
         battery_[u] - work_units * profiles_[class_[u]].cpu_drain_per_wu;
     battery_[u] = drained > 0.0 ? drained : 0.0;
   }
+  // mca:hot-path-end
 
  private:
   std::vector<double> battery_;

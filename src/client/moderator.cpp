@@ -119,6 +119,10 @@ moderator::moderator(std::unique_ptr<promotion_policy> policy,
   }
 }
 
+// Per-request group lookup and per-response promotion decision; the dense
+// user_state_map keeps both at flat-array cost (amortized member-vector
+// growth only, no hashing or node allocation).
+// mca:hot-path-begin(moderator-promotion)
 group_id moderator::group_of(user_id user) { return groups_[user]; }
 
 group_id moderator::record_response(user_id user, util::time_ms response_ms,
@@ -138,5 +142,6 @@ group_id moderator::record_response(user_id user, util::time_ms response_ms,
   groups_[user] = clamped;
   return clamped;
 }
+// mca:hot-path-end
 
 }  // namespace mca::client

@@ -59,6 +59,10 @@ std::size_t backend_pool::retire(group_id group, const instance_type& type,
   return marked;
 }
 
+// Per-request routing plus the draining sweep's O(1) fast path: both run
+// once per offloaded request, between the SDN dispatch stage and
+// instance::submit, so they live in a lint-enforced hot-path region.
+// mca:hot-path-begin(backend-route)
 route_status backend_pool::route(group_id group, double work_units,
                                  instance::completion_fn on_complete) {
   sweep();
@@ -100,6 +104,7 @@ void backend_pool::sweep() {
     members.erase(reap, members.end());
   }
 }
+// mca:hot-path-end
 
 std::size_t backend_pool::instance_count(group_id group) const noexcept {
   if (group >= groups_.size()) return 0;

@@ -30,6 +30,12 @@ double billing_meter::total_cost(util::time_ms now) const {
   for (const auto& [rec, end] : closed_) {
     cost += rec.cost_per_hour * billed_hours(rec.start, end);
   }
+  // mca-lint: allow(det-unordered-iter) cost_usd feeds the golden fleet
+  // fingerprint, which pins this exact FP accumulation order: open_'s
+  // iteration order is fixed for a given stdlib + insertion sequence, so
+  // identical runs sum identically, and reordering the sweep (e.g. to a
+  // launch-order vector) would re-golden the fingerprint for no
+  // correctness gain.  open_ holds only the instances still running.
   for (const auto& [id, rec] : open_) {
     cost += rec.cost_per_hour * billed_hours(rec.start, now);
   }
@@ -44,6 +50,8 @@ double billing_meter::cost_for_type(const std::string& type_name,
       cost += rec.cost_per_hour * billed_hours(rec.start, end);
     }
   }
+  // mca-lint: allow(det-unordered-iter) same pinned-order argument as
+  // total_cost above: per-binary-reproducible sweep over the open set.
   for (const auto& [id, rec] : open_) {
     if (rec.type_name == type_name) {
       cost += rec.cost_per_hour * billed_hours(rec.start, now);
@@ -55,6 +63,8 @@ double billing_meter::cost_for_type(const std::string& type_name,
 double billing_meter::total_instance_hours(util::time_ms now) const {
   double hours = 0.0;
   for (const auto& [rec, end] : closed_) hours += billed_hours(rec.start, end);
+  // mca-lint: allow(det-unordered-iter) same pinned-order argument as
+  // total_cost above: per-binary-reproducible sweep over the open set.
   for (const auto& [id, rec] : open_) hours += billed_hours(rec.start, now);
   return hours;
 }

@@ -36,6 +36,13 @@ instance::~instance() {
   if (pending_completion_.valid()) sim_.cancel(pending_completion_);
 }
 
+// The PS event math: advance / wake planning / batched completion drain /
+// submit all run per request (or per completion event), so they form one
+// lint-enforced hot-path region.  The job slab and finish-V heap are
+// member vectors whose growth amortizes to zero in steady state — the
+// counting-allocator test holds them to that at runtime, the region
+// rules hold the code to it statically.
+// mca:hot-path-begin(ps-event-math)
 double instance::steal(std::size_t n) const noexcept {
   if (type_.steal_max <= 0.0 || n == 0) return 0.0;
   // Contention-dependent steal: negligible solo, approaching steal_max as
@@ -175,6 +182,8 @@ void instance::on_completion_event() {
 }
 
 bool instance::submit(double work_units, completion_fn on_complete) {
+  // mca-lint: allow(hot-throw) cold caller-bug validation: fires once per
+  // programming error, never on the steady-state request path.
   if (work_units < 0.0) throw std::invalid_argument{"submit: negative work"};
   if (draining_ || heap_.size() >= type_.max_concurrent()) {
     ++dropped_;
@@ -225,6 +234,7 @@ bool instance::submit(double work_units, completion_fn on_complete) {
   if (need_arm) arm_no_later_than(next_wake_delay());
   return true;
 }
+// mca:hot-path-end
 
 double instance::mean_utilization() const noexcept {
   // Include the interval since the last event so callers can sample at any

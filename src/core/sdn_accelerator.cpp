@@ -34,6 +34,15 @@ double sdn_accelerator::hour_of_day() const noexcept {
   return std::fmod(util::to_hours(sim_.now()), 24.0);
 }
 
+// The per-request pipeline: every stage below runs once per offloaded
+// request, so the whole stretch is a lint-enforced hot-path region — the
+// static twin of test_hot_path_alloc's counting-allocator gate, covering
+// the stages even on inputs the fixed-seed run never reaches.  Slab
+// growth (pool_.emplace_back) and the config-gated routing-sample
+// retention are member-vector operations, which the region rules
+// deliberately permit: they amortize to zero in steady state and the
+// runtime gate holds them to that.
+// mca:hot-path-begin(sdn-request-pipeline)
 std::uint32_t sdn_accelerator::acquire_slot() {
   if (free_head_ != kNoFreeSlot) {
     const std::uint32_t slot = free_head_;
@@ -209,6 +218,7 @@ void sdn_accelerator::deliver(std::uint32_t slot) {
   }
   release_slot(slot);
 }
+// mca:hot-path-end
 
 namespace {
 const util::running_stats kEmptyStats{};

@@ -147,6 +147,11 @@ offloading_system::offloading_system(system_config config,
   predictor_.set_history(config_.seed_history);
 }
 
+// Request ingress and response egress run once per simulated request —
+// the two busiest call sites in a monolithic run.  Member-vector growth
+// (the raw series under record_request_series) is amortized and allowed;
+// locals must not allocate.
+// mca:hot-path-begin(response-digest)
 void offloading_system::handle_request(
     const workload::offload_request& request) {
   const group_id group = moderator_->group_of(request.user);
@@ -200,6 +205,7 @@ void offloading_system::on_response(const workload::offload_request& request,
     metrics_.requests.push_back(metric);
   }
 }
+// mca:hot-path-end
 
 void offloading_system::on_trace(util::time_ms created_at, user_id user,
                                  group_id group) {

@@ -1,5 +1,9 @@
 // Wall-clock measurement helpers shared by the perf harnesses
 // (micro_ops, fig_suite) — previously a private copy in each bench.
+//
+// mca-lint: allow-file(det-wallclock) bench timing harness: wall time IS
+// the measurement here; nothing in this header feeds a digest or
+// fingerprint (the determinism gates compare digests, not wall times).
 #pragma once
 
 #include <chrono>

@@ -326,6 +326,8 @@ scenario_result run_scenario(const scenario_spec& spec,
   // individually: the mistake is in the input, not in any one seed.
   validate(spec, task_pool);
   const std::size_t groups = group_count_of(spec);
+  // mca-lint: allow(det-wallclock) serial-vs-parallel wall timing for the
+  // runner's speedup report; digests and fingerprints never read it.
   const auto start = std::chrono::steady_clock::now();
   auto outcome = run_replications(
       pool, plan, [&](const replication_context& context) {
@@ -337,6 +339,7 @@ scenario_result run_scenario(const scenario_spec& spec,
                                 /*record_raw=*/false),
             groups, context.seed);
       });
+  // mca-lint: allow(det-wallclock) see above: advisory wall time only.
   const auto stop = std::chrono::steady_clock::now();
 
   scenario_result result;

@@ -57,6 +57,13 @@ void shard::begin() {
   next_boundary_ = spec_.slot_length;
 }
 
+// The shard advance drives every per-request event in its slice of the
+// fleet between two slot boundaries — K shards run this concurrently on
+// the pool, so anything slow or allocating here multiplies by the whole
+// population.  The per-boundary digest assembly below is slot-rate (4-ish
+// per run), not request-rate, but it shares the region: it runs with the
+// barrier held, where a stall delays every other shard.
+// mca:hot-path-begin(fleet-shard-advance)
 demand_digest shard::advance_to_slot(std::size_t slot_index) {
   system_->advance_to(next_boundary_);
   next_boundary_ += spec_.slot_length;
@@ -85,6 +92,7 @@ demand_digest shard::advance_to_slot(std::size_t slot_index) {
   digest.successes = system_->metrics().digest.succeeded;
   return digest;
 }
+// mca:hot-path-end
 
 void shard::apply_quota(const core::allocation_plan& quota) {
   system_->apply_external_plan(quota);

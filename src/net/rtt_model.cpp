@@ -40,7 +40,6 @@ double mixture_mean(const rtt_model_params& p) {
 
 double mixture_stddev(const rtt_model_params& p) {
   const double s2 = p.log_sigma * p.log_sigma;
-  const double body_mean = std::exp(p.log_mu + s2 / 2.0);
   const double body_second_moment = std::exp(2.0 * p.log_mu + 2.0 * s2);
   const double spread = p.spike_max_ms - p.spike_min_ms;
   const double tail_mean = (p.spike_min_ms + p.spike_max_ms) / 2.0;

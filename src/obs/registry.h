@@ -130,6 +130,10 @@ class registry {
   void resize_groups(std::size_t group_count);
   std::size_t group_count() const noexcept { return slo_.size(); }
 
+  // Recording sites: called from inside every other hot-path region
+  // (request pipeline, PS event math, shard advance), so they are one
+  // themselves — a null check plus an array increment, nothing else.
+  // mca:hot-path-begin(obs-recording)
   void add(counter c, std::uint64_t n = 1) noexcept {
     counters_[static_cast<std::size_t>(c)] += n;
   }
@@ -161,6 +165,7 @@ class registry {
   void observe_response(group_id group, double response_ms) noexcept {
     if (group < slo_.size()) slo_[group].add(response_ms);
   }
+  // mca:hot-path-end
   const util::histogram& group_slo(std::size_t group) const {
     return slo_.at(group);
   }

@@ -53,6 +53,8 @@ span_ring::span_ring(std::size_t capacity) : slots_(capacity) {
   if (capacity == 0) throw std::invalid_argument{"span_ring: zero capacity"};
 }
 
+// mca-lint: allow(det-wallclock) tracer epoch: wall timestamps live only
+// in the trace's wall lane and never reach a digest or fingerprint.
 tracer::tracer(options opts) : epoch_{std::chrono::steady_clock::now()} {
   if (opts.rings == 0) throw std::invalid_argument{"tracer: zero rings"};
   rings_.reserve(opts.rings);

@@ -96,9 +96,10 @@ class tracer {
 
   /// Wall microseconds since tracer construction (span timestamps).
   double now_us() const noexcept {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - epoch_)
-        .count();
+    // mca-lint: allow(det-wallclock) wall lane of the span trace (pid 1);
+    // span timestamps are excluded from every fingerprint by design.
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(now - epoch_).count();
   }
 
   std::uint64_t total_spans() const noexcept;
@@ -115,6 +116,7 @@ class tracer {
 
  private:
   std::vector<span_ring> rings_;
+  // mca-lint: allow(det-wallclock) wall epoch for the trace's wall lane.
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -15,15 +15,27 @@ histogram::histogram(double lo, double hi, std::size_t bins)
   if (hi <= lo) throw std::invalid_argument{"histogram: hi <= lo"};
 }
 
+// One bin increment per successful response (digest latency + per-group
+// SLO histograms) and per series observation (log buckets).
+// mca:hot-path-begin(histogram-add)
 void histogram::add(double x) noexcept {
   const double offset = (x - lo_) / width_;
   std::size_t bin = 0;
-  if (offset > 0) {
-    bin = std::min(static_cast<std::size_t>(offset), counts_.size() - 1);
+  // Saturate in double space BEFORE the integer cast: casting a double
+  // beyond the destination range (a far-out-of-range sample, or +inf from
+  // an overflowing (x - lo) / width) is undefined behavior, not a big
+  // number.  `>=` also routes +inf to the top bin; NaN fails both
+  // comparisons and lands in bin 0 like any non-positive offset.
+  const auto top = static_cast<double>(counts_.size() - 1);
+  if (offset >= top) {
+    bin = counts_.size() - 1;
+  } else if (offset > 0) {
+    bin = static_cast<std::size_t>(offset);
   }
   ++counts_[bin];
   ++total_;
 }
+// mca:hot-path-end
 
 void histogram::merge(const histogram& other) {
   if (lo_ != other.lo_ || width_ != other.width_ ||
@@ -43,7 +55,11 @@ double histogram::bin_lower(std::size_t bin) const {
 
 double histogram::quantile(double q) const {
   if (total_ == 0) throw std::logic_error{"histogram: quantile of empty"};
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"histogram: q outside [0,1]"};
+  // Negated-range form so NaN (which fails every comparison) is rejected
+  // here instead of reaching the rank cast below, which would be UB.
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument{"histogram: q outside [0,1]"};
+  }
   const auto target = static_cast<std::size_t>(
       q * static_cast<double>(total_ - 1));
   std::size_t seen = 0;
@@ -56,7 +72,9 @@ double histogram::quantile(double q) const {
 
 double histogram::quantile_interpolated(double q) const {
   if (total_ == 0) throw std::logic_error{"histogram: quantile of empty"};
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"histogram: q outside [0,1]"};
+  if (!(q >= 0.0 && q <= 1.0)) {  // negated form: NaN rejected, see quantile()
+    throw std::invalid_argument{"histogram: q outside [0,1]"};
+  }
   // Value of the k-th sample (0-based, ascending): the c samples in a bin
   // sit at evenly spaced offsets (j + 0.5)/c of the bin width, so within-
   // bin order is resolved uniformly.  One pass serves both ranks because
@@ -96,15 +114,22 @@ void log_histogram::merge(const log_histogram& other) {
 log_histogram::log_histogram(std::size_t max_buckets)
     : counts_(std::max<std::size_t>(max_buckets, 2), 0) {}
 
+// mca:hot-path-begin(histogram-add)
 void log_histogram::add(double x) noexcept {
   std::size_t bucket = 0;
   if (x >= 1.0) {
-    bucket = std::min(static_cast<std::size_t>(std::log2(x)) + 1,
+    // Clamp in double space first: log2(+inf) is +inf, and casting that
+    // (or any exponent past the bucket range) to size_t is UB.  Finite
+    // doubles have exponents < 1100, comfortably inside the clamp.
+    const double exponent =
+        std::min(std::log2(x), static_cast<double>(counts_.size() - 1));
+    bucket = std::min(static_cast<std::size_t>(exponent) + 1,
                       counts_.size() - 1);
   }
   ++counts_[bucket];
   ++total_;
 }
+// mca:hot-path-end
 
 double log_histogram::bucket_lower(std::size_t b) const noexcept {
   if (b == 0) return 0.0;

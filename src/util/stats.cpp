@@ -6,6 +6,9 @@
 
 namespace mca::util {
 
+// One Welford update per successful response (digest mean/variance), one
+// merge per group per shard fold — both pure register arithmetic.
+// mca:hot-path-begin(welford-accumulate)
 void running_stats::add(double x) noexcept {
   if (count_ == 0) {
     min_ = x;
@@ -36,6 +39,7 @@ void running_stats::merge(const running_stats& other) noexcept {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }
+// mca:hot-path-end
 
 void merge_each(std::span<running_stats> dst,
                 std::span<const running_stats> src) {

@@ -105,8 +105,8 @@ std::vector<fit_case> all_operator_targets() {
 
 INSTANTIATE_TEST_SUITE_P(PaperTargets, FitOperators,
                          ::testing::ValuesIn(all_operator_targets()),
-                         [](const auto& info) {
-                           std::string name = info.param.label;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param.label;
                            for (auto& c : name) {
                              if (c == '-') c = '_';
                            }

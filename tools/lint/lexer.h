@@ -1,0 +1,198 @@
+// Minimal C++ lexer for mca_lint: splits a translation unit into
+// identifier/number/string/punctuation tokens and a separate comment
+// stream, which is all the project-invariant rules need.  Deliberately not
+// a real C++ front end — no preprocessing, no template parsing — so it
+// stays dependency-free (no libclang) and fast enough to walk the whole
+// tree on every ctest run.  The rules that build on it are written to
+// tolerate its approximations (token-sequence matching, not semantics).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mca::lint {
+
+enum class token_kind {
+  identifier,
+  number,
+  string_literal,
+  char_literal,
+  punct,  ///< one character of operator/punctuation
+};
+
+struct token {
+  token_kind kind = token_kind::punct;
+  std::string text;      ///< literal spelling (quotes stripped for strings)
+  int line = 0;          ///< 1-based
+  std::size_t offset = 0;  ///< byte offset of the first character
+};
+
+/// A // or /* */ comment.  Directives (hot-path markers, allow
+/// suppressions) live here; the token stream never sees them.
+struct comment {
+  std::string text;  ///< body without the comment markers, trimmed
+  int line = 0;      ///< line the comment starts on
+  bool own_line = false;  ///< nothing but whitespace precedes it
+};
+
+struct lex_result {
+  std::vector<token> tokens;
+  std::vector<comment> comments;
+  int line_count = 0;
+};
+
+/// Tokenizes `source`.  Unterminated literals are closed at end of file
+/// rather than reported — the compiler owns syntax errors, the linter
+/// only needs a best-effort stream.
+inline lex_result lex(std::string_view source) {
+  lex_result out;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  int line = 1;
+  bool line_has_code = false;
+
+  auto push = [&](token_kind kind, std::size_t begin, std::size_t end) {
+    token t;
+    t.kind = kind;
+    t.text.assign(source.substr(begin, end - begin));
+    t.line = line;
+    t.offset = begin;
+    out.tokens.push_back(std::move(t));
+    line_has_code = true;
+  };
+  auto is_ident_start = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  auto is_ident = [&](char c) {
+    return is_ident_start(c) || (c >= '0' && c <= '9');
+  };
+  auto trim = [](std::string s) {
+    const auto b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos) return std::string{};
+    const auto e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      line_has_code = false;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const std::size_t begin = i + 2;
+      std::size_t end = begin;
+      while (end < n && source[end] != '\n') ++end;
+      comment cm;
+      cm.text = trim(std::string{source.substr(begin, end - begin)});
+      cm.line = line;
+      cm.own_line = !line_has_code;
+      out.comments.push_back(std::move(cm));
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int start_line = line;
+      const bool own = !line_has_code;
+      std::size_t end = i + 2;
+      while (end + 1 < n && !(source[end] == '*' && source[end + 1] == '/')) {
+        if (source[end] == '\n') ++line;
+        ++end;
+      }
+      comment cm;
+      cm.text = trim(std::string{source.substr(i + 2, end - (i + 2))});
+      cm.line = start_line;
+      cm.own_line = own;
+      out.comments.push_back(std::move(cm));
+      i = (end + 1 < n) ? end + 2 : n;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      std::size_t d = i + 2;
+      while (d < n && source[d] != '(') ++d;
+      const std::string delim{source.substr(i + 2, d - (i + 2))};
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t body = d + 1;
+      const std::size_t close = source.find(closer, body);
+      const std::size_t end = close == std::string_view::npos
+                                  ? n
+                                  : close + closer.size();
+      const int start_line = line;
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (source[k] == '\n') ++line;
+      }
+      token t;
+      t.kind = token_kind::string_literal;
+      t.text.assign(source.substr(body, (close == std::string_view::npos
+                                             ? n
+                                             : close) -
+                                            body));
+      t.line = start_line;
+      t.offset = i;
+      out.tokens.push_back(std::move(t));
+      line_has_code = true;
+      i = end;
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t end = i + 1;
+      while (end < n && source[end] != quote) {
+        if (source[end] == '\\' && end + 1 < n) ++end;
+        if (source[end] == '\n') ++line;
+        ++end;
+      }
+      token t;
+      t.kind = quote == '"' ? token_kind::string_literal
+                            : token_kind::char_literal;
+      t.text.assign(source.substr(i + 1, end - (i + 1)));
+      t.line = line;
+      t.offset = i;
+      out.tokens.push_back(std::move(t));
+      line_has_code = true;
+      i = (end < n) ? end + 1 : n;
+      continue;
+    }
+    // Identifiers / keywords.
+    if (is_ident_start(c)) {
+      std::size_t end = i + 1;
+      while (end < n && is_ident(source[end])) ++end;
+      push(token_kind::identifier, i, end);
+      i = end;
+      continue;
+    }
+    // Numbers (loose: digits plus any trailing alnum/./' chunk, enough to
+    // skip 0x1p-3 and 1'000'000 without splitting them).
+    if (c >= '0' && c <= '9') {
+      std::size_t end = i + 1;
+      while (end < n &&
+             (is_ident(source[end]) || source[end] == '.' ||
+              source[end] == '\'' ||
+              ((source[end] == '+' || source[end] == '-') &&
+               (source[end - 1] == 'e' || source[end - 1] == 'E' ||
+                source[end - 1] == 'p' || source[end - 1] == 'P')))) {
+        ++end;
+      }
+      push(token_kind::number, i, end);
+      i = end;
+      continue;
+    }
+    push(token_kind::punct, i, i + 1);
+    ++i;
+  }
+  out.line_count = line;
+  return out;
+}
+
+}  // namespace mca::lint

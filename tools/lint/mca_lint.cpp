@@ -1,0 +1,929 @@
+// mca_lint — project-invariant static analysis for the mca tree.
+//
+// The repo's correctness story is mostly runtime gates (golden
+// fingerprints, the counting-allocator hot-path test, sanitizer legs).
+// This tool is their static twin: it walks src/, bench/, tests/ and
+// tools/ and enforces the invariants those gates rely on *everywhere*,
+// not just on the code paths a fixed-seed run happens to execute.
+//
+// Rule families (rule ids in brackets):
+//
+//  hot-path hygiene — inside regions bracketed by
+//      // mca:hot-path-begin(<tag>)  ...  // mca:hot-path-end
+//    ban heap allocation [hot-alloc], node-based containers [hot-alloc],
+//    std::function construction [hot-function], unreserved push_back on
+//    local vectors [hot-vector-growth], mutexes/locks [hot-lock], throw
+//    [hot-throw] and stdio/iostream I/O [hot-io].  Region markers must
+//    balance [hot-region].
+//
+//  determinism (src/ only) — ban ambient randomness [det-random]
+//    (rand, srand, std::random_device), clock reads [det-wallclock]
+//    (system_clock/steady_clock/..., time(), gettimeofday, ...), and
+//    range-for iteration over unordered containers [det-unordered-iter]
+//    anywhere in the library: everything under src/ can feed a digest or
+//    fingerprint.  The few legitimate wall-clock sites (bench timing,
+//    tracer wall lanes) carry explicit allow() suppressions with reasons.
+//
+//  header hygiene — every header needs #pragma once or an include guard
+//    [hdr-guard] and must not contain using-namespace [hdr-using-namespace].
+//    (Self-containment is enforced by the generated one-TU-per-header
+//    build, see MCA_HEADER_SELFCHECK in CMakeLists.txt.)
+//
+//  obs discipline — the counter/gauge/series enums in obs/registry.h are
+//    cross-referenced against the rest of the tree: every enum value must
+//    be recorded or read somewhere outside the registry itself
+//    [obs-dead-counter], every use must name a registered value
+//    [obs-unknown-counter], and every value needs an entry in the
+//    registry.cpp name table [obs-unnamed-counter].
+//
+// Suppressions:  // mca-lint: allow(<rule>[,<rule>...]) <reason>
+// suppresses matching violations on its own line (or, when the comment
+// stands alone, on the following line).  // mca-lint: allow-file(<rule>)
+// <reason> suppresses for the whole file.  The reason is mandatory — an
+// allow without one is itself a violation [bad-suppression].
+//
+// Output: one "file:line: rule: message" per violation; exit 0 iff clean.
+// --self-test runs the rules against embedded known-bad snippets so the
+// lint's own behavior is gated by ctest like everything else.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace mca::lint {
+namespace {
+
+struct violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct allow_directive {
+  int line = 0;
+  bool own_line = false;
+  bool whole_file = false;
+  std::vector<std::string> rules;
+  bool has_reason = false;
+};
+
+struct hot_region {
+  int begin = 0;
+  int end = 0;  ///< 0 while unclosed
+  std::string tag;
+};
+
+struct source_file {
+  std::string display;  ///< path relative to the scan root
+  bool is_header = false;
+  bool in_src = false;  ///< under src/ → determinism rules apply
+  lex_result lex;
+  std::vector<allow_directive> allows;
+  std::vector<hot_region> regions;
+};
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> rules{
+      "hot-alloc",        "hot-function",      "hot-vector-growth",
+      "hot-lock",         "hot-throw",         "hot-io",
+      "hot-region",       "det-random",        "det-wallclock",
+      "det-unordered-iter", "hdr-guard",       "hdr-using-namespace",
+      "obs-dead-counter", "obs-unknown-counter", "obs-unnamed-counter",
+      "bad-suppression"};
+  return rules;
+}
+
+// ---- directive parsing ---------------------------------------------------
+
+/// Splits "a, b" into trimmed names.
+std::vector<std::string> split_rule_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ' && c != '\t') {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+void parse_directives(source_file& f, std::vector<violation>& out) {
+  std::vector<hot_region> open;
+  for (const comment& cm : f.lex.comments) {
+    const std::string& text = cm.text;
+    if (text.rfind("mca:hot-path-begin(", 0) == 0) {
+      const auto close = text.find(')');
+      const std::string tag =
+          close == std::string::npos
+              ? std::string{}
+              : text.substr(19, close - 19);
+      if (tag.empty()) {
+        out.push_back({f.display, cm.line, "hot-region",
+                       "hot-path-begin needs a (tag)"});
+      }
+      open.push_back({cm.line, 0, tag});
+      continue;
+    }
+    if (text.rfind("mca:hot-path-end", 0) == 0) {
+      if (open.empty()) {
+        out.push_back({f.display, cm.line, "hot-region",
+                       "hot-path-end without matching begin"});
+        continue;
+      }
+      open.back().end = cm.line;
+      f.regions.push_back(open.back());
+      open.pop_back();
+      continue;
+    }
+    if (text.rfind("mca-lint:", 0) == 0) {
+      std::string rest = text.substr(9);
+      const auto first = rest.find_first_not_of(" \t");
+      rest = first == std::string::npos ? std::string{} : rest.substr(first);
+      const bool whole_file = rest.rfind("allow-file(", 0) == 0;
+      const bool one_line = rest.rfind("allow(", 0) == 0;
+      if (!whole_file && !one_line) {
+        out.push_back({f.display, cm.line, "bad-suppression",
+                       "unrecognized mca-lint directive: " + rest});
+        continue;
+      }
+      const auto open_paren = rest.find('(');
+      const auto close_paren = rest.find(')', open_paren);
+      if (close_paren == std::string::npos) {
+        out.push_back({f.display, cm.line, "bad-suppression",
+                       "allow() missing closing parenthesis"});
+        continue;
+      }
+      allow_directive d;
+      d.line = cm.line;
+      d.own_line = cm.own_line;
+      d.whole_file = whole_file;
+      d.rules = split_rule_list(
+          rest.substr(open_paren + 1, close_paren - open_paren - 1));
+      std::string reason = rest.substr(close_paren + 1);
+      const auto r = reason.find_first_not_of(" \t");
+      d.has_reason = r != std::string::npos;
+      if (d.rules.empty()) {
+        out.push_back({f.display, cm.line, "bad-suppression",
+                       "allow() names no rules"});
+      }
+      for (const std::string& rule : d.rules) {
+        if (known_rules().count(rule) == 0) {
+          out.push_back({f.display, cm.line, "bad-suppression",
+                         "allow() names unknown rule '" + rule + "'"});
+        }
+      }
+      if (!d.has_reason) {
+        out.push_back({f.display, cm.line, "bad-suppression",
+                       "allow() needs a written reason after the ')'"});
+      }
+      f.allows.push_back(std::move(d));
+      continue;
+    }
+  }
+  for (const hot_region& r : open) {
+    out.push_back({f.display, r.begin, "hot-region",
+                   "hot-path-begin(" + r.tag + ") never closed"});
+  }
+}
+
+// ---- token helpers -------------------------------------------------------
+
+bool is_ident(const token& t, const char* text) {
+  return t.kind == token_kind::identifier && t.text == text;
+}
+
+bool is_punct(const token& t, char c) {
+  return t.kind == token_kind::punct && t.text.size() == 1 && t.text[0] == c;
+}
+
+/// True when tokens i-3..i-1 spell `std::` (three tokens: std, :, :).
+bool std_qualified(const std::vector<token>& tk, std::size_t i) {
+  return i >= 3 && is_punct(tk[i - 1], ':') && is_punct(tk[i - 2], ':') &&
+         is_ident(tk[i - 3], "std");
+}
+
+/// True when token i is part of a `foo::bar` chain on its right
+/// (identifier followed by ::) — used to skip e.g. `map::iterator` false
+/// positives where `map` is a nested name we already flagged.
+bool followed_by_scope(const std::vector<token>& tk, std::size_t i) {
+  return i + 2 < tk.size() && is_punct(tk[i + 1], ':') &&
+         is_punct(tk[i + 2], ':');
+}
+
+// ---- hot-path rules ------------------------------------------------------
+
+const std::set<std::string>& node_containers() {
+  static const std::set<std::string> names{
+      "map",         "multimap",      "set",
+      "multiset",    "list",          "forward_list",
+      "deque",       "unordered_map", "unordered_set",
+      "unordered_multimap", "unordered_multiset"};
+  return names;
+}
+
+const std::set<std::string>& alloc_calls() {
+  static const std::set<std::string> names{
+      "malloc", "calloc", "realloc", "strdup", "make_unique", "make_shared"};
+  return names;
+}
+
+const std::set<std::string>& lock_names() {
+  static const std::set<std::string> names{
+      "mutex",       "recursive_mutex", "shared_mutex", "timed_mutex",
+      "lock_guard",  "unique_lock",     "scoped_lock",  "shared_lock",
+      "condition_variable", "condition_variable_any"};
+  return names;
+}
+
+const std::set<std::string>& io_names() {
+  static const std::set<std::string> names{
+      "printf", "fprintf", "puts",  "fputs",    "fwrite",  "fread",
+      "fopen",  "fclose",  "scanf", "fscanf",   "getchar", "getline",
+      "cout",   "cerr",    "clog",  "ofstream", "ifstream", "fstream"};
+  return names;
+}
+
+void check_hot_regions(const source_file& f, std::vector<violation>& out) {
+  auto region_of = [&](int line) -> const hot_region* {
+    for (const hot_region& r : f.regions) {
+      if (line >= r.begin && (r.end == 0 || line <= r.end)) return &r;
+    }
+    return nullptr;
+  };
+  const std::vector<token>& tk = f.lex.tokens;
+  // Local-vector tracking for hot-vector-growth: names declared as
+  // std::vector inside a hot region, minus those that called reserve().
+  std::set<std::string> local_vectors;
+  std::set<std::string> reserved;
+  const hot_region* prev_region = nullptr;
+
+  for (std::size_t i = 0; i < tk.size(); ++i) {
+    const token& t = tk[i];
+    const hot_region* region = region_of(t.line);
+    if (region != prev_region) {
+      local_vectors.clear();
+      reserved.clear();
+      prev_region = region;
+    }
+    if (region == nullptr || t.kind != token_kind::identifier) continue;
+    const std::string in_tag = " in hot path '" + region->tag + "'";
+
+    if (t.text == "new") {
+      out.push_back({f.display, t.line, "hot-alloc",
+                     "operator new" + in_tag});
+    } else if (alloc_calls().count(t.text) > 0) {
+      out.push_back({f.display, t.line, "hot-alloc",
+                     t.text + "()" + in_tag});
+    } else if (node_containers().count(t.text) > 0 && std_qualified(tk, i)) {
+      out.push_back({f.display, t.line, "hot-alloc",
+                     "node-based container std::" + t.text + in_tag});
+    } else if (t.text == "function" && std_qualified(tk, i)) {
+      out.push_back({f.display, t.line, "hot-function",
+                     "std::function construction" + in_tag +
+                         " (use a concrete callable or SBO lambda)"});
+    } else if (lock_names().count(t.text) > 0 && std_qualified(tk, i)) {
+      out.push_back({f.display, t.line, "hot-lock",
+                     "std::" + t.text + in_tag});
+    } else if (t.text.rfind("pthread_mutex", 0) == 0 ||
+               t.text.rfind("pthread_cond", 0) == 0) {
+      out.push_back({f.display, t.line, "hot-lock", t.text + in_tag});
+    } else if (t.text == "throw") {
+      out.push_back({f.display, t.line, "hot-throw", "throw" + in_tag});
+    } else if (io_names().count(t.text) > 0 &&
+               !followed_by_scope(tk, i)) {
+      out.push_back({f.display, t.line, "hot-io", t.text + in_tag});
+    } else if (t.text == "vector" && std_qualified(tk, i) &&
+               i + 1 < tk.size() && is_punct(tk[i + 1], '<')) {
+      // std::vector< ... > name  → track `name` as an unreserved local.
+      std::size_t j = i + 1;
+      int depth = 0;
+      while (j < tk.size()) {
+        if (is_punct(tk[j], '<')) ++depth;
+        if (is_punct(tk[j], '>') && --depth == 0) break;
+        ++j;
+      }
+      if (j + 1 < tk.size() &&
+          tk[j + 1].kind == token_kind::identifier) {
+        local_vectors.insert(tk[j + 1].text);
+      }
+    } else if ((t.text == "push_back" || t.text == "emplace_back") &&
+               i >= 2 && is_punct(tk[i - 1], '.') &&
+               tk[i - 2].kind == token_kind::identifier &&
+               local_vectors.count(tk[i - 2].text) > 0 &&
+               reserved.count(tk[i - 2].text) == 0) {
+      out.push_back({f.display, t.line, "hot-vector-growth",
+                     tk[i - 2].text + "." + t.text +
+                         " on an unreserved local vector" + in_tag});
+    } else if (t.text == "reserve" && i >= 2 && is_punct(tk[i - 1], '.') &&
+               tk[i - 2].kind == token_kind::identifier) {
+      reserved.insert(tk[i - 2].text);
+    }
+  }
+}
+
+// ---- determinism rules ---------------------------------------------------
+
+const std::set<std::string>& wallclock_names() {
+  static const std::set<std::string> names{
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "localtime", "gmtime", "strftime"};
+  return names;
+}
+
+void check_determinism(const source_file& f, std::vector<violation>& out) {
+  const std::vector<token>& tk = f.lex.tokens;
+  for (std::size_t i = 0; i < tk.size(); ++i) {
+    const token& t = tk[i];
+    if (t.kind != token_kind::identifier) continue;
+    if (t.text == "rand" || t.text == "srand" ||
+        t.text == "random_device") {
+      out.push_back({f.display, t.line, "det-random",
+                     t.text + ": ambient randomness breaks replayable "
+                     "digests (use util::rng streams)"});
+    } else if (wallclock_names().count(t.text) > 0) {
+      out.push_back({f.display, t.line, "det-wallclock",
+                     t.text + ": clock reads may not feed digests or "
+                     "fingerprints (sim time only)"});
+    } else if (t.text == "time" && i + 1 < tk.size() &&
+               is_punct(tk[i + 1], '(') &&
+               (i == 0 || (tk[i - 1].kind != token_kind::identifier &&
+                           !is_punct(tk[i - 1], '.') &&
+                           !is_punct(tk[i - 1], ':') &&
+                           !is_punct(tk[i - 1], '>')))) {
+      // Bare call of ::time() — member calls (.time(), ->time()),
+      // qualified names (x::time) and declarations (`double time(...)`,
+      // previous token an identifier) don't match.
+      out.push_back({f.display, t.line, "det-wallclock",
+                     "time(): wall-clock read"});
+    }
+  }
+}
+
+/// Pass A: names declared anywhere in src/ as unordered containers, so
+/// pass B can flag range-for iteration over them.
+void collect_unordered_names(const source_file& f,
+                             std::set<std::string>& names) {
+  const std::vector<token>& tk = f.lex.tokens;
+  for (std::size_t i = 0; i < tk.size(); ++i) {
+    if (tk[i].kind != token_kind::identifier) continue;
+    if (tk[i].text != "unordered_map" && tk[i].text != "unordered_set" &&
+        tk[i].text != "unordered_multimap" &&
+        tk[i].text != "unordered_multiset") {
+      continue;
+    }
+    if (i + 1 >= tk.size() || !is_punct(tk[i + 1], '<')) continue;
+    std::size_t j = i + 1;
+    int depth = 0;
+    while (j < tk.size()) {
+      if (is_punct(tk[j], '<')) ++depth;
+      if (is_punct(tk[j], '>') && --depth == 0) break;
+      ++j;
+    }
+    if (j + 1 < tk.size() && tk[j + 1].kind == token_kind::identifier) {
+      names.insert(tk[j + 1].text);
+    }
+  }
+}
+
+void check_unordered_iteration(const source_file& f,
+                               const std::set<std::string>& unordered_names,
+                               std::vector<violation>& out) {
+  const std::vector<token>& tk = f.lex.tokens;
+  for (std::size_t i = 0; i + 1 < tk.size(); ++i) {
+    if (!is_ident(tk[i], "for") || !is_punct(tk[i + 1], '(')) continue;
+    // Scan the for-header for a top-level range `:` and take the trailing
+    // identifier of the range expression.
+    int depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i + 1; j < tk.size(); ++j) {
+      if (is_punct(tk[j], '(') || is_punct(tk[j], '[')) ++depth;
+      if (is_punct(tk[j], ')') || is_punct(tk[j], ']')) {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (depth == 1 && is_punct(tk[j], ':') && !is_punct(tk[j - 1], ':') &&
+          (j + 1 >= tk.size() || !is_punct(tk[j + 1], ':'))) {
+        colon = j;
+      }
+    }
+    if (colon == 0 || close == 0) continue;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (tk[j].kind == token_kind::identifier &&
+          unordered_names.count(tk[j].text) > 0) {
+        out.push_back(
+            {f.display, tk[j].line, "det-unordered-iter",
+             "range-for over unordered container '" + tk[j].text +
+                 "': iteration order is hash-dependent and may not feed "
+                 "digests (iterate an ordered mirror instead)"});
+      }
+    }
+  }
+}
+
+// ---- header rules --------------------------------------------------------
+
+void check_header(const source_file& f, std::vector<violation>& out) {
+  const std::vector<token>& tk = f.lex.tokens;
+  bool guarded = false;
+  for (std::size_t i = 0; i + 1 < tk.size() && !guarded; ++i) {
+    if (is_ident(tk[i], "pragma") && is_ident(tk[i + 1], "once")) {
+      guarded = true;
+    }
+    if (is_ident(tk[i], "ifndef") && i + 3 < tk.size() &&
+        tk[i + 1].kind == token_kind::identifier &&
+        is_punct(tk[i + 2], '#') && is_ident(tk[i + 3], "define")) {
+      guarded = true;
+    }
+  }
+  if (!guarded) {
+    out.push_back({f.display, 1, "hdr-guard",
+                   "header lacks #pragma once or an include guard"});
+  }
+  for (std::size_t i = 0; i + 1 < tk.size(); ++i) {
+    if (is_ident(tk[i], "using") && is_ident(tk[i + 1], "namespace")) {
+      out.push_back({f.display, tk[i].line, "hdr-using-namespace",
+                     "using-namespace in a header leaks into every "
+                     "includer"});
+    }
+  }
+}
+
+// ---- obs discipline ------------------------------------------------------
+
+struct obs_enum_value {
+  std::string name;
+  int line = 0;
+};
+
+struct obs_model {
+  std::map<std::string, std::vector<obs_enum_value>> enums;  // kind → values
+  std::set<std::string> name_table_strings;  // string literals in registry.cpp
+  std::string registry_header;  // display path, for dead-counter reports
+};
+
+void parse_registry(const source_file& f, obs_model& model) {
+  const std::vector<token>& tk = f.lex.tokens;
+  for (std::size_t i = 0; i + 3 < tk.size(); ++i) {
+    if (!is_ident(tk[i], "enum") || !is_ident(tk[i + 1], "class")) continue;
+    const std::string kind = tk[i + 2].text;
+    if (kind != "counter" && kind != "gauge" && kind != "series") continue;
+    model.registry_header = f.display;
+    // Collect identifiers in enumerator position: after '{' or ','.
+    std::size_t j = i + 3;
+    while (j < tk.size() && !is_punct(tk[j], '{')) ++j;
+    bool expect_name = true;
+    for (++j; j < tk.size() && !is_punct(tk[j], '}'); ++j) {
+      if (expect_name && tk[j].kind == token_kind::identifier) {
+        if (tk[j].text != "count") {
+          model.enums[kind].push_back({tk[j].text, tk[j].line});
+        }
+        expect_name = false;
+      } else if (is_punct(tk[j], ',')) {
+        expect_name = true;
+      }
+    }
+  }
+}
+
+void collect_obs_usage(
+    const source_file& f,
+    std::map<std::string, std::map<std::string, int>>& usage) {
+  const std::vector<token>& tk = f.lex.tokens;
+  for (std::size_t i = 0; i + 3 < tk.size(); ++i) {
+    if (tk[i].kind != token_kind::identifier) continue;
+    const std::string& kind = tk[i].text;
+    if (kind != "counter" && kind != "gauge" && kind != "series") continue;
+    if (!is_punct(tk[i + 1], ':') || !is_punct(tk[i + 2], ':')) continue;
+    if (tk[i + 3].kind != token_kind::identifier) continue;
+    // Record first-seen line per (kind, value).
+    usage[kind].emplace(tk[i + 3].text, tk[i + 3].line);
+  }
+}
+
+void check_obs(const obs_model& model,
+               const std::map<std::string,
+                              std::map<std::string, int>>& usage,
+               const std::map<std::string, std::string>& usage_file,
+               std::vector<violation>& out) {
+  if (model.enums.empty()) return;  // registry not in scan set
+  for (const auto& [kind, values] : model.enums) {
+    std::set<std::string> registered;
+    for (const obs_enum_value& v : values) registered.insert(v.name);
+    // Registered but never recorded/read anywhere else in the tree.
+    const auto used_it = usage.find(kind);
+    for (const obs_enum_value& v : values) {
+      const bool used =
+          used_it != usage.end() && used_it->second.count(v.name) > 0;
+      if (!used) {
+        out.push_back({model.registry_header, v.line, "obs-dead-counter",
+                       kind + "::" + v.name +
+                           " is registered but never recorded or read "
+                           "outside obs/registry"});
+      }
+      if (model.name_table_strings.count(v.name) == 0) {
+        out.push_back({model.registry_header, v.line, "obs-unnamed-counter",
+                       kind + "::" + v.name +
+                           " missing from the registry.cpp name table"});
+      }
+    }
+    // Used but not part of the registered enum (tokenizer-level typo net;
+    // the compiler catches most of these, but the name tables and JSON
+    // emitters refer to values by spelling too).
+    if (used_it != usage.end()) {
+      for (const auto& [name, line] : used_it->second) {
+        if (name == "count" || registered.count(name) > 0) continue;
+        const auto file_it = usage_file.find(kind + "::" + name);
+        out.push_back({file_it == usage_file.end() ? model.registry_header
+                                                   : file_it->second,
+                       line, "obs-unknown-counter",
+                       kind + "::" + name + " is not registered in " +
+                           model.registry_header});
+      }
+    }
+  }
+}
+
+// ---- suppression filtering ----------------------------------------------
+
+bool suppressed(const source_file& f, const violation& v) {
+  for (const allow_directive& d : f.allows) {
+    if (std::find(d.rules.begin(), d.rules.end(), v.rule) == d.rules.end()) {
+      continue;
+    }
+    if (!d.has_reason) continue;  // reasonless allows suppress nothing
+    if (d.whole_file) return true;
+    if (v.line == d.line) return true;
+    if (d.own_line) {
+      // A standalone allow covers the statement that follows: from the
+      // next line holding code (explanatory comment lines in between are
+      // fine) through the line of that statement's terminating ';' or
+      // block-opening '{' — so multi-line expressions stay coverable
+      // without sprinkling one allow per physical line.
+      int first = 0;
+      int last = 0;
+      for (const token& t : f.lex.tokens) {
+        if (t.line <= d.line) continue;
+        if (first == 0) first = t.line;
+        last = t.line;
+        if (t.kind == token_kind::punct &&
+            (t.text == ";" || t.text == "{")) {
+          break;
+        }
+      }
+      if (first != 0 && v.line >= first && v.line <= last) return true;
+    }
+  }
+  return false;
+}
+
+// ---- driver --------------------------------------------------------------
+
+struct lint_options {
+  std::string root = ".";
+  std::string report_path;
+  bool verbose = false;
+};
+
+bool is_registry_file(const std::string& display) {
+  return display == "src/obs/registry.h" || display == "src/obs/registry.cpp";
+}
+
+std::vector<violation> run_lint(std::vector<source_file>& files) {
+  std::vector<violation> raw;
+  std::set<std::string> unordered_names;
+  obs_model model;
+  std::map<std::string, std::map<std::string, int>> obs_usage;
+  std::map<std::string, std::string> obs_usage_file;
+
+  for (source_file& f : files) {
+    parse_directives(f, raw);
+    if (f.in_src) collect_unordered_names(f, unordered_names);
+    if (f.display == "src/obs/registry.h") parse_registry(f, model);
+    if (f.display == "src/obs/registry.cpp") {
+      for (const token& t : f.lex.tokens) {
+        if (t.kind == token_kind::string_literal) {
+          model.name_table_strings.insert(t.text);
+        }
+      }
+    }
+  }
+  for (const source_file& f : files) {
+    check_hot_regions(f, raw);
+    if (f.in_src) {
+      check_determinism(f, raw);
+      check_unordered_iteration(f, unordered_names, raw);
+    }
+    if (f.is_header) check_header(f, raw);
+    if (!is_registry_file(f.display)) {
+      std::map<std::string, std::map<std::string, int>> here;
+      collect_obs_usage(f, here);
+      for (const auto& [kind, values] : here) {
+        for (const auto& [name, line] : values) {
+          obs_usage[kind].emplace(name, line);
+          obs_usage_file.emplace(kind + "::" + name, f.display);
+        }
+      }
+    }
+  }
+  check_obs(model, obs_usage, obs_usage_file, raw);
+
+  std::vector<violation> kept;
+  for (const violation& v : raw) {
+    const auto file_it =
+        std::find_if(files.begin(), files.end(), [&](const source_file& f) {
+          return f.display == v.file;
+        });
+    if (file_it != files.end() && v.rule != "bad-suppression" &&
+        suppressed(*file_it, v)) {
+      continue;
+    }
+    kept.push_back(v);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const violation& a, const violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return kept;
+}
+
+source_file make_file(std::string display, std::string contents) {
+  source_file f;
+  f.display = std::move(display);
+  f.is_header = f.display.size() >= 2 &&
+                f.display.compare(f.display.size() - 2, 2, ".h") == 0;
+  f.in_src = f.display.rfind("src/", 0) == 0;
+  f.lex = lex(contents);
+  return f;
+}
+
+int scan_tree(const lint_options& opts) {
+  namespace fs = std::filesystem;
+  const fs::path root{opts.root};
+  std::vector<std::string> relative_paths;
+  for (const char* dir : {"src", "bench", "tests", "tools"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp") continue;
+      relative_paths.push_back(
+          fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(relative_paths.begin(), relative_paths.end());
+
+  std::vector<source_file> files;
+  files.reserve(relative_paths.size());
+  for (const std::string& rel : relative_paths) {
+    std::ifstream in{root / rel, std::ios::binary};
+    if (!in) {
+      std::fprintf(stderr, "mca_lint: cannot read %s\n", rel.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back(make_file(rel, buf.str()));
+  }
+
+  const std::vector<violation> violations = run_lint(files);
+
+  std::ostringstream report;
+  for (const violation& v : violations) {
+    report << v.file << ":" << v.line << ": " << v.rule << ": " << v.message
+           << "\n";
+  }
+  std::size_t region_count = 0;
+  std::size_t allow_count = 0;
+  for (const source_file& f : files) {
+    region_count += f.regions.size();
+    allow_count += f.allows.size();
+  }
+  report << "mca_lint: " << files.size() << " files, " << region_count
+         << " hot-path regions, " << allow_count << " suppressions, "
+         << violations.size() << " violations\n";
+
+  std::fputs(report.str().c_str(), stdout);
+  if (!opts.report_path.empty()) {
+    std::ofstream out{opts.report_path};
+    out << report.str();
+  }
+  return violations.empty() ? 0 : 1;
+}
+
+// ---- self test -----------------------------------------------------------
+
+/// Runs the rules against embedded known-bad snippets and checks each
+/// expected (rule, hit-count) — the lint's own regression suite, wired as
+/// a second ctest invocation of this binary.
+int self_test() {
+  struct expectation {
+    std::string rule;
+    int count = 0;
+  };
+  struct snippet_case {
+    const char* name;
+    std::vector<std::pair<std::string, std::string>> files;
+    std::vector<expectation> expected;
+  };
+
+  const std::string hot_bad =
+      "void f() {\n"
+      "  // mca:hot-path-begin(demo)\n"
+      "  auto* p = new int[4];\n"
+      "  std::map<int, int> m;\n"
+      "  std::function<void()> g;\n"
+      "  std::mutex mu;\n"
+      "  if (!p) throw 1;\n"
+      "  printf(\"x\");\n"
+      "  std::vector<int> local;\n"
+      "  local.push_back(3);\n"
+      "  // mca:hot-path-end\n"
+      "}\n";
+  const std::string hot_reserved =
+      "#pragma once\n"
+      "inline void g() {\n"
+      "  // mca:hot-path-begin(ok)\n"
+      "  std::vector<int> local;\n"
+      "  local.reserve(8);\n"
+      "  local.push_back(3);\n"
+      "  member_.push_back(4);\n"
+      "  // mca:hot-path-end\n"
+      "}\n";
+  const std::string det_bad =
+      "#include <chrono>\n"
+      "double now() {\n"
+      "  (void)std::chrono::system_clock::now();\n"
+      "  (void)time(nullptr);\n"
+      "  return (double)rand();\n"
+      "}\n"
+      "std::unordered_map<int, int> table;\n"
+      "int sum() {\n"
+      "  int s = 0;\n"
+      "  for (const auto& [k, v] : table) s += v;\n"
+      "  return s;\n"
+      "}\n";
+  const std::string det_allowed =
+      "// mca-lint: allow-file(det-wallclock) timing harness, wall time is "
+      "the measurement\n"
+      "#pragma once\n"
+      "#include <chrono>\n"
+      "inline double t() {\n"
+      "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+      "}\n";
+  const std::string hdr_bad =
+      "#include <vector>\n"
+      "using namespace std;\n"
+      "inline int f() { return 1; }\n";
+  const std::string suppress_no_reason =
+      "void f() {\n"
+      "  // mca:hot-path-begin(demo)\n"
+      "  throw 1;  // mca-lint: allow(hot-throw)\n"
+      "  // mca:hot-path-end\n"
+      "}\n";
+  const std::string suppress_ok =
+      "void f() {\n"
+      "  // mca:hot-path-begin(demo)\n"
+      "  // mca-lint: allow(hot-throw) cold validation, fires once per bug\n"
+      "  throw 1;\n"
+      "  // mca:hot-path-end\n"
+      "}\n";
+  const std::string unbalanced =
+      "void f() {\n"
+      "  // mca:hot-path-begin(demo)\n"
+      "}\n";
+  const std::string registry_h =
+      "#pragma once\n"
+      "enum class counter : int {\n"
+      "  used_one,\n"
+      "  dead_one,\n"
+      "  count\n"
+      "};\n";
+  const std::string registry_cpp =
+      "#include \"registry.h\"\n"
+      "const char* name(counter c) { return \"used_one\"; }\n";
+  const std::string registry_user =
+      "void record() {\n"
+      "  add(counter::used_one);\n"
+      "  add(counter::typo_one);\n"
+      "}\n";
+
+  const std::vector<snippet_case> cases{
+      {"hot-path bans fire",
+       {{"src/demo/hot.cpp", hot_bad}},
+       {{"hot-alloc", 2},
+        {"hot-function", 1},
+        {"hot-lock", 1},
+        {"hot-throw", 1},
+        {"hot-io", 1},
+        {"hot-vector-growth", 1}}},
+      {"reserved locals and member push_back pass",
+       {{"src/demo/ok.h", hot_reserved}},
+       {{"hot-vector-growth", 0}}},
+      {"determinism bans fire in src/",
+       {{"src/demo/det.cpp", det_bad}},
+       {{"det-wallclock", 2}, {"det-random", 1}, {"det-unordered-iter", 1}}},
+      {"determinism bans stay out of tests/",
+       {{"tests/demo_det.cpp", det_bad}},
+       {{"det-wallclock", 0}, {"det-random", 0}}},
+      {"allow-file suppresses with a reason",
+       {{"src/demo/clock.h", det_allowed}},
+       {{"det-wallclock", 0}, {"bad-suppression", 0}}},
+      {"header hygiene",
+       {{"src/demo/bad.h", hdr_bad}},
+       {{"hdr-guard", 1}, {"hdr-using-namespace", 1}}},
+      {"allow without reason is rejected and suppresses nothing",
+       {{"src/demo/sup.cpp", suppress_no_reason}},
+       {{"bad-suppression", 1}, {"hot-throw", 1}}},
+      {"own-line allow with reason covers the next line",
+       {{"src/demo/sup_ok.cpp", suppress_ok}},
+       {{"hot-throw", 0}, {"bad-suppression", 0}}},
+      {"unbalanced hot region",
+       {{"src/demo/unbalanced.cpp", unbalanced}},
+       {{"hot-region", 1}}},
+      {"obs cross-reference",
+       {{"src/obs/registry.h", registry_h},
+        {"src/obs/registry.cpp", registry_cpp},
+        {"src/demo/user.cpp", registry_user}},
+       {{"obs-dead-counter", 1},
+        {"obs-unknown-counter", 1},
+        {"obs-unnamed-counter", 1}}},
+  };
+
+  int failures = 0;
+  for (const snippet_case& c : cases) {
+    std::vector<source_file> files;
+    for (const auto& [path, body] : c.files) {
+      files.push_back(make_file(path, body));
+    }
+    const std::vector<violation> got = run_lint(files);
+    for (const expectation& e : c.expected) {
+      const long n = std::count_if(
+          got.begin(), got.end(),
+          [&](const violation& v) { return v.rule == e.rule; });
+      if (n != e.count) {
+        std::fprintf(stderr,
+                     "self-test FAIL [%s]: rule %s fired %ld times, "
+                     "expected %d\n",
+                     c.name, e.rule.c_str(), n, e.count);
+        for (const violation& v : got) {
+          std::fprintf(stderr, "  got %s:%d: %s: %s\n", v.file.c_str(),
+                       v.line, v.rule.c_str(), v.message.c_str());
+        }
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("mca_lint self-test: %zu cases OK\n", cases.size());
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+}  // namespace mca::lint
+
+int main(int argc, char** argv) {
+  mca::lint::lint_options opts;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opts.root = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      opts.report_path = argv[++i];
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: mca_lint [--root <dir>] [--report <file>] [--self-test]\n"
+          "walks <dir>/{src,bench,tests,tools} and enforces project "
+          "invariants;\nexits nonzero on violations.\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "mca_lint: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (self_test) return mca::lint::self_test();
+  return mca::lint::scan_tree(opts);
+}
