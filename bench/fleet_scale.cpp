@@ -11,7 +11,8 @@
 //
 // Usage:
 //   fleet_scale [--users N] [--shards K] [--slots S] [--jobs a,b,c]
-//               [--ilp-solves S] [--trials T] [--trace PATH] [--out PATH]
+//               [--ilp-solves S] [--trials T] [--trace PATH]
+//               [--trace-slots A:B] [--health PATH] [--out PATH]
 //               [--smoke]
 //
 // --slots sets how many provisioning slots the 1-hour horizon is cut into
@@ -27,7 +28,21 @@
 // one additional untimed leg with the span tracer attached and writes
 // Chrome trace-event JSON (open in Perfetto / chrome://tracing) covering
 // slot rounds, shard advances, coordinator solves/splits, sampled
-// request lifecycles, and pool idle gaps.
+// request lifecycles, and pool idle gaps — plus two post-run lanes on
+// the simulated-time process: the fleet's per-window tail exemplars and
+// the SLO alert intervals.  --trace-slots A:B restricts the export to
+// the spans overlapping provisioning slots A..B (inclusive), so one bad
+// window stays inspectable without the full-trace payload.  --health
+// writes the plain-text fleet health report (per-slot timeline table,
+// alert event log, slowest exemplar) CI uploads next to the trace.
+//
+// The time-resolved layer gets its own hard gates: the merged
+// per-slot timeline fingerprint must be bit-identical across thread
+// counts, trials, AND the traced leg (trace-dependent counters are
+// excluded from it by construction), the window count must equal
+// slots + 1 (the drain tail), the fleet exemplar set must be non-empty
+// and bounded by top_k per window, and SLO alert evaluation over the
+// merged timeline must reproduce bit-identically.
 //
 // Besides the end-to-end runs, a per-phase micro-breakdown (workload gen
 // / decision / backend / metrics) lands in BENCH_fleet.json so future
@@ -53,8 +68,12 @@
 #include "exp/scenario.h"
 #include "exp/thread_pool.h"
 #include "fleet/fleet_runner.h"
+#include "obs/alerts.h"
+#include "obs/exemplar.h"
+#include "obs/health.h"
 #include "obs/registry.h"
 #include "obs/slo.h"
+#include "obs/timeline.h"
 #include "obs/tracer.h"
 #include "tasks/task.h"
 #include "workload/generator.h"
@@ -129,7 +148,16 @@ struct run_record {
   double coordination_seconds = 0.0;  ///< from the best trial
   std::uint64_t fingerprint = 0;
   std::uint64_t obs_fingerprint = 0;
+  std::uint64_t timeline_fingerprint = 0;
 };
+
+/// The stock fleet SLO objectives evaluated over the merged timeline:
+/// generous production-style ceilings (the bench gates determinism of
+/// the evaluation, not that this scenario pages).
+std::vector<obs::slo_objective> fleet_objectives(std::size_t group_count) {
+  return obs::default_fleet_objectives(group_count, /*p99_ceiling_ms=*/5'000.0,
+                                       /*error_budget=*/0.10);
+}
 
 /// Observability summary fed into BENCH_fleet.json.
 struct obs_summary {
@@ -279,7 +307,7 @@ bool write_fleet_json(const std::string& path, const exp::scenario_spec& spec,
                       double users_per_sec, const phase_breakdown& phases,
                       std::size_t ilp_solves_timed, double batched_seconds,
                       double independent_seconds, const obs_summary& obs,
-                      bool checks_passed) {
+                      const obs::alert_report& alerts, bool checks_passed) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "fleet_scale: cannot write %s\n", path.c_str());
@@ -373,6 +401,58 @@ bool write_fleet_json(const std::string& path, const exp::scenario_spec& spec,
     std::fprintf(f, "}");
   }
   std::fprintf(f, "\n  },\n");
+  // Time-resolved layer: one row per provisioning-slot window of the
+  // merged timeline (requests / successes / failures / windowed p99),
+  // then the deterministic alert evaluation over it.
+  std::fprintf(f,
+               "  \"timeline\": {\n"
+               "    \"fingerprint\": \"%016llx\",\n"
+               "    \"windows\": [\n",
+               static_cast<unsigned long long>(
+                   reference.timeline.fingerprint()));
+  for (std::size_t w = 0; w < reference.timeline.size(); ++w) {
+    const obs::timeline_window& win = reference.timeline.window(w);
+    const util::histogram merged = win.merged_slo();
+    std::fprintf(
+        f,
+        "      {\"slot\": %llu, \"sim_end_min\": %.1f, \"requests\": %llu, "
+        "\"successes\": %llu, \"failures\": %llu, \"p99_ms\": %.1f, "
+        "\"exemplars_admitted\": %llu}%s\n",
+        static_cast<unsigned long long>(win.slot), win.sim_end_ms / 60'000.0,
+        static_cast<unsigned long long>(win.delta(obs::counter::sdn_requests)),
+        static_cast<unsigned long long>(win.delta(obs::counter::sdn_successes)),
+        static_cast<unsigned long long>(win.delta(obs::counter::sdn_failures)),
+        merged.total() > 0 ? merged.quantile_interpolated(0.99) : 0.0,
+        static_cast<unsigned long long>(
+            win.delta(obs::counter::exemplar_admitted)),
+        w + 1 < reference.timeline.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ],\n"
+               "    \"exemplars\": %zu\n  },\n",
+               reference.exemplars.size());
+  std::fprintf(f,
+               "  \"alerts\": {\n"
+               "    \"fingerprint\": \"%016llx\",\n"
+               "    \"objectives\": %zu,\n"
+               "    \"fires\": %llu,\n    \"clears\": %llu,\n"
+               "    \"events\": [\n",
+               static_cast<unsigned long long>(alerts.fingerprint()),
+               alerts.objectives.size(),
+               static_cast<unsigned long long>(alerts.fires),
+               static_cast<unsigned long long>(alerts.clears));
+  for (std::size_t e = 0; e < alerts.events.size(); ++e) {
+    const obs::alert_event& event = alerts.events[e];
+    std::fprintf(
+        f,
+        "      {\"objective\": \"%s\", \"slot\": %llu, \"edge\": \"%s\", "
+        "\"short_value\": %.3f, \"long_value\": %.3f}%s\n",
+        alerts.objectives[event.objective].name.c_str(),
+        static_cast<unsigned long long>(event.slot),
+        event.fired ? "fire" : "clear", event.short_value, event.long_value,
+        e + 1 < alerts.events.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
   if (obs.registry != nullptr) {
     std::fprintf(f, "  \"slo_ms\": ");
     obs::write_slo_json(f, obs::build_slo_report(*obs.registry), 2);
@@ -416,6 +496,8 @@ int main(int argc, char** argv) {
   const std::size_t trials =
       bench::flag_count(argc, argv, "--trials", smoke ? 8 : 3, "fleet_scale");
   const auto trace_path = bench::flag_value(argc, argv, "--trace");
+  const auto health_path = bench::flag_value(argc, argv, "--health");
+  const auto trace_slots = bench::flag_value(argc, argv, "--trace-slots");
   const std::string out_path =
       bench::flag_value(argc, argv, "--out").value_or("BENCH_fleet.json");
   std::vector<std::uint64_t> jobs_list{1, 4, 16};
@@ -439,7 +521,32 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fleet_scale: --trials must be >= 1\n");
     return 2;
   }
+  obs::trace_filter slot_filter;
+  bool have_slot_filter = false;
+  if (trace_slots) {
+    unsigned long long a = 0;
+    unsigned long long b = 0;
+    if (std::sscanf(trace_slots->c_str(), "%llu:%llu", &a, &b) != 2 ||
+        a > b) {
+      std::fprintf(stderr,
+                   "fleet_scale: --trace-slots needs A:B with A <= B, "
+                   "got '%s'\n",
+                   trace_slots->c_str());
+      return 2;
+    }
+    have_slot_filter = true;
+    slot_filter.slot_begin = a;
+    slot_filter.slot_end = b;
+  }
   const exp::scenario_spec spec = fleet_scale_spec(users, shards, slots);
+  if (have_slot_filter) {
+    // Simulated extent of slots A..B inclusive — the window trace-stamped
+    // spans must overlap to survive the filter.
+    slot_filter.sim_begin_ms =
+        spec.slot_length * static_cast<double>(slot_filter.slot_begin);
+    slot_filter.sim_end_ms =
+        spec.slot_length * static_cast<double>(slot_filter.slot_end + 1);
+  }
   tasks::task_pool task_pool;
   fleet::fleet_options options;
   options.shards = shards;
@@ -488,11 +595,13 @@ int main(int argc, char** argv) {
         record.coordination_seconds = result.coordination_seconds;
         record.fingerprint = result.fingerprint();
         record.obs_fingerprint = result.observability.fingerprint();
+        record.timeline_fingerprint = result.timeline.fingerprint();
       } else {
         trial_fingerprints_agree =
             trial_fingerprints_agree &&
             result.fingerprint() == record.fingerprint &&
-            result.observability.fingerprint() == record.obs_fingerprint;
+            result.observability.fingerprint() == record.obs_fingerprint &&
+            result.timeline.fingerprint() == record.timeline_fingerprint;
         if (result.wall_seconds < record.wall_seconds) {
           record.wall_seconds = result.wall_seconds;
           record.coordination_seconds = result.coordination_seconds;
@@ -589,6 +698,58 @@ int main(int argc, char** argv) {
       "every fleet solve after the first reused the warm tableau",
       bench::ratio_detail("warm", static_cast<double>(reference.warm_solves)));
 
+  // ---- time-resolved telemetry: timeline / exemplars / alerts ----------
+  bench::section("per-slot timeline, tail exemplars, SLO alerts");
+  bool timeline_deterministic = true;
+  for (const auto& run : runs) {
+    if (!run.counters) continue;
+    timeline_deterministic =
+        timeline_deterministic &&
+        run.timeline_fingerprint == runs[0].timeline_fingerprint;
+  }
+  checks.expect(timeline_deterministic,
+                "timeline fingerprint bit-identical across thread counts "
+                "and trials",
+                bench::ratio_detail(
+                    "timeline fingerprint",
+                    static_cast<double>(runs[0].timeline_fingerprint &
+                                        0xffff)));
+  checks.expect(reference.timeline.size() == slots + 1,
+                "timeline holds one window per slot plus the drain tail",
+                bench::ratio_detail(
+                    "windows", static_cast<double>(reference.timeline.size())));
+  checks.expect(
+      !reference.exemplars.empty() &&
+          reference.exemplars.size() <=
+              options.exemplar_top_k * (slots + 1),
+      "fleet tail exemplars present and bounded by top-K per window",
+      bench::ratio_detail("exemplars",
+                          static_cast<double>(reference.exemplars.size())));
+  const std::vector<obs::slo_objective> objectives =
+      fleet_objectives(reference.timeline.group_count());
+  const obs::alert_report alerts =
+      obs::evaluate_alerts(reference.timeline, objectives);
+  const obs::alert_report alerts_replay =
+      obs::evaluate_alerts(reference.timeline, objectives);
+  checks.expect(alerts.fingerprint() == alerts_replay.fingerprint(),
+                "SLO alert evaluation reproduces bit-identically",
+                bench::ratio_detail(
+                    "alert fingerprint",
+                    static_cast<double>(alerts.fingerprint() & 0xffff)));
+  std::printf(
+      "timeline windows %zu   exemplars %zu   objectives %zu   "
+      "alert fires %llu   clears %llu\n",
+      reference.timeline.size(), reference.exemplars.size(),
+      objectives.size(), static_cast<unsigned long long>(alerts.fires),
+      static_cast<unsigned long long>(alerts.clears));
+  if (health_path) {
+    const bool health_written = obs::write_health_report(
+        *health_path, reference.timeline, alerts, reference.exemplars);
+    checks.expect(health_written, "fleet health report written",
+                  health_path->c_str());
+    if (health_written) std::printf("wrote %s\n", health_path->c_str());
+  }
+
   // ---- traced leg (untimed): span rings + Chrome trace export ---------
   if (trace_path) {
     const std::size_t trace_jobs =
@@ -611,6 +772,17 @@ int main(int argc, char** argv) {
                       static_cast<double>((traced.fingerprint() ^
                                            runs[0].fingerprint) &
                                           0xffff)));
+    // The timeline fingerprint excludes trace-dependent counters
+    // (sdn_sampled_spans only counts under a tracer), so it must match
+    // the untraced legs bit for bit too.
+    checks.expect(
+        traced.timeline.fingerprint() == runs[0].timeline_fingerprint,
+        "traced-leg timeline fingerprint matches the untraced legs",
+        bench::ratio_detail(
+            "timeline xor",
+            static_cast<double>((traced.timeline.fingerprint() ^
+                                 runs[0].timeline_fingerprint) &
+                                0xffff)));
 
     bool has_slot_round = false;
     bool has_solve = false;
@@ -649,13 +821,32 @@ int main(int argc, char** argv) {
     for (std::size_t w = 0; w < trace_jobs; ++w) {
       ring_names.push_back("pool worker " + std::to_string(w));
     }
-    const bool exported = tracer.export_chrome_trace(*trace_path, ring_names);
+    // Post-run lanes on the simulated-time process: the fleet's tail
+    // exemplars and the SLO alert intervals evaluated over the traced
+    // leg's timeline.
+    std::vector<obs::trace_lane> lanes;
+    lanes.push_back({"tail exemplars", obs::exemplar_spans(traced.exemplars)});
+    lanes.push_back(
+        {"slo alerts",
+         obs::alert_spans(obs::evaluate_alerts(traced.timeline, objectives),
+                          traced.timeline)});
+    checks.expect(!lanes[0].spans.empty(),
+                  "exemplar lane holds tail request spans",
+                  bench::ratio_detail(
+                      "lane spans",
+                      static_cast<double>(lanes[0].spans.size())));
+    const bool exported = tracer.export_chrome_trace(
+        *trace_path, ring_names, lanes,
+        have_slot_filter ? &slot_filter : nullptr);
     checks.expect(exported, "Chrome trace written", trace_path->c_str());
     std::printf(
-        "spans %llu (dropped %llu)   wrote %s\n",
+        "spans %llu (dropped %llu)   lanes %zu (%zu + %zu spans)   "
+        "wrote %s%s\n",
         static_cast<unsigned long long>(tracer.total_spans()),
         static_cast<unsigned long long>(tracer.total_dropped()),
-        trace_path->c_str());
+        lanes.size(), lanes[0].spans.size(), lanes[1].spans.size(),
+        trace_path->c_str(),
+        have_slot_filter ? " (slot-window filtered)" : "");
   }
 
   // ---- batched vs independent allocation ---------------------------------
@@ -780,7 +971,7 @@ int main(int argc, char** argv) {
   const int exit_code = checks.finish("fleet_scale");
   if (!write_fleet_json(out_path, spec, reference, runs, deterministic,
                         users_per_sec, phases, timed, batched_seconds,
-                        independent_seconds, obs, exit_code == 0)) {
+                        independent_seconds, obs, alerts, exit_code == 0)) {
     return 1;
   }
   return exit_code;

@@ -185,6 +185,21 @@ void sdn_accelerator::deliver(std::uint32_t slot) {
     obs_->add(s.timing.success ? obs::counter::sdn_successes
                                : obs::counter::sdn_failures);
   }
+  if (exemplars_ != nullptr) {
+    // Tail sampling at the sink: offer every response with its final
+    // latency; the reservoir keeps the window's top-K over preallocated
+    // storage (a compare and at most one O(log K) sift).
+    obs::exemplar_record exemplar;
+    exemplar.response_ms = s.timing.total();
+    exemplar.issued_at_ms = s.request.created_at;
+    exemplar.request = s.request.id;
+    exemplar.user = s.request.user;
+    exemplar.group = s.group;
+    exemplar.success = s.timing.success;
+    if (exemplars_->observe(exemplar) && obs_ != nullptr) {
+      obs_->add(obs::counter::exemplar_admitted);
+    }
+  }
   if (s.sampled) {
     // Wall extent: host time this shard spent simulating the request's
     // window; sim extent: the response time itself.

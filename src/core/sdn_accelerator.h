@@ -22,6 +22,7 @@
 
 #include "cloud/backend_pool.h"
 #include "net/rtt_model.h"
+#include "obs/exemplar.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
 #include "sim/simulation.h"
@@ -129,6 +130,14 @@ class sdn_accelerator {
   /// requests are logged (same event, same order).
   void set_trace_observer(trace_fn fn) { on_trace_ = std::move(fn); }
 
+  /// Attaches a tail-exemplar reservoir (nullptr = off): every delivered
+  /// response is offered at the sink, where its latency is known — the
+  /// sampling decision 1-in-N head sampling cannot make.  Fixed after
+  /// setup.
+  void set_exemplar_sink(obs::exemplar_reservoir* exemplars) noexcept {
+    exemplars_ = exemplars;
+  }
+
   std::uint64_t received() const noexcept { return received_; }
   std::uint64_t succeeded() const noexcept { return succeeded_; }
   std::uint64_t failed() const noexcept { return failed_; }
@@ -179,6 +188,7 @@ class sdn_accelerator {
   response_sink* sink_ = nullptr;
   trace_fn on_trace_;
   obs::registry* obs_ = nullptr;
+  obs::exemplar_reservoir* exemplars_ = nullptr;
   obs::tracer* tracer_ = nullptr;
   std::size_t trace_ring_ = 0;
   std::size_t trace_sample_every_ = 1024;

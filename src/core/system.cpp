@@ -254,7 +254,17 @@ void offloading_system::apply_plan(const allocation_plan& plan) {
 }
 
 void offloading_system::on_slot_boundary(std::size_t slot_index) {
-  if (obs_ptr_ != nullptr) obs_ptr_->add(obs::counter::slot_boundaries);
+  if (obs_ptr_ != nullptr) {
+    obs_ptr_->add(obs::counter::slot_boundaries);
+    // Close the telemetry window that ends at this boundary before any
+    // boundary work lands in the next one.  The snapshot counter is
+    // bumped first so the closing window accounts for its own close.
+    if (timeline_.enabled()) {
+      obs_ptr_->add(obs::counter::timeline_snapshots);
+      timeline_.snapshot(*obs_ptr_, slot_index, sim_.now());
+    }
+    exemplars_.roll_window(static_cast<std::uint32_t>(slot_index));
+  }
   // The slot that just ended becomes evidence.
   trace::time_slot finished = take_current_slot();
   const auto actual_counts = finished.group_counts();
@@ -346,6 +356,18 @@ void offloading_system::begin(util::time_ms duration) {
         on_slot_boundary(static_cast<std::size_t>(tick));
         return tick + 1 < total_slots;
       });
+
+  // Time-resolved telemetry buffers, sized now that the slot count is
+  // known: one window per boundary plus the drain tail.
+  if (obs_ptr_ != nullptr) {
+    if (config_.obs_timeline) {
+      timeline_.reset(total_slots + 1, group_count_);
+    }
+    if (config_.exemplar_top_k > 0) {
+      exemplars_.reset(config_.exemplar_top_k, total_slots + 1);
+      sdn_->set_exemplar_sink(&exemplars_);
+    }
+  }
 }
 
 void offloading_system::advance_to(util::time_ms t) {
@@ -359,6 +381,16 @@ void offloading_system::finish() {
   if (slot_ticker_) slot_ticker_->stop();
   // Let in-flight requests complete so metrics cover the whole workload.
   sim_.run_until(duration_ + util::minutes(10.0));
+
+  // Close the drain-tail telemetry window (responses that completed after
+  // the last boundary); its slot index is one past the last boundary's.
+  if (obs_ptr_ != nullptr) {
+    if (timeline_.enabled()) {
+      obs_ptr_->add(obs::counter::timeline_snapshots);
+      timeline_.snapshot(*obs_ptr_, metrics_.slots.size(), sim_.now());
+    }
+    exemplars_.roll_window(static_cast<std::uint32_t>(metrics_.slots.size()));
+  }
 
   metrics_.promotions = moderator_->promotions();
   metrics_.demotions = moderator_->demotions();

@@ -23,7 +23,9 @@
 #include "core/predictor.h"
 #include "core/sdn_accelerator.h"
 #include "net/rtt_model.h"
+#include "obs/exemplar.h"
 #include "obs/registry.h"
+#include "obs/timeline.h"
 #include "obs/tracer.h"
 #include "sim/simulation.h"
 #include "tasks/task.h"
@@ -104,6 +106,15 @@ struct system_config {
   /// branch.  On by default — the counters are cheap enough to keep in
   /// the allocation-free hot path (gated by bench/fleet_scale).
   bool obs_counters = true;
+  /// Per-slot telemetry windows (obs::timeline): counter deltas, gauge
+  /// samples, and windowed per-group SLO histograms snapshotted at every
+  /// slot boundary plus one drain-tail window at finish().  Preallocated
+  /// in begin() once the slot count is known; requires obs_counters.
+  bool obs_timeline = true;
+  /// Tail-exemplar reservoir size: the K slowest request lifecycles per
+  /// slot window, captured at the response sink (0 disables).  Requires
+  /// obs_counters.
+  std::size_t exemplar_top_k = 4;
   /// Optional span tracer (not owned; must outlive the system).  When
   /// set, 1 in `trace_sample_every` requests records a lifecycle span
   /// into `trace_sink->ring(trace_ring)`.
@@ -222,6 +233,14 @@ class offloading_system : private response_sink {
   /// The run's observability registry (zeroed but valid when
   /// obs_counters is off).
   const obs::registry& observability() const noexcept { return obs_; }
+  /// Per-slot telemetry windows (empty when obs_timeline or obs_counters
+  /// is off, or before begin()).
+  const obs::timeline& timeline() const noexcept { return timeline_; }
+  /// Tail exemplars flushed so far (disabled when exemplar_top_k == 0 or
+  /// obs_counters is off).
+  const obs::exemplar_reservoir& exemplars() const noexcept {
+    return exemplars_;
+  }
 
  private:
   void handle_request(const workload::offload_request& request);
@@ -276,6 +295,8 @@ class offloading_system : private response_sink {
   /// recording site tests.
   obs::registry obs_;
   obs::registry* obs_ptr_ = nullptr;
+  obs::timeline timeline_;
+  obs::exemplar_reservoir exemplars_;
 
   util::time_ms duration_ = 0.0;
   bool started_ = false;

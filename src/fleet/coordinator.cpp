@@ -159,7 +159,21 @@ std::vector<std::optional<core::allocation_plan>> coordinator::allocate_slot(
     }
   }
   records_.push_back(record);
+  if (obs_ptr_ != nullptr && timeline_.enabled()) {
+    // Close the coordinator's window for this slot.  The boundary that
+    // triggered this round sits at (slot + 1) * slot_length in simulated
+    // time; the coordinator itself runs on no simulated clock.
+    obs_ptr_->add(obs::counter::timeline_snapshots);
+    timeline_.snapshot(*obs_ptr_, record.slot,
+                       slot_length_ms_ * static_cast<double>(record.slot + 1));
+  }
   return quotas;
+}
+
+void coordinator::enable_timeline(std::size_t window_capacity,
+                                  double slot_length_ms) {
+  slot_length_ms_ = slot_length_ms;
+  timeline_.reset(window_capacity, group_count());
 }
 
 }  // namespace mca::fleet

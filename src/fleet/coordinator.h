@@ -26,6 +26,7 @@
 #include "core/allocator.h"
 #include "fleet/demand_digest.h"
 #include "obs/registry.h"
+#include "obs/timeline.h"
 #include "obs/tracer.h"
 
 namespace mca::fleet {
@@ -81,6 +82,15 @@ class coordinator {
   /// allocator plus fleet_slot_rounds / fleet_quota_splits.
   const obs::registry& observability() const noexcept { return obs_; }
 
+  /// Preallocates a per-slot timeline over the coordinator's registry
+  /// (one window per allocate_slot call, closed at the end of the call;
+  /// `slot_length_ms` stamps window end times in simulated time).
+  /// Requires counters; setup-time only.
+  void enable_timeline(std::size_t window_capacity, double slot_length_ms);
+  /// The coordinator's per-slot windows (empty unless enabled);
+  /// fleet_runner merges this after the shard timelines.
+  const obs::timeline& timeline() const noexcept { return timeline_; }
+
  private:
   core::allocation_request shape_;
   core::batched_allocator allocator_;
@@ -90,6 +100,8 @@ class coordinator {
   double ilp_seconds_ = 0.0;
   obs::registry obs_;
   obs::registry* obs_ptr_ = nullptr;
+  obs::timeline timeline_;
+  double slot_length_ms_ = 0.0;
   obs::tracer* tracer_ = nullptr;
   std::size_t trace_ring_ = 0;
 };

@@ -54,6 +54,8 @@ fleet_result run_fleet(const exp::scenario_spec& spec,
       exp::parallel_map(pool, shards, [&](std::size_t k) {
         shard_obs obs;
         obs.counters = options.obs_counters;
+        obs.timeline = options.obs_timeline;
+        obs.exemplar_top_k = options.exemplar_top_k;
         obs.tracer = tracer;
         obs.ring = k;
         obs.sample_every = options.trace_sample_every;
@@ -64,6 +66,16 @@ fleet_result run_fleet(const exp::scenario_spec& spec,
 
   coordinator coord{fleet_allocation_shape(spec), options.ilp};
   coord.set_observability(options.obs_counters, tracer, shards);
+  if (options.obs_counters && options.obs_timeline) {
+    // One coordinator window per slot round; count the boundaries with
+    // the same accumulated arithmetic as the round loop below.
+    std::size_t expected_slots = 0;
+    for (util::time_ms boundary = spec.slot_length; boundary <= spec.duration;
+         boundary += spec.slot_length) {
+      ++expected_slots;
+    }
+    coord.enable_timeline(expected_slots, spec.slot_length);
+  }
 
   // Worker idle-gap rings ride after the coordinator's when the tracer
   // was sized for them; the pool snapshot brackets the run so only this
@@ -152,6 +164,28 @@ fleet_result run_fleet(const exp::scenario_spec& spec,
   if (tracer != nullptr) {
     result.observability.set_gauge(obs::gauge::trace_spans_dropped,
                                    tracer->total_dropped());
+  }
+
+  // Time-resolved merge, same fold order as the registries: shard
+  // timelines in shard-index order (aligned on slot), the coordinator's
+  // last; then the fleet-wide per-window tail exemplars, concatenated in
+  // shard order and re-cut to the top-K slowest per window.
+  if (options.obs_counters && options.obs_timeline) {
+    for (const auto& member : members) {
+      result.timeline.merge(member->timeline());
+    }
+    result.timeline.merge(coord.timeline());
+    result.observability.set_gauge(obs::gauge::timeline_windows,
+                                   result.timeline.size());
+  }
+  if (options.obs_counters && options.exemplar_top_k > 0) {
+    std::vector<obs::exemplar_record> all;
+    for (const auto& member : members) {
+      const auto& records = member->exemplars().records();
+      all.insert(all.end(), records.begin(), records.end());
+    }
+    result.exemplars =
+        obs::top_exemplars_per_window(std::move(all), options.exemplar_top_k);
   }
 
   result.slots = coord.records();

@@ -36,6 +36,13 @@ struct fleet_options {
   /// shard order into fleet_result::observability.  Off reduces every
   /// recording site to one branch on a constant.
   bool obs_counters = true;
+  /// Per-slot telemetry windows in every shard and the coordinator,
+  /// merged in the same order into fleet_result::timeline.  Requires
+  /// obs_counters.
+  bool obs_timeline = true;
+  /// Tail-exemplar reservoir size per shard (0 = off); the per-window
+  /// fleet top-K lands in fleet_result::exemplars.  Requires obs_counters.
+  std::size_t exemplar_top_k = 4;
   /// Optional span tracer (not owned).  Ring layout: ring k is shard k's,
   /// ring `shards` the coordinator's, rings `shards + 1 + w` the pool
   /// workers' (attached only when the tracer has that many rings).
@@ -59,6 +66,13 @@ struct fleet_result {
   /// order, then the coordinator's, then the pool's scheduling-dependent
   /// deltas — fingerprint() is bit-identical across pool sizes.
   obs::registry observability;
+  /// Fleet-wide per-slot windows: shard timelines merged in shard-index
+  /// order, then the coordinator's, aligned on slot index — fingerprint()
+  /// is bit-identical across pool sizes and trace legs.
+  obs::timeline timeline;
+  /// The fleet's tail exemplars: per-shard top-K reservoirs concatenated
+  /// in shard order and cut back to the top-K slowest per window.
+  std::vector<obs::exemplar_record> exemplars;
 
   std::size_t total_users = 0;
   std::size_t shard_count = 0;

@@ -34,6 +34,8 @@ std::size_t shard_user_count(std::size_t user_count, std::size_t index,
 /// bulk-synchronous rounds order the writes).
 struct shard_obs {
   bool counters = true;            ///< preregistered counters + SLO digest
+  bool timeline = true;            ///< per-slot telemetry windows
+  std::size_t exemplar_top_k = 4;  ///< tail reservoir size (0 = off)
   obs::tracer* tracer = nullptr;   ///< not owned; nullptr = no spans
   std::size_t ring = 0;            ///< this shard's span ring
   std::size_t sample_every = 1024; ///< request-lifecycle sampling period
@@ -71,6 +73,15 @@ class shard {
   /// fleet_runner merges these in shard order.
   const obs::registry& observability() const noexcept {
     return system_->observability();
+  }
+  /// The shard's per-slot telemetry windows; fleet_runner merges these in
+  /// shard order before the coordinator's.
+  const obs::timeline& timeline() const noexcept {
+    return system_->timeline();
+  }
+  /// The shard's flushed tail exemplars.
+  const obs::exemplar_reservoir& exemplars() const noexcept {
+    return system_->exemplars();
   }
   core::offloading_system& system() noexcept { return *system_; }
   const core::offloading_system& system() const noexcept { return *system_; }

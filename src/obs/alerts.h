@@ -1,0 +1,90 @@
+// Deterministic SLO burn-rate alerting over an obs::timeline.
+//
+// Declarative objectives — a per-group (or fleet-wide) p99 latency
+// ceiling, an error-rate budget — are evaluated over two sliding windows
+// of the timeline, short and long, in the multiwindow burn-rate style:
+// an alert fires only when *both* windows breach (the short window gives
+// fast detection, the long window keeps one bad slot from paging), and
+// clears as soon as either recovers.  Evaluation is a pure post-run
+// function of the timeline: same timeline, same objectives → the same
+// fire/clear events, bit for bit, whatever the pool size — so alert slot
+// indices can be golden-tested and gated like every other fingerprint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+#include "obs/tracer.h"
+
+namespace mca::obs {
+
+enum class alert_kind : std::uint32_t {
+  latency_p99,  ///< windowed p99 above the ceiling (threshold in ms)
+  error_rate,   ///< windowed failure fraction above budget × burn rate
+  count
+};
+
+inline constexpr std::size_t kAlertKindCount =
+    static_cast<std::size_t>(alert_kind::count);
+
+/// Stable snake_case name (JSON keys, health report rows).
+const char* alert_kind_name(alert_kind k) noexcept;
+
+/// Objective scope covering every group's merged SLO histogram.
+inline constexpr std::uint32_t kAllGroups = 0xffffffffu;
+
+struct slo_objective {
+  std::string name;
+  alert_kind kind = alert_kind::latency_p99;
+  std::uint32_t group = kAllGroups;  ///< group index, or kAllGroups
+  double threshold = 1000.0;  ///< ms ceiling, or error-budget fraction
+  std::size_t short_windows = 1;  ///< fast-detection window, in slots
+  std::size_t long_windows = 4;   ///< sustained-burn window, in slots
+  double burn_rate = 1.0;  ///< budget multiplier (error_rate only)
+};
+
+/// One edge of an alert: fired (breach began) or cleared (breach ended),
+/// stamped with the closing slot window's simulated time.
+struct alert_event {
+  std::size_t objective = 0;  ///< index into alert_report::objectives
+  std::uint64_t slot = 0;
+  double sim_ms = 0.0;
+  bool fired = true;  ///< false: cleared
+  double short_value = 0.0;
+  double long_value = 0.0;
+};
+
+struct alert_report {
+  std::vector<slo_objective> objectives;
+  std::vector<alert_event> events;  ///< in (window, objective) order
+  std::vector<bool> active;         ///< per objective, at end of timeline
+  std::uint64_t fires = 0;
+  std::uint64_t clears = 0;
+
+  /// FNV-1a over (objective, slot, edge) triples — the determinism gate
+  /// for alert evaluation.
+  std::uint64_t fingerprint() const noexcept;
+};
+
+/// Evaluates `objectives` over every retained window of `tl`.  Windows
+/// with no samples in scope evaluate as healthy (an idle slot burns no
+/// budget).  Pure and deterministic.
+alert_report evaluate_alerts(const timeline& tl,
+                             const std::vector<slo_objective>& objectives);
+
+/// The stock fleet objectives: a fleet-wide p99 ceiling, a fleet-wide
+/// error budget, and one p99 ceiling per group.
+std::vector<slo_objective> default_fleet_objectives(std::size_t group_count,
+                                                    double p99_ceiling_ms,
+                                                    double error_budget);
+
+/// Chrome-trace lane spans: one sim-timeline span per fired alert,
+/// covering fire → clear (or → the last window when still active;
+/// a=objective index, b=fire slot).
+std::vector<span_record> alert_spans(const alert_report& report,
+                                     const timeline& tl);
+
+}  // namespace mca::obs

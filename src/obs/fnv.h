@@ -1,0 +1,26 @@
+// Shared FNV-1a accumulator for the obs fingerprints (registry, timeline,
+// alert report).  Word-at-a-time over little-endian byte order so every
+// fingerprint in the layer composes the same way.
+#pragma once
+
+#include <cstdint>
+
+namespace mca::obs {
+
+struct fnv_state {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  void word(std::uint64_t w) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (w >> (i * 8)) & 0xffu;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  void real(double d) noexcept {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    word(bits);
+  }
+};
+
+}  // namespace mca::obs

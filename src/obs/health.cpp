@@ -1,0 +1,125 @@
+#include "obs/health.h"
+
+#include <algorithm>
+
+#include "util/histogram.h"
+
+namespace mca::obs {
+namespace {
+
+/// Interpolated quantile, or 0 when the window saw no responses.
+double quantile_or_zero(const util::histogram& h, double q) {
+  return h.total() == 0 ? 0.0 : h.quantile_interpolated(q);
+}
+
+}  // namespace
+
+void write_health_report(std::FILE* out, const timeline& tl,
+                         const alert_report& alerts,
+                         const std::vector<exemplar_record>& exemplars) {
+  std::fprintf(out, "fleet health report\n");
+  std::fprintf(out,
+               "timeline: %zu windows (one per provisioning slot; the last "
+               "covers the drain tail)\n\n",
+               tl.size());
+  std::fprintf(out, "%6s %12s %10s %10s %8s %10s %10s %12s %7s\n", "slot",
+               "end_min", "requests", "success", "failed", "p50_ms", "p99_ms",
+               "tail_max_ms", "alerts");
+  for (std::size_t i = 0; i < tl.size(); ++i) {
+    const timeline_window& w = tl.window(i);
+    const util::histogram slo = w.merged_slo();
+    double tail_max = 0.0;
+    for (const exemplar_record& r : exemplars) {
+      if (r.slot == w.slot && r.response_ms > tail_max) {
+        tail_max = r.response_ms;
+      }
+    }
+    std::size_t fired = 0;
+    std::size_t cleared = 0;
+    for (const alert_event& e : alerts.events) {
+      if (e.slot != w.slot) continue;
+      if (e.fired) {
+        ++fired;
+      } else {
+        ++cleared;
+      }
+    }
+    char marks[16];
+    if (fired == 0 && cleared == 0) {
+      std::snprintf(marks, sizeof marks, "-");
+    } else {
+      std::snprintf(marks, sizeof marks, "%zu!/%zuok", fired, cleared);
+    }
+    std::fprintf(out, "%6llu %12.1f %10llu %10llu %8llu %10.1f %10.1f %12.1f %7s\n",
+                 static_cast<unsigned long long>(w.slot),
+                 w.sim_end_ms / 60'000.0,
+                 static_cast<unsigned long long>(w.delta(counter::sdn_requests)),
+                 static_cast<unsigned long long>(w.delta(counter::sdn_successes)),
+                 static_cast<unsigned long long>(w.delta(counter::sdn_failures)),
+                 quantile_or_zero(slo, 0.50), quantile_or_zero(slo, 0.99),
+                 tail_max, marks);
+  }
+
+  std::fprintf(out, "\nalert events (%llu fired, %llu cleared):\n",
+               static_cast<unsigned long long>(alerts.fires),
+               static_cast<unsigned long long>(alerts.clears));
+  if (alerts.events.empty()) {
+    std::fprintf(out, "  (none)\n");
+  }
+  for (const alert_event& e : alerts.events) {
+    const slo_objective& obj = alerts.objectives[e.objective];
+    std::fprintf(out,
+                 "  slot %4llu @ %10.1f min  %-5s %-24s short=%.3f long=%.3f "
+                 "threshold=%.3f\n",
+                 static_cast<unsigned long long>(e.slot), e.sim_ms / 60'000.0,
+                 e.fired ? "FIRE" : "CLEAR", obj.name.c_str(), e.short_value,
+                 e.long_value, obj.threshold);
+  }
+
+  std::fprintf(out, "\nobjectives:\n");
+  for (std::size_t o = 0; o < alerts.objectives.size(); ++o) {
+    const slo_objective& obj = alerts.objectives[o];
+    std::fprintf(out,
+                 "  [%zu] %-24s kind=%-12s scope=%s threshold=%.3f "
+                 "windows=%zu/%zu burn_rate=%.2f%s\n",
+                 o, obj.name.c_str(), alert_kind_name(obj.kind),
+                 obj.group == kAllGroups
+                     ? "fleet"
+                     : ("group" + std::to_string(obj.group)).c_str(),
+                 obj.threshold, obj.short_windows, obj.long_windows,
+                 obj.burn_rate,
+                 alerts.active.size() > o && alerts.active[o]
+                     ? "  [ACTIVE AT END]"
+                     : "");
+  }
+
+  std::fprintf(out, "\ntail exemplars: %zu flushed", exemplars.size());
+  if (!exemplars.empty()) {
+    const auto slowest = std::max_element(
+        exemplars.begin(), exemplars.end(),
+        [](const exemplar_record& a, const exemplar_record& b) {
+          return exemplar_before(b, a);
+        });
+    std::fprintf(out,
+                 "; slowest overall: request %llu (user %llu, group %llu) "
+                 "%.1f ms in slot %llu",
+                 static_cast<unsigned long long>(slowest->request),
+                 static_cast<unsigned long long>(slowest->user),
+                 static_cast<unsigned long long>(slowest->group),
+                 slowest->response_ms,
+                 static_cast<unsigned long long>(slowest->slot));
+  }
+  std::fprintf(out, "\n");
+}
+
+bool write_health_report(const std::string& path, const timeline& tl,
+                         const alert_report& alerts,
+                         const std::vector<exemplar_record>& exemplars) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  write_health_report(out, tl, alerts, exemplars);
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace mca::obs

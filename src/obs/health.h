@@ -1,0 +1,26 @@
+// Plain-text fleet health report: the timeline, exemplars, and alert
+// events rendered as a table a human can read in a CI artifact listing —
+// one row per provisioning-slot window, then the alert event log and the
+// objective catalog.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/alerts.h"
+#include "obs/exemplar.h"
+#include "obs/timeline.h"
+
+namespace mca::obs {
+
+void write_health_report(std::FILE* out, const timeline& tl,
+                         const alert_report& alerts,
+                         const std::vector<exemplar_record>& exemplars);
+
+/// Same, to a file path.  Returns false when the file cannot be opened.
+bool write_health_report(const std::string& path, const timeline& tl,
+                         const alert_report& alerts,
+                         const std::vector<exemplar_record>& exemplars);
+
+}  // namespace mca::obs

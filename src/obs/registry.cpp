@@ -1,5 +1,7 @@
 #include "obs/registry.h"
 
+#include "obs/fnv.h"
+
 namespace mca::obs {
 namespace {
 
@@ -25,6 +27,8 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "fleet_slot_rounds",
     "fleet_quota_splits",
     "slot_boundaries",
+    "timeline_snapshots",
+    "exemplar_admitted",
     "pool_tasks_executed",
     "pool_steals",
     "pool_idle_waits",
@@ -35,28 +39,13 @@ constexpr const char* kGaugeNames[kGaugeCount] = {
     "fleet_shards",
     "groups",
     "trace_spans_dropped",
+    "timeline_windows",
 };
 
 constexpr const char* kSeriesNames[kSeriesCount] = {
     "ps_queue_depth",
     "ps_event_batch",
     "ilp_nodes_per_solve",
-};
-
-struct fnv_state {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  void word(std::uint64_t w) noexcept {
-    for (int i = 0; i < 8; ++i) {
-      hash ^= (w >> (i * 8)) & 0xffu;
-      hash *= 0x100000001b3ULL;
-    }
-  }
-  void real(double d) noexcept {
-    std::uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(d));
-    __builtin_memcpy(&bits, &d, sizeof(bits));
-    word(bits);
-  }
 };
 
 }  // namespace
@@ -74,6 +63,10 @@ bool counter_is_scheduling_dependent(counter c) noexcept {
     default:
       return false;
   }
+}
+
+bool counter_is_trace_dependent(counter c) noexcept {
+  return c == counter::sdn_sampled_spans;
 }
 
 const char* gauge_name(gauge g) noexcept {

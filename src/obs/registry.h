@@ -55,6 +55,9 @@ enum class counter : std::uint32_t {
   fleet_slot_rounds,    ///< bulk-synchronous slot rounds coordinated
   fleet_quota_splits,   ///< fleet plans split into per-shard quotas
   slot_boundaries,      ///< provisioning-slot boundaries observed
+  // --- time-resolved telemetry (obs::timeline / obs::exemplar) ---
+  timeline_snapshots,   ///< per-slot windows closed into a timeline
+  exemplar_admitted,    ///< responses admitted to a tail top-K reservoir
   // --- work-stealing pool (scheduling-dependent: reported, never
   //     fingerprinted) ---
   pool_tasks_executed,
@@ -73,6 +76,14 @@ const char* counter_name(counter c) noexcept;
 /// (pool telemetry).  Excluded from fingerprint().
 bool counter_is_scheduling_dependent(counter c) noexcept;
 
+/// True for counters whose value depends on whether a span tracer is
+/// attached (1-in-N lifecycle sampling only counts while tracing).  They
+/// merge, report, and registry-fingerprint normally — the bench only
+/// compares registry fingerprints across untraced legs — but the
+/// timeline fingerprint excludes them so traced and untraced legs of the
+/// same workload produce bit-identical timelines.
+bool counter_is_trace_dependent(counter c) noexcept;
+
 /// Point-in-time values; merge takes the max (gauges describe the run's
 /// configuration/high-water marks, not flows).  Never fingerprinted —
 /// pool_workers legitimately differs across --jobs legs.
@@ -81,6 +92,7 @@ enum class gauge : std::uint32_t {
   fleet_shards,
   groups,
   trace_spans_dropped,  ///< ring-buffer overwrites during tracing
+  timeline_windows,     ///< retained per-slot windows after the merge
   count
 };
 

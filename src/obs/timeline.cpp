@@ -1,0 +1,147 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+
+#include "obs/fnv.h"
+
+namespace mca::obs {
+
+util::histogram timeline_window::merged_slo() const {
+  util::histogram merged = slo_histogram_layout();
+  for (const util::histogram& h : slo) merged.merge(h);
+  return merged;
+}
+
+void timeline::reset(std::size_t window_capacity, std::size_t group_count) {
+  groups_ = group_count;
+  windows_.clear();
+  windows_.reserve(window_capacity);
+  for (std::size_t i = 0; i < window_capacity; ++i) {
+    timeline_window w;
+    w.slo.reserve(group_count);
+    for (std::size_t g = 0; g < group_count; ++g) {
+      w.slo.push_back(slo_histogram_layout());
+    }
+    windows_.push_back(std::move(w));
+  }
+  prev_slo_.clear();
+  prev_slo_.reserve(group_count);
+  for (std::size_t g = 0; g < group_count; ++g) {
+    prev_slo_.push_back(slo_histogram_layout());
+  }
+  prev_counters_ = {};
+  pushed_ = 0;
+}
+
+// Slot-rate, but shares the hot-path discipline of the registry it reads:
+// plain array arithmetic over preallocated storage, nothing else.
+// mca:hot-path-begin(obs-timeline-snapshot)
+void timeline::snapshot(const registry& reg, std::uint64_t slot,
+                        double sim_end_ms) {
+  if (windows_.empty()) return;
+  timeline_window& w = windows_[pushed_ % windows_.size()];
+  w.slot = slot;
+  w.sim_end_ms = sim_end_ms;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const std::uint64_t cur = reg.get(static_cast<counter>(i));
+    w.counters[i] = cur - prev_counters_[i];
+    prev_counters_[i] = cur;
+  }
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    w.gauges[i] = reg.get_gauge(static_cast<gauge>(i));
+  }
+  const std::size_t groups = std::min(groups_, reg.group_count());
+  for (std::size_t g = 0; g < groups; ++g) {
+    // delta = cumulative - baseline, then baseline += delta == cumulative:
+    // both steps are bin-wise integer math on same-layout histograms.
+    w.slo[g].assign_difference(reg.group_slo(g), prev_slo_[g]);
+    prev_slo_[g].merge(w.slo[g]);
+  }
+  ++pushed_;
+}
+// mca:hot-path-end
+
+std::size_t timeline::size() const noexcept {
+  return windows_.empty()
+             ? 0
+             : static_cast<std::size_t>(std::min<std::uint64_t>(
+                   pushed_, static_cast<std::uint64_t>(windows_.size())));
+}
+
+std::uint64_t timeline::dropped() const noexcept {
+  return pushed_ - static_cast<std::uint64_t>(size());
+}
+
+const timeline_window& timeline::window(std::size_t i) const {
+  const std::size_t retained = size();
+  // Oldest-first: once the ring wraps, the oldest retained window sits at
+  // pushed_ % capacity.
+  const std::size_t base =
+      pushed_ > retained ? static_cast<std::size_t>(pushed_ % windows_.size())
+                         : 0;
+  return windows_.at((base + i) % windows_.size());
+}
+
+void timeline::merge(const timeline& other) {
+  // Collapse both ring representations into one slot-ordered store.  This
+  // grows (post-run allocation is fine); the result indexes linearly, so
+  // window(i) keeps working with pushed_ == size().
+  std::vector<timeline_window> merged;
+  merged.reserve(size() + other.size());
+  for (std::size_t i = 0; i < size(); ++i) merged.push_back(window(i));
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    const timeline_window& theirs = other.window(i);
+    auto pos = std::lower_bound(
+        merged.begin(), merged.end(), theirs.slot,
+        [](const timeline_window& w, std::uint64_t slot) {
+          return w.slot < slot;
+        });
+    if (pos == merged.end() || pos->slot != theirs.slot) {
+      merged.insert(pos, theirs);
+      continue;
+    }
+    timeline_window& mine = *pos;
+    if (theirs.sim_end_ms > mine.sim_end_ms) mine.sim_end_ms = theirs.sim_end_ms;
+    for (std::size_t c = 0; c < kCounterCount; ++c) {
+      mine.counters[c] += theirs.counters[c];
+    }
+    for (std::size_t g = 0; g < kGaugeCount; ++g) {
+      if (theirs.gauges[g] > mine.gauges[g]) mine.gauges[g] = theirs.gauges[g];
+    }
+    while (mine.slo.size() < theirs.slo.size()) {
+      mine.slo.push_back(slo_histogram_layout());
+    }
+    for (std::size_t g = 0; g < theirs.slo.size(); ++g) {
+      mine.slo[g].merge(theirs.slo[g]);
+    }
+  }
+  windows_ = std::move(merged);
+  pushed_ = static_cast<std::uint64_t>(windows_.size());
+  groups_ = std::max(groups_, other.groups_);
+}
+
+std::uint64_t timeline::fingerprint() const noexcept {
+  fnv_state fnv;
+  fnv.word(static_cast<std::uint64_t>(size()));
+  for (std::size_t i = 0; i < size(); ++i) {
+    const timeline_window& w = window(i);
+    fnv.word(w.slot);
+    fnv.real(w.sim_end_ms);
+    for (std::size_t c = 0; c < kCounterCount; ++c) {
+      const auto which = static_cast<counter>(c);
+      if (counter_is_scheduling_dependent(which)) continue;
+      if (counter_is_trace_dependent(which)) continue;
+      fnv.word(w.counters[c]);
+    }
+    fnv.word(static_cast<std::uint64_t>(w.slo.size()));
+    for (const util::histogram& h : w.slo) {
+      fnv.word(h.total());
+      for (std::size_t b = 0; b < h.bin_count(); ++b) {
+        fnv.word(h.count_in_bin(b));
+      }
+    }
+  }
+  return fnv.hash;
+}
+
+}  // namespace mca::obs

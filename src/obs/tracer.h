@@ -35,6 +35,8 @@ enum class span_kind : std::uint8_t {
   quota_split,        ///< largest-remainder quota split (a=slot, b=shards)
   request_lifecycle,  ///< sampled request through the SDN (a=user, b=success)
   pool_idle,          ///< worker idle gap between tasks (a=worker)
+  request_exemplar,   ///< tail top-K request lifecycle (a=user, b=request id)
+  slo_alert,          ///< SLO alert active interval (a=objective, b=fire slot)
 };
 
 /// Trace-event name of a kind.
@@ -81,6 +83,33 @@ class span_ring {
   std::uint64_t pushed_ = 0;
 };
 
+/// An extra named trace thread built post-run from records rather than a
+/// live ring — the exemplar and alert lanes.  Lane spans are usually
+/// sim-stamped; they render on the simulated-time process with one trace
+/// thread per lane, after the ring threads.
+struct trace_lane {
+  std::string name;
+  std::vector<span_record> spans;
+};
+
+/// Slot-window export filter (`fleet_scale --trace-slots A:B`): spans
+/// with a simulated extent are kept when they overlap
+/// [sim_begin_ms, sim_end_ms); wall-only spans that carry a slot index
+/// (coordinator_solve, quota_split: arg_a) are kept when it falls in
+/// [slot_begin, slot_end]; un-slotted wall-only spans (pool_idle) are
+/// dropped — an outage window stays inspectable without the
+/// multi-hundred-MB full trace.
+struct trace_filter {
+  std::uint64_t slot_begin = 0;
+  std::uint64_t slot_end = 0;
+  double sim_begin_ms = 0.0;
+  double sim_end_ms = 0.0;
+};
+
+/// True when `filter` retains `s` (the rule above).
+bool trace_filter_keeps(const trace_filter& filter,
+                        const span_record& s) noexcept;
+
 class tracer {
  public:
   struct options {
@@ -113,6 +142,17 @@ class tracer {
   /// Same, to a file path.  Returns false when the file cannot be opened.
   bool export_chrome_trace(const std::string& path,
                            const std::vector<std::string>& ring_names) const;
+
+  /// Full export: ring spans plus extra lanes (exemplars, alerts), with
+  /// an optional slot-window filter (nullptr exports everything).
+  void export_chrome_trace(std::FILE* out,
+                           const std::vector<std::string>& ring_names,
+                           const std::vector<trace_lane>& lanes,
+                           const trace_filter* filter) const;
+  bool export_chrome_trace(const std::string& path,
+                           const std::vector<std::string>& ring_names,
+                           const std::vector<trace_lane>& lanes,
+                           const trace_filter* filter) const;
 
  private:
   std::vector<span_ring> rings_;

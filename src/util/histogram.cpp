@@ -48,6 +48,21 @@ void histogram::merge(const histogram& other) {
   total_ += other.total_;
 }
 
+void histogram::assign_difference(const histogram& cur, const histogram& prev) {
+  if (lo_ != cur.lo_ || width_ != cur.width_ ||
+      counts_.size() != cur.counts_.size() || lo_ != prev.lo_ ||
+      width_ != prev.width_ || counts_.size() != prev.counts_.size()) {
+    throw std::invalid_argument{"histogram: difference of mismatched layouts"};
+  }
+  if (prev.total_ > cur.total_) {
+    throw std::invalid_argument{"histogram: difference would be negative"};
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] = cur.counts_[b] - prev.counts_[b];
+  }
+  total_ = cur.total_ - prev.total_;
+}
+
 double histogram::bin_lower(std::size_t bin) const {
   if (bin >= counts_.size()) throw std::out_of_range{"histogram: bin index"};
   return lo_ + width_ * static_cast<double>(bin);

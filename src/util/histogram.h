@@ -19,6 +19,13 @@ class histogram {
   /// Throws std::invalid_argument unless both histograms share the same
   /// range and bin count.
   void merge(const histogram& other);
+  /// Replaces this histogram's counts with the bin-wise difference
+  /// `cur - prev` — the samples added to `cur` since it looked like
+  /// `prev`.  All three histograms must share the same layout and `prev`
+  /// must be an earlier snapshot of `cur` (total <= cur's); throws
+  /// std::invalid_argument otherwise.  Allocation-free, so per-window
+  /// telemetry deltas (obs::timeline) can use it at slot rate.
+  void assign_difference(const histogram& cur, const histogram& prev);
   std::size_t total() const noexcept { return total_; }
   std::size_t bin_count() const noexcept { return counts_.size(); }
   std::size_t count_in_bin(std::size_t bin) const { return counts_.at(bin); }

@@ -29,12 +29,17 @@
 //    (Self-containment is enforced by the generated one-TU-per-header
 //    build, see MCA_HEADER_SELFCHECK in CMakeLists.txt.)
 //
-//  obs discipline — the counter/gauge/series enums in obs/registry.h are
-//    cross-referenced against the rest of the tree: every enum value must
-//    be recorded or read somewhere outside the registry itself
-//    [obs-dead-counter], every use must name a registered value
-//    [obs-unknown-counter], and every value needs an entry in the
-//    registry.cpp name table [obs-unnamed-counter].
+//  obs discipline — the observability enums are cross-referenced against
+//    the rest of the tree: every enum value must be recorded or read
+//    somewhere outside its defining files [obs-dead-counter], every use
+//    must name a registered value [obs-unknown-counter], and every value
+//    needs an entry in its name table [obs-unnamed-counter].  The
+//    counter/gauge/series enums in obs/registry.h (names in
+//    registry.cpp) and alert_kind in obs/alerts.h (names in alerts.cpp)
+//    share those rules; span_kind in obs/tracer.h gets the same checks
+//    under its own rule ids [obs-dead-span] / [obs-unknown-span] /
+//    [obs-unnamed-span] — so every span kind provably has at least one
+//    recording site and an exporter name-table entry in tracer.cpp.
 //
 // Suppressions:  // mca-lint: allow(<rule>[,<rule>...]) <reason>
 // suppresses matching violations on its own line (or, when the comment
@@ -98,6 +103,7 @@ const std::set<std::string>& known_rules() {
       "hot-region",       "det-random",        "det-wallclock",
       "det-unordered-iter", "hdr-guard",       "hdr-using-namespace",
       "obs-dead-counter", "obs-unknown-counter", "obs-unnamed-counter",
+      "obs-dead-span",    "obs-unknown-span",    "obs-unnamed-span",
       "bad-suppression"};
   return rules;
 }
@@ -466,6 +472,37 @@ void check_header(const source_file& f, std::vector<violation>& out) {
 
 // ---- obs discipline ------------------------------------------------------
 
+/// One cross-referenced observability enum: where it is defined, which
+/// file's string literals form its name table, and the rule-id suffix its
+/// violations report under.
+struct obs_kind_spec {
+  const char* kind;         ///< enum name (counter, span_kind, ...)
+  const char* header;       ///< defining header, display path
+  const char* name_source;  ///< name-table file, display path
+  const char* rule_suffix;  ///< "counter" or "span"
+};
+
+constexpr obs_kind_spec kObsKinds[] = {
+    {"counter", "src/obs/registry.h", "src/obs/registry.cpp", "counter"},
+    {"gauge", "src/obs/registry.h", "src/obs/registry.cpp", "counter"},
+    {"series", "src/obs/registry.h", "src/obs/registry.cpp", "counter"},
+    {"alert_kind", "src/obs/alerts.h", "src/obs/alerts.cpp", "counter"},
+    {"span_kind", "src/obs/tracer.h", "src/obs/tracer.cpp", "span"},
+};
+
+const obs_kind_spec* obs_kind(const std::string& kind) {
+  for (const obs_kind_spec& spec : kObsKinds) {
+    if (kind == spec.kind) return &spec;
+  }
+  return nullptr;
+}
+
+/// True when `display` defines or names `kind` — uses there are the
+/// declaration and its exporter, not recording sites.
+bool obs_defining_file(const obs_kind_spec& spec, const std::string& display) {
+  return display == spec.header || display == spec.name_source;
+}
+
 struct obs_enum_value {
   std::string name;
   int line = 0;
@@ -473,17 +510,18 @@ struct obs_enum_value {
 
 struct obs_model {
   std::map<std::string, std::vector<obs_enum_value>> enums;  // kind → values
-  std::set<std::string> name_table_strings;  // string literals in registry.cpp
-  std::string registry_header;  // display path, for dead-counter reports
+  /// kind → string literals in its name-table file.
+  std::map<std::string, std::set<std::string>> name_tables;
 };
 
-void parse_registry(const source_file& f, obs_model& model) {
+/// Harvests any cross-referenced enums `f` defines (per kObsKinds).
+void parse_obs_enums(const source_file& f, obs_model& model) {
   const std::vector<token>& tk = f.lex.tokens;
   for (std::size_t i = 0; i + 3 < tk.size(); ++i) {
     if (!is_ident(tk[i], "enum") || !is_ident(tk[i + 1], "class")) continue;
     const std::string kind = tk[i + 2].text;
-    if (kind != "counter" && kind != "gauge" && kind != "series") continue;
-    model.registry_header = f.display;
+    const obs_kind_spec* spec = obs_kind(kind);
+    if (spec == nullptr || f.display != spec->header) continue;
     // Collect identifiers in enumerator position: after '{' or ','.
     std::size_t j = i + 3;
     while (j < tk.size() && !is_punct(tk[j], '{')) ++j;
@@ -508,7 +546,8 @@ void collect_obs_usage(
   for (std::size_t i = 0; i + 3 < tk.size(); ++i) {
     if (tk[i].kind != token_kind::identifier) continue;
     const std::string& kind = tk[i].text;
-    if (kind != "counter" && kind != "gauge" && kind != "series") continue;
+    const obs_kind_spec* spec = obs_kind(kind);
+    if (spec == nullptr || obs_defining_file(*spec, f.display)) continue;
     if (!is_punct(tk[i + 1], ':') || !is_punct(tk[i + 2], ':')) continue;
     if (tk[i + 3].kind != token_kind::identifier) continue;
     // Record first-seen line per (kind, value).
@@ -521,8 +560,12 @@ void check_obs(const obs_model& model,
                               std::map<std::string, int>>& usage,
                const std::map<std::string, std::string>& usage_file,
                std::vector<violation>& out) {
-  if (model.enums.empty()) return;  // registry not in scan set
+  // Each kind is checked only when its defining enum was actually in the
+  // scan set (self-test snippets run on partial trees).
   for (const auto& [kind, values] : model.enums) {
+    const obs_kind_spec& spec = *obs_kind(kind);
+    const std::string suffix = spec.rule_suffix;
+    const auto table_it = model.name_tables.find(kind);
     std::set<std::string> registered;
     for (const obs_enum_value& v : values) registered.insert(v.name);
     // Registered but never recorded/read anywhere else in the tree.
@@ -531,15 +574,18 @@ void check_obs(const obs_model& model,
       const bool used =
           used_it != usage.end() && used_it->second.count(v.name) > 0;
       if (!used) {
-        out.push_back({model.registry_header, v.line, "obs-dead-counter",
+        out.push_back({spec.header, v.line, "obs-dead-" + suffix,
                        kind + "::" + v.name +
                            " is registered but never recorded or read "
-                           "outside obs/registry"});
+                           "outside its defining files"});
       }
-      if (model.name_table_strings.count(v.name) == 0) {
-        out.push_back({model.registry_header, v.line, "obs-unnamed-counter",
-                       kind + "::" + v.name +
-                           " missing from the registry.cpp name table"});
+      const bool named =
+          table_it != model.name_tables.end() &&
+          table_it->second.count(v.name) > 0;
+      if (!named) {
+        out.push_back({spec.header, v.line, "obs-unnamed-" + suffix,
+                       kind + "::" + v.name + " missing from the " +
+                           spec.name_source + " name table"});
       }
     }
     // Used but not part of the registered enum (tokenizer-level typo net;
@@ -549,11 +595,11 @@ void check_obs(const obs_model& model,
       for (const auto& [name, line] : used_it->second) {
         if (name == "count" || registered.count(name) > 0) continue;
         const auto file_it = usage_file.find(kind + "::" + name);
-        out.push_back({file_it == usage_file.end() ? model.registry_header
+        out.push_back({file_it == usage_file.end() ? spec.header
                                                    : file_it->second,
-                       line, "obs-unknown-counter",
+                       line, "obs-unknown-" + suffix,
                        kind + "::" + name + " is not registered in " +
-                           model.registry_header});
+                           spec.header});
       }
     }
   }
@@ -600,10 +646,6 @@ struct lint_options {
   bool verbose = false;
 };
 
-bool is_registry_file(const std::string& display) {
-  return display == "src/obs/registry.h" || display == "src/obs/registry.cpp";
-}
-
 std::vector<violation> run_lint(std::vector<source_file>& files) {
   std::vector<violation> raw;
   std::set<std::string> unordered_names;
@@ -614,11 +656,12 @@ std::vector<violation> run_lint(std::vector<source_file>& files) {
   for (source_file& f : files) {
     parse_directives(f, raw);
     if (f.in_src) collect_unordered_names(f, unordered_names);
-    if (f.display == "src/obs/registry.h") parse_registry(f, model);
-    if (f.display == "src/obs/registry.cpp") {
+    parse_obs_enums(f, model);
+    for (const obs_kind_spec& spec : kObsKinds) {
+      if (f.display != spec.name_source) continue;
       for (const token& t : f.lex.tokens) {
         if (t.kind == token_kind::string_literal) {
-          model.name_table_strings.insert(t.text);
+          model.name_tables[spec.kind].insert(t.text);
         }
       }
     }
@@ -630,14 +673,12 @@ std::vector<violation> run_lint(std::vector<source_file>& files) {
       check_unordered_iteration(f, unordered_names, raw);
     }
     if (f.is_header) check_header(f, raw);
-    if (!is_registry_file(f.display)) {
-      std::map<std::string, std::map<std::string, int>> here;
-      collect_obs_usage(f, here);
-      for (const auto& [kind, values] : here) {
-        for (const auto& [name, line] : values) {
-          obs_usage[kind].emplace(name, line);
-          obs_usage_file.emplace(kind + "::" + name, f.display);
-        }
+    std::map<std::string, std::map<std::string, int>> here;
+    collect_obs_usage(f, here);
+    for (const auto& [kind, values] : here) {
+      for (const auto& [name, line] : values) {
+        obs_usage[kind].emplace(name, line);
+        obs_usage_file.emplace(kind + "::" + name, f.display);
       }
     }
   }
@@ -826,6 +867,22 @@ int self_test() {
       "  add(counter::typo_one);\n"
       "}\n";
 
+  const std::string tracer_h =
+      "#pragma once\n"
+      "enum class span_kind : int {\n"
+      "  used_span,\n"
+      "  dead_span,\n"
+      "  count\n"
+      "};\n";
+  const std::string tracer_cpp =
+      "#include \"tracer.h\"\n"
+      "const char* span_name(span_kind k) { return \"used_span\"; }\n";
+  const std::string tracer_user =
+      "void record() {\n"
+      "  push(span_kind::used_span);\n"
+      "  push(span_kind::typo_span);\n"
+      "}\n";
+
   const std::vector<snippet_case> cases{
       {"hot-path bans fire",
        {{"src/demo/hot.cpp", hot_bad}},
@@ -866,6 +923,14 @@ int self_test() {
        {{"obs-dead-counter", 1},
         {"obs-unknown-counter", 1},
         {"obs-unnamed-counter", 1}}},
+      {"span coverage: every span kind needs a recording site and a name",
+       {{"src/obs/tracer.h", tracer_h},
+        {"src/obs/tracer.cpp", tracer_cpp},
+        {"src/demo/spans.cpp", tracer_user}},
+       {{"obs-dead-span", 1},
+        {"obs-unknown-span", 1},
+        {"obs-unnamed-span", 1},
+        {"obs-dead-counter", 0}}},
   };
 
   int failures = 0;
