@@ -48,7 +48,7 @@ run_result run(bool enable_credits) {
       sim, workload::random_pool_source(pool),
       [&](const workload::offload_request& r) {
         const auto window = static_cast<std::size_t>(sim.now() / kWindow);
-        server.submit(r.work.work_units(), [&windows, window](double t) {
+        server.submit(r.work.work_units(), [&windows, window](double t, bool) {
           if (window < windows.size()) windows[window].add(t);
         });
       },

@@ -97,7 +97,7 @@ std::map<int, phase_stats> run_saturation_part(const tasks::task_pool& pool) {
           auto& phase = phases[rate];
           ++phase.arrivals;
           const bool accepted = server.submit(
-              r.work.work_units(), [&phases, rate](double service) {
+              r.work.work_units(), [&phases, rate](double service, bool) {
                 phases[rate].response.add(service);
                 ++phases[rate].successes;
               });

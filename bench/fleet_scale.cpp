@@ -13,7 +13,7 @@
 //   fleet_scale [--users N] [--shards K] [--slots S] [--jobs a,b,c]
 //               [--ilp-solves S] [--trials T] [--trace PATH]
 //               [--trace-slots A:B] [--health PATH] [--out PATH]
-//               [--smoke]
+//               [--faults] [--fault-health PATH] [--smoke]
 //
 // --slots sets how many provisioning slots the 1-hour horizon is cut into
 // (slot_length = duration / slots).  --smoke shrinks everything (CI: small
@@ -35,6 +35,19 @@
 // window stays inspectable without the full-trace payload.  --health
 // writes the plain-text fleet health report (per-slot timeline table,
 // alert event log, slowest exemplar) CI uploads next to the trace.
+//
+// --faults runs the same scenario again under a fault program (spot
+// preemption hazards on every group, a region outage on group 2 strictly
+// inside slot 1, cold starts, and the timeout/retry/local-fallback
+// resilience path), once per pool size, with its own hard gates:
+// thread-count-independent faulted fingerprints, the zero-loss equation
+// (requests == successes + failures), the outage window's group p99
+// breaching the SLO ceiling then recovering (with the matching alert
+// fire + clear), and a disabled-program replay that must reproduce the
+// fault-free fingerprints bit for bit.  A hazard-rate series
+// (multipliers 0/1/2) lands in the JSON; with --trace, a second traced
+// export gains a "fault windows" lane (one span per outage, one marker
+// per strike); --fault-health writes the fault leg's health report.
 //
 // The time-resolved layer gets its own hard gates: the merged
 // per-slot timeline fingerprint must be bit-identical across thread
@@ -67,6 +80,7 @@
 #include "exp/bench_clock.h"
 #include "exp/scenario.h"
 #include "exp/thread_pool.h"
+#include "fault/fault_program.h"
 #include "fleet/fleet_runner.h"
 #include "obs/alerts.h"
 #include "obs/exemplar.h"
@@ -158,6 +172,74 @@ std::vector<obs::slo_objective> fleet_objectives(std::size_t group_count) {
   return obs::default_fleet_objectives(group_count, /*p99_ceiling_ms=*/5'000.0,
                                        /*error_budget=*/0.10);
 }
+
+/// The p99 ceiling shared by fleet_objectives and the fault-leg
+/// breach/recover gates.
+constexpr double kP99CeilingMs = 5'000.0;
+
+/// The outage victim of the --faults leg (group id == SLO histogram
+/// index; group 2 is the mid-tier t2.large/m4.4xlarge/m4.10xlarge band).
+constexpr std::uint32_t kOutageGroup = 2;
+
+/// The fleet scenario under fault injection: modest spot hazards on every
+/// group (scaled by `hazard_multiplier` for the rate series), one region
+/// outage on group 2 strictly inside provisioning slot 1 — both edges land
+/// mid-round, so the recovery exercises the coordinator's off-cycle
+/// re-aim — plus cold starts and the full resilience path (per-request
+/// timeout, capped backoff retries, local fallback).
+exp::scenario_spec faulted_fleet_spec(const exp::scenario_spec& base,
+                                      double hazard_multiplier) {
+  exp::scenario_spec spec = base;
+  spec.name = "fleet_scale_faults";
+  spec.faults.enabled = true;
+  // No spot hazard on the outage group: its availability is driven by the
+  // outage window alone, so the breach -> recover p99 gate stays crisp (a
+  // post-recovery strike would push a handful of ~56 s local fallbacks
+  // into the recovered window and its tail quantile).
+  spec.faults.preempt_hazard_per_hour = {
+      0.0, 6.0 * hazard_multiplier, 0.0, 6.0 * hazard_multiplier,
+      6.0 * hazard_multiplier};
+  spec.faults.outages = {
+      {kOutageGroup, spec.slot_length * 1.05, spec.slot_length * 1.9}};
+  spec.faults.cold_start_mean_ms = 2'000.0;
+  spec.faults.max_retries = 2;
+  spec.faults.request_timeout_ms = 30'000.0;
+  spec.faults.retry_backoff_base_ms = 100.0;
+  spec.faults.retry_backoff_cap_ms = 1'000.0;
+  spec.faults.local_fallback = true;
+  return spec;
+}
+
+/// One point of the hazard-rate sweep (multipliers 0 / 1 / 2 on the
+/// faulted spec's preemption hazards).
+struct fault_rate_point {
+  double multiplier = 0.0;
+  std::uint64_t preemptions = 0;
+  double acceptance_pct = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Fault-leg results fed into BENCH_fleet.json (ran == false omits the
+/// whole object).
+struct fault_summary {
+  bool ran = false;
+  bool deterministic = true;
+  std::uint64_t fingerprint = 0;
+  bool disabled_inert = false;
+  std::uint64_t preemptions = 0;
+  std::uint64_t inflight_killed = 0;
+  std::uint64_t outages = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t local_fallbacks = 0;
+  double outage_window_p99_ms = 0.0;
+  double recovered_window_p99_ms = 0.0;
+  std::uint64_t alert_fires = 0;
+  std::uint64_t alert_clears = 0;
+  std::vector<fault_rate_point> rate_series;
+};
 
 /// Observability summary fed into BENCH_fleet.json.
 struct obs_summary {
@@ -307,7 +389,8 @@ bool write_fleet_json(const std::string& path, const exp::scenario_spec& spec,
                       double users_per_sec, const phase_breakdown& phases,
                       std::size_t ilp_solves_timed, double batched_seconds,
                       double independent_seconds, const obs_summary& obs,
-                      const obs::alert_report& alerts, bool checks_passed) {
+                      const obs::alert_report& alerts,
+                      const fault_summary& faults, bool checks_passed) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "fleet_scale: cannot write %s\n", path.c_str());
@@ -453,6 +536,47 @@ bool write_fleet_json(const std::string& path, const exp::scenario_spec& spec,
         e + 1 < alerts.events.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  },\n");
+  if (faults.ran) {
+    std::fprintf(
+        f,
+        "  \"faults\": {\n"
+        "    \"deterministic\": %s,\n"
+        "    \"fingerprint\": \"%016llx\",\n"
+        "    \"disabled_program_inert\": %s,\n"
+        "    \"preemptions\": %llu,\n    \"inflight_killed\": %llu,\n"
+        "    \"outages\": %llu,\n    \"recoveries\": %llu,\n"
+        "    \"cold_starts\": %llu,\n    \"timeouts\": %llu,\n"
+        "    \"retries\": %llu,\n    \"local_fallbacks\": %llu,\n"
+        "    \"outage_window_p99_ms\": %.1f,\n"
+        "    \"recovered_window_p99_ms\": %.1f,\n"
+        "    \"alert_fires\": %llu,\n    \"alert_clears\": %llu,\n"
+        "    \"rate_series\": [\n",
+        faults.deterministic ? "true" : "false",
+        static_cast<unsigned long long>(faults.fingerprint),
+        faults.disabled_inert ? "true" : "false",
+        static_cast<unsigned long long>(faults.preemptions),
+        static_cast<unsigned long long>(faults.inflight_killed),
+        static_cast<unsigned long long>(faults.outages),
+        static_cast<unsigned long long>(faults.recoveries),
+        static_cast<unsigned long long>(faults.cold_starts),
+        static_cast<unsigned long long>(faults.timeouts),
+        static_cast<unsigned long long>(faults.retries),
+        static_cast<unsigned long long>(faults.local_fallbacks),
+        faults.outage_window_p99_ms, faults.recovered_window_p99_ms,
+        static_cast<unsigned long long>(faults.alert_fires),
+        static_cast<unsigned long long>(faults.alert_clears));
+    for (std::size_t p = 0; p < faults.rate_series.size(); ++p) {
+      const fault_rate_point& point = faults.rate_series[p];
+      std::fprintf(f,
+                   "      {\"multiplier\": %.1f, \"preemptions\": %llu, "
+                   "\"acceptance_pct\": %.2f, \"p99_ms\": %.1f}%s\n",
+                   point.multiplier,
+                   static_cast<unsigned long long>(point.preemptions),
+                   point.acceptance_pct, point.p99_ms,
+                   p + 1 < faults.rate_series.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  },\n");
+  }
   if (obs.registry != nullptr) {
     std::fprintf(f, "  \"slo_ms\": ");
     obs::write_slo_json(f, obs::build_slo_report(*obs.registry), 2);
@@ -497,6 +621,8 @@ int main(int argc, char** argv) {
       bench::flag_count(argc, argv, "--trials", smoke ? 8 : 3, "fleet_scale");
   const auto trace_path = bench::flag_value(argc, argv, "--trace");
   const auto health_path = bench::flag_value(argc, argv, "--health");
+  const bool with_faults = bench::has_flag(argc, argv, "--faults");
+  const auto fault_health_path = bench::flag_value(argc, argv, "--fault-health");
   const auto trace_slots = bench::flag_value(argc, argv, "--trace-slots");
   const std::string out_path =
       bench::flag_value(argc, argv, "--out").value_or("BENCH_fleet.json");
@@ -849,6 +975,290 @@ int main(int argc, char** argv) {
         have_slot_filter ? " (slot-window filtered)" : "");
   }
 
+  // ---- fault injection & resilience (--faults) ---------------------------
+  // One leg per pool size runs the same scenario under the fault program
+  // (spot hazards on every group, a region outage on group 2 strictly
+  // inside slot 1, cold starts, timeout/retry/fallback).  Hard gates:
+  // the faulted fingerprints are thread-count-independent, the front-end
+  // loses nothing (requests == successes + failures), the outage window's
+  // group p99 breaches the SLO ceiling and the next window recovers (with
+  // the matching alert fire + clear), and replaying the populated program
+  // with enabled=false reproduces the fault-free fingerprints bit for bit.
+  fault_summary fsum;
+  obs::alert_report fault_alerts;
+  fleet::fleet_result fault_reference;
+  if (with_faults) {
+    bench::section("fault injection & resilience (--faults)");
+    const exp::scenario_spec fault_spec = faulted_fleet_spec(spec, 1.0);
+    bool have_fault_reference = false;
+    std::uint64_t fault_obs_fp = 0;
+    std::uint64_t fault_tl_fp = 0;
+    fsum.ran = true;
+    for (const std::uint64_t jobs : jobs_list) {
+      exp::thread_pool pool{static_cast<std::size_t>(jobs)};
+      fleet::fleet_result result =
+          fleet::run_fleet(fault_spec, options, task_pool, pool);
+      std::printf(
+          "faults @ jobs=%2llu   wall %6.2f s   requests %zu   "
+          "acceptance %.1f%%   fingerprint %016llx\n",
+          static_cast<unsigned long long>(jobs), result.wall_seconds,
+          result.aggregate.requests,
+          result.aggregate.acceptance_rate() * 100.0,
+          static_cast<unsigned long long>(result.fingerprint()));
+      if (!have_fault_reference) {
+        fsum.fingerprint = result.fingerprint();
+        fault_obs_fp = result.observability.fingerprint();
+        fault_tl_fp = result.timeline.fingerprint();
+        fault_reference = std::move(result);
+        have_fault_reference = true;
+      } else {
+        fsum.deterministic =
+            fsum.deterministic && result.fingerprint() == fsum.fingerprint &&
+            result.observability.fingerprint() == fault_obs_fp &&
+            result.timeline.fingerprint() == fault_tl_fp;
+      }
+    }
+    checks.expect(fsum.deterministic,
+                  "faulted fingerprints (aggregate, obs, timeline) "
+                  "bit-identical across thread counts",
+                  bench::ratio_detail(
+                      "fault fingerprint",
+                      static_cast<double>(fsum.fingerprint & 0xffff)));
+
+    const obs::registry& fr = fault_reference.observability;
+    fsum.preemptions = fr.get(obs::counter::fault_preemptions);
+    fsum.inflight_killed = fr.get(obs::counter::fault_inflight_killed);
+    fsum.outages = fr.get(obs::counter::fault_outages);
+    fsum.recoveries = fr.get(obs::counter::fault_recoveries);
+    fsum.cold_starts = fr.get(obs::counter::fault_cold_starts);
+    fsum.timeouts = fr.get(obs::counter::sdn_timeouts);
+    fsum.retries = fr.get(obs::counter::sdn_retries);
+    fsum.local_fallbacks = fr.get(obs::counter::sdn_local_fallbacks);
+    const std::uint64_t f_requests = fr.get(obs::counter::sdn_requests);
+    const std::uint64_t f_successes = fr.get(obs::counter::sdn_successes);
+    const std::uint64_t f_failures = fr.get(obs::counter::sdn_failures);
+    std::printf(
+        "preemptions %llu (killed %llu in flight)   outages %llu   "
+        "recoveries %llu   cold starts %llu\n"
+        "timeouts %llu   retries %llu   local fallbacks %llu\n",
+        static_cast<unsigned long long>(fsum.preemptions),
+        static_cast<unsigned long long>(fsum.inflight_killed),
+        static_cast<unsigned long long>(fsum.outages),
+        static_cast<unsigned long long>(fsum.recoveries),
+        static_cast<unsigned long long>(fsum.cold_starts),
+        static_cast<unsigned long long>(fsum.timeouts),
+        static_cast<unsigned long long>(fsum.retries),
+        static_cast<unsigned long long>(fsum.local_fallbacks));
+    checks.expect(f_requests == f_successes + f_failures,
+                  "zero-loss: every accepted request terminated "
+                  "(successes + failures == requests)",
+                  bench::ratio_detail(
+                      "unaccounted",
+                      static_cast<double>(f_requests - f_successes -
+                                          f_failures)));
+    checks.expect(fsum.local_fallbacks <= f_successes,
+                  "local fallbacks are a subset of successes",
+                  bench::ratio_detail(
+                      "fallbacks", static_cast<double>(fsum.local_fallbacks)));
+    checks.expect(fsum.preemptions > 0 && fsum.cold_starts > 0,
+                  "hazard draws produced strikes and relaunches paid "
+                  "cold starts",
+                  bench::ratio_detail(
+                      "strikes", static_cast<double>(fsum.preemptions)));
+    // Every shard schedules the (unsliced) outage window over its own
+    // sub-population, and every begin must be matched by a recovery.
+    checks.expect(fsum.outages == shards && fsum.recoveries == fsum.outages,
+                  "one outage begin/end pair per shard",
+                  bench::ratio_detail("outages",
+                                      static_cast<double>(fsum.outages)));
+
+    // Breach-then-recover: the outage lives inside slot 1, so window 1's
+    // per-group p99 must blow through the ceiling (retries + local
+    // fallback latencies) and window 2 — after the off-cycle re-aim —
+    // must be back under it.
+    const obs::timeline& ftl = fault_reference.timeline;
+    if (slots >= 3 && ftl.size() >= 3 &&
+        kOutageGroup < ftl.group_count()) {
+      const util::histogram& breached = ftl.window(1).slo[kOutageGroup];
+      const util::histogram& recovered = ftl.window(2).slo[kOutageGroup];
+      fsum.outage_window_p99_ms =
+          breached.total() > 0 ? breached.quantile_interpolated(0.99) : 0.0;
+      fsum.recovered_window_p99_ms =
+          recovered.total() > 0 ? recovered.quantile_interpolated(0.99) : 0.0;
+      std::printf(
+          "outage group %u windowed p99: slot 1 %.0f ms -> slot 2 %.0f ms "
+          "(ceiling %.0f ms)\n",
+          kOutageGroup, fsum.outage_window_p99_ms,
+          fsum.recovered_window_p99_ms, kP99CeilingMs);
+      checks.expect(
+          breached.total() > 0 && fsum.outage_window_p99_ms > kP99CeilingMs,
+          "outage window p99 breaches the SLO ceiling",
+          bench::ratio_detail("p99 ms", fsum.outage_window_p99_ms));
+      checks.expect(recovered.total() > 0 &&
+                        fsum.recovered_window_p99_ms < kP99CeilingMs,
+                    "post-recovery window p99 back under the ceiling",
+                    bench::ratio_detail("p99 ms",
+                                        fsum.recovered_window_p99_ms));
+    } else {
+      std::printf(
+          "advisory: breach/recover p99 gates need --slots >= 3 "
+          "(got %zu)\n",
+          slots);
+    }
+    fault_alerts =
+        obs::evaluate_alerts(ftl, fleet_objectives(ftl.group_count()));
+    fsum.alert_fires = fault_alerts.fires;
+    fsum.alert_clears = fault_alerts.clears;
+    bool outage_alert_fired = false;
+    bool outage_alert_cleared = false;
+    for (const obs::alert_event& event : fault_alerts.events) {
+      const obs::slo_objective& objective =
+          fault_alerts.objectives[event.objective];
+      if (objective.kind == obs::alert_kind::latency_p99 &&
+          objective.group == kOutageGroup) {
+        (event.fired ? outage_alert_fired : outage_alert_cleared) = true;
+      }
+    }
+    std::printf("alert events: %llu fires / %llu clears\n",
+                static_cast<unsigned long long>(fsum.alert_fires),
+                static_cast<unsigned long long>(fsum.alert_clears));
+    if (slots >= 3) {
+      checks.expect(outage_alert_fired && outage_alert_cleared,
+                    "outage group p99 alert fired during the outage and "
+                    "cleared after recovery",
+                    outage_alert_fired
+                        ? (outage_alert_cleared ? "fired and cleared"
+                                                : "never cleared")
+                        : "never fired");
+    }
+    if (fault_health_path) {
+      const bool written = obs::write_health_report(
+          *fault_health_path, ftl, fault_alerts, fault_reference.exemplars);
+      checks.expect(written, "fault-window health report written",
+                    fault_health_path->c_str());
+      if (written) std::printf("wrote %s\n", fault_health_path->c_str());
+    }
+
+    // Disabled replay: the populated-but-disabled program must be
+    // byte-inert — no rng draws, no events — so the fault-free reference
+    // fingerprints reproduce exactly.
+    {
+      exp::scenario_spec disabled_spec = faulted_fleet_spec(spec, 1.0);
+      disabled_spec.faults.enabled = false;
+      exp::thread_pool pool{static_cast<std::size_t>(jobs_list[0])};
+      const fleet::fleet_result disabled =
+          fleet::run_fleet(disabled_spec, options, task_pool, pool);
+      fsum.disabled_inert =
+          disabled.fingerprint() == runs[0].fingerprint &&
+          disabled.observability.fingerprint() == runs[0].obs_fingerprint &&
+          disabled.timeline.fingerprint() == runs[0].timeline_fingerprint;
+      checks.expect(fsum.disabled_inert,
+                    "disabled fault program replays the fault-free "
+                    "fingerprints bit for bit",
+                    bench::ratio_detail(
+                        "fingerprint xor",
+                        static_cast<double>((disabled.fingerprint() ^
+                                             runs[0].fingerprint) &
+                                            0xffff)));
+    }
+
+    // Hazard-rate series: multipliers 0 / 1 / 2 on the preemption
+    // hazards (outage and resilience knobs held fixed).  The m=1 point
+    // reuses the reference run.
+    for (const double multiplier : {0.0, 1.0, 2.0}) {
+      fault_rate_point point;
+      point.multiplier = multiplier;
+      if (multiplier == 1.0) {
+        point.preemptions = fsum.preemptions;
+        point.acceptance_pct =
+            fault_reference.aggregate.acceptance_rate() * 100.0;
+        point.p99_ms =
+            fault_reference.aggregate.latency.quantile_interpolated(0.99);
+      } else {
+        exp::thread_pool pool{static_cast<std::size_t>(jobs_list[0])};
+        const fleet::fleet_result swept = fleet::run_fleet(
+            faulted_fleet_spec(spec, multiplier), options, task_pool, pool);
+        point.preemptions =
+            swept.observability.get(obs::counter::fault_preemptions);
+        point.acceptance_pct = swept.aggregate.acceptance_rate() * 100.0;
+        point.p99_ms = swept.aggregate.latency.quantile_interpolated(0.99);
+      }
+      std::printf(
+          "hazard x%.0f:   preemptions %5llu   acceptance %6.2f%%   "
+          "p99 %7.1f ms\n",
+          point.multiplier,
+          static_cast<unsigned long long>(point.preemptions),
+          point.acceptance_pct, point.p99_ms);
+      fsum.rate_series.push_back(point);
+    }
+    checks.expect(fsum.rate_series[0].preemptions == 0 &&
+                      fsum.rate_series[2].preemptions >
+                          fsum.rate_series[0].preemptions,
+                  "preemption count scales with the hazard multiplier",
+                  bench::ratio_detail(
+                      "x2 strikes",
+                      static_cast<double>(fsum.rate_series[2].preemptions)));
+
+    // Traced fault leg (untimed): same export as the main traced leg,
+    // plus the fault-window lane (one span per outage, one marker per
+    // strike) derived from the program's expanded schedule.
+    if (trace_path) {
+      const std::string fault_trace_path = *trace_path + ".faults.json";
+      const std::size_t trace_jobs =
+          static_cast<std::size_t>(jobs_list.back());
+      obs::tracer tracer{{shards + 1 + trace_jobs, 4096}};
+      exp::thread_pool pool{trace_jobs};
+      fleet::fleet_options traced_options = options;
+      traced_options.tracer = &tracer;
+      traced_options.trace_sample_every = smoke ? 64 : 1024;
+      const fleet::fleet_result traced =
+          fleet::run_fleet(fault_spec, traced_options, task_pool, pool);
+      checks.expect(traced.fingerprint() == fsum.fingerprint,
+                    "tracing does not perturb the faulted fingerprint",
+                    bench::ratio_detail(
+                        "fingerprint xor",
+                        static_cast<double>((traced.fingerprint() ^
+                                             fsum.fingerprint) &
+                                            0xffff)));
+      std::vector<std::string> ring_names;
+      for (std::size_t k = 0; k < shards; ++k) {
+        ring_names.push_back("shard " + std::to_string(k));
+      }
+      ring_names.push_back("coordinator");
+      for (std::size_t w = 0; w < trace_jobs; ++w) {
+        ring_names.push_back("pool worker " + std::to_string(w));
+      }
+      std::vector<obs::trace_lane> lanes;
+      lanes.push_back(
+          {"tail exemplars", obs::exemplar_spans(traced.exemplars)});
+      lanes.push_back(
+          {"slo alerts",
+           obs::alert_spans(
+               obs::evaluate_alerts(traced.timeline,
+                                    fleet_objectives(
+                                        traced.timeline.group_count())),
+               traced.timeline)});
+      lanes.push_back(
+          {"fault windows",
+           fault::fault_spans(
+               fault_spec.faults,
+               fault::make_preemption_schedule(fault_spec.faults,
+                                               fault_spec.duration,
+                                               fault_spec.base_seed))});
+      checks.expect(!lanes.back().spans.empty(),
+                    "fault lane holds outage spans and strike markers",
+                    bench::ratio_detail(
+                        "lane spans",
+                        static_cast<double>(lanes.back().spans.size())));
+      const bool exported = tracer.export_chrome_trace(
+          fault_trace_path, ring_names, lanes,
+          have_slot_filter ? &slot_filter : nullptr);
+      checks.expect(exported, "faulted Chrome trace written",
+                    fault_trace_path.c_str());
+      if (exported) std::printf("wrote %s\n", fault_trace_path.c_str());
+    }
+  }
+
   // ---- batched vs independent allocation ---------------------------------
   // Replay the run's own fleet demands (cycled to a stable sample size)
   // through both paths.  Identical plans are a hard gate; the wall-clock
@@ -971,7 +1381,8 @@ int main(int argc, char** argv) {
   const int exit_code = checks.finish("fleet_scale");
   if (!write_fleet_json(out_path, spec, reference, runs, deterministic,
                         users_per_sec, phases, timed, batched_seconds,
-                        independent_seconds, obs, alerts, exit_code == 0)) {
+                        independent_seconds, obs, alerts, fsum,
+                        exit_code == 0)) {
     return 1;
   }
   return exit_code;

@@ -603,7 +603,7 @@ inline core::allocation_plan allocate_ilp(const core::allocation_request& reques
 
 class ps_instance {
  public:
-  using completion_fn = std::function<void(util::time_ms)>;
+  using completion_fn = std::function<void(util::time_ms, bool)>;
 
   ps_instance(sim::simulation& sim, const cloud::instance_type& type,
               util::rng rng)
@@ -723,7 +723,7 @@ class ps_instance {
       free_head_ = idx;
       ++completed_;
       service_sum_ += service_time;
-      if (fn) fn(service_time);
+      if (fn) fn(service_time, true);
     }
     reschedule();
   }

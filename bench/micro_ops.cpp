@@ -160,7 +160,7 @@ template <typename Server>
 void drive_backend(sim::simulation& sim, Server& server) {
   std::uint64_t seed = 99;
   std::uint64_t budget = kBackendOps;
-  std::function<void(double)> on_done = [&](double) {
+  std::function<void(double, bool)> on_done = [&](double, bool) {
     if (budget == 0) return;
     --budget;
     const double work = 1.0 + static_cast<double>(splitmix(seed) % 200u);

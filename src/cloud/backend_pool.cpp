@@ -33,6 +33,9 @@ instance_id backend_pool::launch(group_id group, const instance_type& type) {
       },
       this);
   inst->set_observability(obs_);
+  if (obs_ != nullptr && inst->warming()) {
+    obs_->add(obs::counter::fault_cold_starts);
+  }
   groups_[group].push_back(std::move(inst));
   billing_.on_launch(id, type, sim_.now());
   return id;
@@ -66,14 +69,18 @@ std::size_t backend_pool::retire(group_id group, const instance_type& type,
 route_status backend_pool::route(group_id group, double work_units,
                                  instance::completion_fn on_complete) {
   sweep();
-  if (group >= groups_.size()) return route_status::no_instances;
+  if (group >= groups_.size() || !group_available(group)) {
+    return route_status::no_instances;
+  }
 
   // Least-loaded by active-jobs-per-core — "routes the request to the
   // corresponding group of instances" picking the member with headroom.
+  // Warming instances are invisible here: capacity that has not finished
+  // its cold start cannot take the request.
   instance* best = nullptr;
   double best_load = std::numeric_limits<double>::infinity();
   for (auto& inst : groups_[group]) {
-    if (inst->draining()) continue;
+    if (inst->draining() || inst->warming()) continue;
     const double load =
         static_cast<double>(inst->active_jobs()) / inst->type().vcpus;
     if (load < best_load) {
@@ -105,6 +112,51 @@ void backend_pool::sweep() {
   }
 }
 // mca:hot-path-end
+
+backend_pool::preempt_result backend_pool::preempt_in(group_id group,
+                                                      std::uint64_t ordinal) {
+  preempt_result result;
+  if (group >= groups_.size()) return result;
+  auto& members = groups_[group];
+  std::size_t live = 0;
+  for (const auto& inst : members) {
+    if (!inst->draining()) ++live;
+  }
+  if (live == 0) return result;
+  // The ordinal comes from the fault schedule's rng stream; the modulo
+  // pins the victim to a member index, which is deterministic because
+  // launch/retire order is.
+  std::size_t victim = static_cast<std::size_t>(ordinal % live);
+  for (auto& inst : members) {
+    if (inst->draining()) continue;
+    if (victim-- == 0) {
+      result.applied = true;
+      result.killed = inst->preempt();
+      break;
+    }
+  }
+  sweep();  // the victim is draining and idle now — reap it immediately
+  return result;
+}
+
+std::size_t backend_pool::begin_outage(group_id group) {
+  if (group >= unavailable_.size()) unavailable_.resize(group + 1, 0);
+  unavailable_[group] = 1;
+  std::size_t drained = 0;
+  if (group < groups_.size()) {
+    for (auto& inst : groups_[group]) {
+      if (inst->draining()) continue;
+      inst->drain();
+      ++drained;
+    }
+  }
+  sweep();
+  return drained;
+}
+
+void backend_pool::end_outage(group_id group) noexcept {
+  if (group < unavailable_.size()) unavailable_[group] = 0;
+}
 
 std::size_t backend_pool::instance_count(group_id group) const noexcept {
   if (group >= groups_.size()) return 0;

@@ -53,6 +53,30 @@ class backend_pool {
   /// only a counter check.
   void sweep();
 
+  /// Outcome of a spot-preemption strike against a group.
+  struct preempt_result {
+    bool applied = false;     ///< a live instance was killed
+    std::size_t killed = 0;   ///< in-flight jobs failure-notified
+  };
+
+  /// Spot-kills one live (non-draining) instance of `group`, chosen as
+  /// member `ordinal % live` — the ordinal comes from the deterministic
+  /// fault schedule, so the victim never depends on thread or shard
+  /// layout.  Every in-flight job on the victim fires its callback with
+  /// ok=false.  No-op (applied=false) when the group has no live member.
+  preempt_result preempt_in(group_id group, std::uint64_t ordinal);
+
+  /// Opens an outage on `group`: every live instance drains (in-flight
+  /// work finishes; nothing new is accepted) and route() reports
+  /// no_instances until end_outage.  Returns how many instances drained.
+  std::size_t begin_outage(group_id group);
+  /// Closes the outage; the group accepts launches and routes again.
+  void end_outage(group_id group) noexcept;
+  /// True while begin_outage holds the group down.
+  bool group_available(group_id group) const noexcept {
+    return group >= unavailable_.size() || unavailable_[group] == 0;
+  }
+
   /// Attaches the PS observability counters to every current and future
   /// instance (nullptr detaches).  Setup-time only.
   void set_observability(obs::registry* registry) noexcept {
@@ -77,12 +101,14 @@ class backend_pool {
   /// background load (§VI-C.1) and white-box tests.
   std::vector<instance*> mutable_instances_in(group_id group);
   /// Visits a group's accepting instances without materializing a vector —
-  /// the allocation-free counterpart of mutable_instances_in.
+  /// the allocation-free counterpart of mutable_instances_in.  Warming
+  /// (cold-starting) instances are skipped: they exist plan-wise but do
+  /// not accept work yet.
   template <typename F>
   void for_each_accepting(group_id group, F&& fn) {
     if (group >= groups_.size()) return;
     for (auto& inst : groups_[group]) {
-      if (!inst->draining()) fn(*inst);
+      if (!inst->draining() && !inst->warming()) fn(*inst);
     }
   }
 
@@ -103,6 +129,9 @@ class backend_pool {
   /// Instances marked draining but not yet reaped; sweep() is a no-op at
   /// zero, which is the steady state between provisioning slots.
   std::size_t draining_count_ = 0;
+  /// Per-group outage flags (1 = down); indexed like groups_.  Groups
+  /// past the end are available.
+  std::vector<std::uint8_t> unavailable_;
   obs::registry* obs_ = nullptr;
   billing_meter billing_;
   std::uint64_t retired_completed_ = 0;

@@ -16,20 +16,26 @@ void billing_meter::on_launch(instance_id id, const instance_type& type,
       open_.emplace(id, record{type.name, type.cost_per_hour, at});
   (void)it;
   if (!inserted) throw std::logic_error{"billing: instance already active"};
+  // Seed the per-type close aggregate here, at (slot-rate) launch time, so
+  // the termination path below never inserts — a spot preemption may close
+  // a record from the allocation-free fault path.
+  closed_cost_by_type_.try_emplace(type.name, 0.0);
 }
 
 void billing_meter::on_terminate(instance_id id, util::time_ms at) {
   const auto it = open_.find(id);
   if (it == open_.end()) throw std::logic_error{"billing: unknown instance"};
-  closed_.emplace_back(it->second, at);
+  const record& rec = it->second;
+  const double hours = billed_hours(rec.start, at);
+  closed_cost_ += rec.cost_per_hour * hours;
+  closed_hours_ += hours;
+  closed_cost_by_type_.find(rec.type_name)->second +=
+      rec.cost_per_hour * hours;
   open_.erase(it);
 }
 
 double billing_meter::total_cost(util::time_ms now) const {
-  double cost = 0.0;
-  for (const auto& [rec, end] : closed_) {
-    cost += rec.cost_per_hour * billed_hours(rec.start, end);
-  }
+  double cost = closed_cost_;
   // mca-lint: allow(det-unordered-iter) cost_usd feeds the golden fleet
   // fingerprint, which pins this exact FP accumulation order: open_'s
   // iteration order is fixed for a given stdlib + insertion sequence, so
@@ -45,10 +51,9 @@ double billing_meter::total_cost(util::time_ms now) const {
 double billing_meter::cost_for_type(const std::string& type_name,
                                     util::time_ms now) const {
   double cost = 0.0;
-  for (const auto& [rec, end] : closed_) {
-    if (rec.type_name == type_name) {
-      cost += rec.cost_per_hour * billed_hours(rec.start, end);
-    }
+  if (const auto it = closed_cost_by_type_.find(type_name);
+      it != closed_cost_by_type_.end()) {
+    cost = it->second;
   }
   // mca-lint: allow(det-unordered-iter) same pinned-order argument as
   // total_cost above: per-binary-reproducible sweep over the open set.
@@ -61,8 +66,7 @@ double billing_meter::cost_for_type(const std::string& type_name,
 }
 
 double billing_meter::total_instance_hours(util::time_ms now) const {
-  double hours = 0.0;
-  for (const auto& [rec, end] : closed_) hours += billed_hours(rec.start, end);
+  double hours = closed_hours_;
   // mca-lint: allow(det-unordered-iter) same pinned-order argument as
   // total_cost above: per-binary-reproducible sweep over the open set.
   for (const auto& [id, rec] : open_) hours += billed_hours(rec.start, now);

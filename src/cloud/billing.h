@@ -7,7 +7,6 @@
 
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "cloud/instance_type.h"
 #include "util/ids.h"
@@ -49,7 +48,14 @@ class billing_meter {
   static double billed_hours(util::time_ms start, util::time_ms end);
 
   std::unordered_map<instance_id, record> open_;
-  std::vector<std::pair<record, util::time_ms>> closed_;  // record + end
+  /// Closed records fold into running aggregates at termination time (in
+  /// close order, so the FP accumulation order the golden fingerprints
+  /// pin is unchanged) instead of accumulating one stored record each: a
+  /// preemption-heavy fleet run closes records at fault rate, and the
+  /// close path must neither allocate nor grow without bound.
+  double closed_cost_ = 0.0;
+  double closed_hours_ = 0.0;
+  std::unordered_map<std::string, double> closed_cost_by_type_;
 };
 
 }  // namespace mca::cloud

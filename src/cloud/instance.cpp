@@ -30,7 +30,12 @@ instance::instance(sim::simulation& sim, instance_id id,
       opts_{opts},
       last_update_{sim.now()},
       launched_at_{sim.now()},
-      credits_{opts.initial_credits_core_ms} {}
+      credits_{opts.initial_credits_core_ms} {
+  if (opts_.cold_start_mean_ms > 0.0) {
+    ready_at_ = sim.now() + opts_.cold_start_mean_ms *
+                                rng_.lognormal(0.0, opts_.cold_start_sigma);
+  }
+}
 
 instance::~instance() {
   if (pending_completion_.valid()) sim_.cancel(pending_completion_);
@@ -173,7 +178,7 @@ void instance::on_completion_event() {
     free_head_ = idx;
     ++completed_;
     stats_.add(service_time);
-    if (fn) fn(service_time);
+    if (fn) fn(service_time, true);
   }
   // A stale-early fire (submissions slowed the shared rate after arming)
   // lands here with nothing due; either way, re-arm exactly for the new
@@ -185,7 +190,7 @@ bool instance::submit(double work_units, completion_fn on_complete) {
   // mca-lint: allow(hot-throw) cold caller-bug validation: fires once per
   // programming error, never on the steady-state request path.
   if (work_units < 0.0) throw std::invalid_argument{"submit: negative work"};
-  if (draining_ || heap_.size() >= type_.max_concurrent()) {
+  if (draining_ || warming() || heap_.size() >= type_.max_concurrent()) {
     ++dropped_;
     if (obs_ != nullptr) obs_->add(obs::counter::ps_drops);
     return false;
@@ -233,6 +238,36 @@ bool instance::submit(double work_units, completion_fn on_complete) {
   }
   if (need_arm) arm_no_later_than(next_wake_delay());
   return true;
+}
+
+std::size_t instance::preempt() {
+  advance();
+  vclock_ = 0.0;
+  if (pending_completion_.valid()) {
+    sim_.cancel(pending_completion_);
+    pending_completion_ = {};
+  }
+  // Drain before the failure callbacks run: a callback that immediately
+  // re-routes must not land back on this instance — which also freezes
+  // heap_ (submit() bails on draining_ before touching it), so the
+  // callbacks fire straight off the heap storage in layout order.  Kill
+  // order is deterministic given the deterministic submission history,
+  // and skipping the scratch copy keeps a strike on a freshly relaunched
+  // instance (whose scratch buffer would still be cold) allocation-free.
+  drain();
+  const std::size_t killed = heap_.size();
+  for (const finish_entry& e : heap_) {
+    const std::uint32_t idx = static_cast<std::uint32_t>(e.key & kJobSlotMask);
+    job& j = jobs_[idx];
+    const util::time_ms elapsed = sim_.now() - j.submitted_at;
+    completion_fn fn = std::move(j.on_complete);
+    j.on_complete = nullptr;
+    j.next_free = free_head_;
+    free_head_ = idx;
+    if (fn) fn(elapsed, false);
+  }
+  heap_.clear();
+  return killed;
 }
 // mca:hot-path-end
 

@@ -78,11 +78,22 @@ class instance {
     /// Initial credit balance in core-milliseconds (30 credit-minutes of a
     /// full core by default, roughly EC2's launch allotment).
     double initial_credits_core_ms = 30.0 * 60'000.0;
+    /// Cold-start delay paid between launch and first-accept: lognormal
+    /// with median `cold_start_mean_ms` and shape `cold_start_sigma`.
+    /// 0 (the default) disables the warm-up and draws nothing from the
+    /// instance's rng stream, so fault-free runs are bit-identical to
+    /// builds that predate the knob.
+    double cold_start_mean_ms = 0.0;
+    double cold_start_sigma = 0.4;
   };
 
-  /// Invoked when a request finishes; `service_time` is the in-server time
-  /// (spawn + compute under sharing), excluding network.
-  using completion_fn = std::function<void(util::time_ms service_time)>;
+  /// Invoked when a request leaves the server: `ok` is true for a normal
+  /// completion (`service_time` is the in-server time — spawn + compute
+  /// under sharing, excluding network) and false when the job was killed
+  /// in flight (preemption / forced drain; `service_time` is then the
+  /// time the job had spent on the server).
+  using completion_fn =
+      std::function<void(util::time_ms service_time, bool ok)>;
 
   instance(sim::simulation& sim, instance_id id, const instance_type& type,
            util::rng rng, options opts);
@@ -116,6 +127,18 @@ class instance {
   }
   bool draining() const noexcept { return draining_; }
   bool idle() const noexcept { return heap_.empty(); }
+
+  /// True while the cold-start delay is still running: the instance is
+  /// provisioned (and billed) but not yet accepting work.
+  bool warming() const noexcept { return sim_.now() < ready_at_; }
+  util::time_ms ready_at() const noexcept { return ready_at_; }
+
+  /// Spot-style preemption: every in-flight job is killed *now* — each
+  /// callback fires with ok=false so the client hears a failure notice
+  /// instead of silence — and the instance drains (an owning pool's sweep
+  /// reaps it immediately, since the heap is empty).  Returns the number
+  /// of jobs killed.  Allocation-free: reuses the completion scratch.
+  std::size_t preempt();
 
   /// Attaches the PS counters (submits/drops/completions, queue-depth and
   /// event-batch series, virtual-clock resets).  nullptr (the default)
@@ -211,6 +234,7 @@ class instance {
   obs::registry* obs_ = nullptr;
   util::time_ms last_update_ = 0.0;
   util::time_ms launched_at_ = 0.0;
+  util::time_ms ready_at_ = 0.0;  ///< first-accept time (cold start)
   double busy_core_ms_ = 0.0;
   double credits_ = 0.0;
   bool draining_ = false;

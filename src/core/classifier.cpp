@@ -48,7 +48,7 @@ type_characterization characterize_type(const cloud::instance_type& type,
         sim, workload::random_pool_source(pool),
         [&server, &responses](const workload::offload_request& request) {
           server.submit(request.work.work_units(),
-                        [&responses](util::time_ms service_time) {
+                        [&responses](util::time_ms service_time, bool) {
                           responses.push_back(service_time);
                         });
         },

@@ -21,6 +21,17 @@ sdn_accelerator::sdn_accelerator(sim::simulation& sim,
   if (config.routing_overhead_mean_ms < 0.0 || config.backend_one_way_ms < 0.0) {
     throw std::invalid_argument{"sdn_config: negative latency"};
   }
+  if (config.request_timeout_ms < 0.0 || config.retry_backoff_base_ms < 0.0 ||
+      config.retry_backoff_cap_ms < 0.0) {
+    throw std::invalid_argument{"sdn_config: negative retry timing"};
+  }
+  if (config.local_fallback && config.local_exec_wu_per_ms <= 0.0) {
+    throw std::invalid_argument{
+        "sdn_config: local_fallback needs local_exec_wu_per_ms > 0"};
+  }
+  // Drawn only when the resilience knobs are live: all-off configs leave
+  // the main stream byte-identical to builds that predate retries.
+  if (config_.resilience_enabled()) retry_seed_ = rng_();
 }
 
 double sdn_accelerator::sample_routing_overhead() {
@@ -56,6 +67,12 @@ std::uint32_t sdn_accelerator::acquire_slot() {
 
 void sdn_accelerator::release_slot(std::uint32_t slot) noexcept {
   inflight& s = pool_[slot];
+  if (s.timeout.valid()) {
+    // Defensive: every path that reaches delivery already cancelled its
+    // timer; a stale handle here would otherwise fire into a recycled slot.
+    sim_.cancel(s.timeout);
+    s.timeout = {};
+  }
   s.on_response = nullptr;
   s.next_free = free_head_;
   free_head_ = slot;
@@ -91,6 +108,10 @@ void sdn_accelerator::start(const workload::offload_request& request,
   s.timing.mobile_to_front = external_one_way;
   s.timing.front_to_mobile = external_one_way;
   s.on_response = std::move(on_response);
+  s.attempt = 0;
+  s.seq = received_;
+  ++s.epoch;  // orphan any stale backend completion from a prior occupant
+  s.timeout = {};
   s.sampled =
       tracer_ != nullptr && (received_ - 1) % trace_sample_every_ == 0;
   if (s.sampled) {
@@ -128,19 +149,23 @@ void sdn_accelerator::stage_to_backend(std::uint32_t slot) {
 
 void sdn_accelerator::stage_dispatch(std::uint32_t slot) {
   inflight& s = pool_[slot];
+  ++s.attempt;
+  const std::uint32_t epoch = s.epoch;
   const auto status = backend_.route(
       s.group, s.request.work.work_units(),
-      [this, slot](util::time_ms service_time) {
-        stage_return(slot, service_time);
+      [this, slot, epoch](util::time_ms service_time, bool ok) {
+        on_backend_done(slot, epoch, service_time, ok);
       });
-  if (status != cloud::route_status::ok) {
-    // Rejected at the back-end: the failure notice still pays the return
-    // hops.
-    s.timing.cloud = 0.0;
-    s.timing.back_to_front = config_.backend_one_way_ms;
-    sim_.schedule_after(config_.backend_one_way_ms,
-                        [this, slot] { finish(slot, false); });
+  if (status == cloud::route_status::ok) {
+    if (config_.request_timeout_ms > 0.0) {
+      s.timeout = sim_.schedule_after(config_.request_timeout_ms,
+                                      [this, slot] { on_timeout(slot); });
+    }
+    return;
   }
+  // Rejected at the back-end (cap, drain, or outage): retry, fall back,
+  // or deliver the failure notice.
+  attempt_failed(slot);
 }
 
 void sdn_accelerator::stage_return(std::uint32_t slot,
@@ -232,6 +257,86 @@ void sdn_accelerator::deliver(std::uint32_t slot) {
     return;
   }
   release_slot(slot);
+}
+// mca:hot-path-end
+
+// The resilience path: backend completions (ok or killed), per-attempt
+// timeouts, and the retry/backoff/fallback decision all run per affected
+// request at fault-heavy steady state, so they form their own
+// lint-enforced hot-path region — the retry bookkeeping may not allocate
+// (test_hot_path_alloc re-verifies this at runtime with faults enabled).
+// mca:hot-path-begin(sdn-retry-path)
+void sdn_accelerator::on_backend_done(std::uint32_t slot, std::uint32_t epoch,
+                                      util::time_ms service_time, bool ok) {
+  inflight& s = pool_[slot];
+  // A completion whose epoch is stale belongs to an attempt this request
+  // already timed out of (or to a previous occupant of a recycled slot) —
+  // the instance did the work, the client has moved on.
+  if (s.epoch != epoch) return;
+  if (s.timeout.valid()) {
+    sim_.cancel(s.timeout);
+    s.timeout = {};
+  }
+  if (ok) {
+    stage_return(slot, service_time);
+    return;
+  }
+  // Killed in flight (spot preemption / forced drain): the partial
+  // service time is lost; decide retry vs fallback vs failure.
+  attempt_failed(slot);
+}
+
+void sdn_accelerator::on_timeout(std::uint32_t slot) {
+  inflight& s = pool_[slot];
+  s.timeout = {};
+  // Orphan the outstanding backend completion: when (if) it lands, its
+  // captured epoch no longer matches.
+  ++s.epoch;
+  if (obs_ != nullptr) obs_->add(obs::counter::sdn_timeouts);
+  // The front-end held the request for the full timeout window.
+  s.timing.routing += config_.request_timeout_ms;
+  attempt_failed(slot);
+}
+
+void sdn_accelerator::attempt_failed(std::uint32_t slot) {
+  inflight& s = pool_[slot];
+  if (static_cast<std::size_t>(s.attempt) <= config_.max_retries) {
+    if (obs_ != nullptr) obs_->add(obs::counter::sdn_retries);
+    // Capped exponential backoff with jitter from the request's own
+    // counter-split stream, keyed on the deterministic arrival sequence
+    // (never request.id, a process-global atomic): deterministic per
+    // (seed, arrival, attempt), independent of thread or shard layout.
+    const std::uint32_t shift = s.attempt > 16 ? 16u : s.attempt - 1;
+    double wait = config_.retry_backoff_base_ms *
+                  static_cast<double>(std::uint64_t{1} << shift);
+    if (wait > config_.retry_backoff_cap_ms) {
+      wait = config_.retry_backoff_cap_ms;
+    }
+    util::rng jitter =
+        util::rng::split(retry_seed_, (s.seq << 8) | s.attempt);
+    wait *= 0.5 + jitter.uniform();
+    s.timing.routing += wait;
+    sim_.schedule_after(wait, [this, slot] { stage_dispatch(slot); });
+    return;
+  }
+  if (config_.local_fallback) {
+    if (obs_ != nullptr) obs_->add(obs::counter::sdn_local_fallbacks);
+    // Graceful degradation: the device runs the task itself.  The result
+    // needs no network legs beyond those already paid; the "cloud" time
+    // becomes the (much slower) local execution.
+    const double local_ms =
+        s.request.work.work_units() / config_.local_exec_wu_per_ms;
+    s.timing.cloud = local_ms;
+    s.timing.local = true;
+    sim_.schedule_after(local_ms, [this, slot] { finish(slot, true); });
+    return;
+  }
+  // Retry budget exhausted, no fallback: the failure notice still pays
+  // the return hops (identical to the pre-retry rejection path).
+  s.timing.cloud = 0.0;
+  s.timing.back_to_front = config_.backend_one_way_ms;
+  sim_.schedule_after(config_.backend_one_way_ms,
+                      [this, slot] { finish(slot, false); });
 }
 // mca:hot-path-end
 

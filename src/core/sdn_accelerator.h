@@ -49,6 +49,30 @@ struct sdn_config {
   bool retain_trace_records = true;
   /// Keep raw per-group routing-time samples (Fig. 8a series).
   bool keep_routing_samples = false;
+
+  // ---- resilience (fault-injection PR) ----------------------------------
+  // All-off defaults are bit-inert: with no retries, no timeout, and no
+  // fallback, the pipeline schedules exactly the events it always has and
+  // draws nothing extra from any rng stream, so pre-fault goldens
+  // reproduce exactly.
+  /// Re-dispatch attempts after the first try fails or times out.
+  std::size_t max_retries = 0;
+  /// Per-attempt timeout; <= 0 never arms the timer.
+  double request_timeout_ms = 0.0;
+  /// Capped exponential backoff before retry k:
+  /// min(cap, base * 2^(k-1)) * (0.5 + u), u from the request's own
+  /// deterministic stream.
+  double retry_backoff_base_ms = 200.0;
+  double retry_backoff_cap_ms = 2'000.0;
+  /// After retry exhaustion, run the task on the local device instead of
+  /// failing (acceptance degrades instead of cliffing).
+  bool local_fallback = false;
+  /// Local device throughput for the fallback: work_units per ms.
+  double local_exec_wu_per_ms = 0.005;
+
+  bool resilience_enabled() const noexcept {
+    return max_retries > 0 || request_timeout_ms > 0.0 || local_fallback;
+  }
 };
 
 /// Per-request timing decomposition (Fig. 7a/7b vocabulary).
@@ -60,6 +84,10 @@ struct request_timing {
   util::time_ms back_to_front = 0.0;
   util::time_ms front_to_mobile = 0.0;
   bool success = false;
+  /// True when the response was produced by the on-device fallback after
+  /// retry exhaustion (success is then also true; `cloud` holds the local
+  /// execution time).
+  bool local = false;
 
   /// T1 = T_m→f + T_f→m (external, over LTE).
   util::time_ms t1() const noexcept {
@@ -156,6 +184,17 @@ class sdn_accelerator {
     double battery = 1.0;
     response_fn on_response;  ///< empty on the sink fast path
     std::uint32_t next_free = 0;
+    // Retry bookkeeping: `attempt` counts dispatch tries, `epoch` guards
+    // against stale backend completions (a timed-out attempt's completion
+    // callback compares its captured epoch and drops itself), `timeout`
+    // is the armed per-attempt timer.
+    std::uint32_t attempt = 0;
+    std::uint32_t epoch = 0;
+    /// Arrival sequence (received_ at submit), the backoff-jitter stream
+    /// key: request.id is a process-global atomic (nondeterministic
+    /// across runs), the arrival order within one simulation is not.
+    std::uint64_t seq = 0;
+    sim::event_handle timeout{};
     // Sampled-span state (set at start, consumed at deliver).
     bool sampled = false;
     double span_wall_us = 0.0;
@@ -175,6 +214,13 @@ class sdn_accelerator {
   void stage_logged(std::uint32_t slot);
   void finish(std::uint32_t slot, bool success);
   void deliver(std::uint32_t slot);
+  // Resilience path (see the sdn-retry-path hot region): backend
+  // completions funnel through the epoch guard; failed attempts retry
+  // with backoff, fall back to local execution, or fail out.
+  void on_backend_done(std::uint32_t slot, std::uint32_t epoch,
+                       util::time_ms service_time, bool ok);
+  void on_timeout(std::uint32_t slot);
+  void attempt_failed(std::uint32_t slot);
 
   double sample_routing_overhead();
   double hour_of_day() const noexcept;
@@ -185,6 +231,10 @@ class sdn_accelerator {
   trace::log_store* log_;
   sdn_config config_;
   util::rng rng_;
+  /// Seed of the per-request backoff-jitter streams; drawn from rng_ at
+  /// construction only when resilience is configured, so all-off configs
+  /// leave the main stream untouched.
+  std::uint64_t retry_seed_ = 0;
   response_sink* sink_ = nullptr;
   trace_fn on_trace_;
   obs::registry* obs_ = nullptr;

@@ -82,6 +82,20 @@ offloading_system::offloading_system(system_config config,
   if (config_.device_mix.empty()) {
     throw std::invalid_argument{"system: empty device mix"};
   }
+  if (config_.faults.active()) {
+    // The fault program is the single source of truth for the resilience
+    // knobs: map it onto the SDN retry path and the instance cold-start
+    // before either component is constructed.
+    config_.sdn.max_retries = config_.faults.max_retries;
+    config_.sdn.request_timeout_ms = config_.faults.request_timeout_ms;
+    config_.sdn.retry_backoff_base_ms = config_.faults.retry_backoff_base_ms;
+    config_.sdn.retry_backoff_cap_ms = config_.faults.retry_backoff_cap_ms;
+    config_.sdn.local_fallback = config_.faults.local_fallback;
+    config_.sdn.local_exec_wu_per_ms = config_.faults.local_exec_wu_per_ms;
+    config_.instance_options.cold_start_mean_ms =
+        config_.faults.cold_start_mean_ms;
+    config_.instance_options.cold_start_sigma = config_.faults.cold_start_sigma;
+  }
 
   group_id max_group = config_.initial_group;
   for (const auto& spec : config_.groups) {
@@ -240,6 +254,11 @@ void offloading_system::inject_background() {
 void offloading_system::apply_plan(const allocation_plan& plan) {
   for (std::size_t i = 0; i < config_.groups.size(); ++i) {
     const auto& spec = config_.groups[i];
+    // A group under an injected outage takes no provisioning actions:
+    // launching into a dead zone would silently undo the fault, and its
+    // instances are already draining.  restore_group() re-aims it when
+    // the outage lifts.
+    if (!backend_->group_available(spec.group)) continue;
     const std::size_t want = plan.count_of(spec.group, spec.type_name);
     const std::size_t have =
         backend_->instance_count(spec.group, spec_type_ids_[i]);
@@ -249,6 +268,50 @@ void offloading_system::apply_plan(const allocation_plan& plan) {
       }
     } else if (want < have) {
       backend_->retire(spec.group, *spec_types_[i], have - want);
+    }
+  }
+  // Remember the applied plan so an outage that lifts mid-slot can
+  // restore the group to its planned size instead of waiting a full slot.
+  if (config_.faults.active()) last_plan_ = plan;
+}
+
+void offloading_system::apply_preemption(std::size_t index) {
+  const fault::preemption_event& ev = config_.preemption_schedule[index];
+  const auto result = backend_->preempt_in(ev.group, ev.ordinal);
+  if (!result.applied) return;  // struck an already-empty group
+  if (obs_ptr_ != nullptr) {
+    obs_ptr_->add(obs::counter::fault_preemptions);
+    obs_ptr_->add(obs::counter::fault_inflight_killed, result.killed);
+  }
+}
+
+void offloading_system::begin_outage(std::size_t index) {
+  const fault::outage_window& w = config_.faults.outages[index];
+  backend_->begin_outage(w.group);
+  if (obs_ptr_ != nullptr) obs_ptr_->add(obs::counter::fault_outages);
+}
+
+void offloading_system::end_outage(std::size_t index) {
+  const fault::outage_window& w = config_.faults.outages[index];
+  backend_->end_outage(w.group);
+  restore_group(w.group);
+}
+
+void offloading_system::restore_group(group_id group) {
+  if (obs_ptr_ != nullptr) obs_ptr_->add(obs::counter::fault_recoveries);
+  for (std::size_t i = 0; i < config_.groups.size(); ++i) {
+    const auto& spec = config_.groups[i];
+    if (spec.group != group) continue;
+    // Target the last applied plan when there is one (external plans
+    // included), the initial deployment otherwise.
+    const std::size_t want = last_plan_
+                                 ? last_plan_->count_of(spec.group,
+                                                        spec.type_name)
+                                 : spec.initial_count;
+    const std::size_t have =
+        backend_->instance_count(spec.group, spec_type_ids_[i]);
+    for (std::size_t n = have; n < want; ++n) {
+      backend_->launch(spec.group, *spec_types_[i]);
     }
   }
 }
@@ -356,6 +419,20 @@ void offloading_system::begin(util::time_ms duration) {
         on_slot_boundary(static_cast<std::size_t>(tick));
         return tick + 1 < total_slots;
       });
+
+  if (config_.faults.active()) {
+    fault::validate(config_.faults, duration, "system");
+    for (std::size_t i = 0; i < config_.preemption_schedule.size(); ++i) {
+      const fault::preemption_event& ev = config_.preemption_schedule[i];
+      if (ev.at >= duration) continue;
+      sim_.schedule_at(ev.at, [this, i] { apply_preemption(i); });
+    }
+    for (std::size_t i = 0; i < config_.faults.outages.size(); ++i) {
+      const fault::outage_window& w = config_.faults.outages[i];
+      sim_.schedule_at(w.start_ms, [this, i] { begin_outage(i); });
+      sim_.schedule_at(w.end_ms, [this, i] { end_outage(i); });
+    }
+  }
 
   // Time-resolved telemetry buffers, sized now that the slot count is
   // known: one window per boundary plus the drain tail.

@@ -22,6 +22,7 @@
 #include "core/allocator.h"
 #include "core/predictor.h"
 #include "core/sdn_accelerator.h"
+#include "fault/fault_program.h"
 #include "net/rtt_model.h"
 #include "obs/exemplar.h"
 #include "obs/registry.h"
@@ -121,6 +122,18 @@ struct system_config {
   obs::tracer* trace_sink = nullptr;
   std::size_t trace_ring = 0;
   std::size_t trace_sample_every = 1024;
+
+  // --- fault injection & resilience (src/fault) ---
+  /// Inert by default (enabled == false): no fault events are scheduled,
+  /// no extra rng draws happen anywhere, and pre-fault goldens reproduce
+  /// bit-exactly.  When enabled, the program's resilience knobs are mapped
+  /// onto `sdn` and `instance_options` at construction — the program is
+  /// the single source of truth.
+  fault::fault_program faults;
+  /// Precomputed preemption strikes (fault::make_preemption_schedule);
+  /// exp::make_system_config fills this from the program, fleet shards
+  /// receive their seq-sliced share.  Ignored unless `faults.enabled`.
+  std::vector<fault::preemption_event> preemption_schedule;
 
   // --- plumbing ---
   sdn_config sdn;
@@ -254,6 +267,12 @@ class offloading_system : private response_sink {
   void on_slot_boundary(std::size_t slot_index);
   void inject_background();
   void apply_plan(const allocation_plan& plan);
+  // Fault-program event handlers (scheduled in begin() when enabled).
+  void apply_preemption(std::size_t index);
+  void begin_outage(std::size_t index);
+  void end_outage(std::size_t index);
+  /// Relaunches a recovered group to its last planned (or initial) size.
+  void restore_group(group_id group);
   /// The finished slot accumulated so far; resets the window.
   trace::time_slot take_current_slot();
 
@@ -301,6 +320,9 @@ class offloading_system : private response_sink {
   util::time_ms duration_ = 0.0;
   bool started_ = false;
   std::optional<allocation_request> pending_demand_;
+  /// The most recently applied plan (internal or external) — what
+  /// restore_group() re-applies when an outage lifts mid-slot.
+  std::optional<allocation_plan> last_plan_;
 };
 
 /// The slot-boundary allocation request implied by a deployment's group

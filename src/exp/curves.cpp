@@ -26,7 +26,7 @@ std::vector<load_curve_point> response_vs_users(
     workload::concurrent_generator generator{
         sim, workload::static_source(request),
         [&](const workload::offload_request& r) {
-          server.submit(r.work.work_units(), [&responses](double t) {
+          server.submit(r.work.work_units(), [&responses](double t, bool) {
             responses.push_back(t);
           });
         },

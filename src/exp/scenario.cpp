@@ -82,6 +82,11 @@ void validate(const scenario_spec& spec) {
     }
     if (!(total > 0.0)) reject("task_weights must have a positive sum");
   }
+  // Malformed fault programs (negative hazards, outage windows outside
+  // the run, a zero retry budget with fallback disabled) fail here, once,
+  // with the offending field named — not once per replication.
+  fault::validate(spec.faults, spec.duration,
+                  ("scenario_spec '" + spec.name + "'").c_str());
 }
 
 void validate(const scenario_spec& spec, const tasks::task_pool& pool) {
@@ -152,6 +157,15 @@ core::system_config make_system_config(const scenario_spec& spec,
   config.policy_factory = [promote] {
     return std::make_unique<client::static_probability_promotion>(promote);
   };
+
+  if (spec.faults.active()) {
+    config.faults = spec.faults;
+    // One expanded trace per spec (not per replication): every seed of
+    // the sweep — and every shard of a fleet run — injects the same
+    // global fault set, keyed off base_seed alone.
+    config.preemption_schedule = fault::make_preemption_schedule(
+        spec.faults, spec.duration, spec.base_seed);
+  }
   return config;
 }
 

@@ -19,6 +19,7 @@
 #include "core/predictor.h"
 #include "core/system.h"
 #include "exp/runner.h"
+#include "fault/fault_program.h"
 #include "exp/thread_pool.h"
 #include "util/histogram.h"
 #include "util/stats.h"
@@ -83,6 +84,14 @@ struct scenario_spec {
   /// max_total_instances.  Distinct knob because one shard's cap and the
   /// whole account's cap differ by orders of magnitude at fleet scale.
   std::size_t fleet_max_total_instances = 0;
+
+  // --- fault injection & resilience (src/fault) ---
+  /// Deterministic availability hazards (spot preemption, outage windows,
+  /// cold starts) plus the retry/backoff/local-fallback knobs.  Inert by
+  /// default; validate() rejects malformed programs against `duration`.
+  /// Every replication shares one expanded fault trace (seeded from
+  /// base_seed), modelling a common environment across the sweep.
+  fault::fault_program faults;
 
   /// Experiment seed; replication i draws from rng::split(seed, i) (or
   /// from the plan's explicit per-replication seeds).

@@ -25,7 +25,7 @@ double candidate_cost(const core::allocation_request& shape, group_id group,
 std::vector<std::optional<core::allocation_plan>> split_fleet_plan(
     const core::allocation_plan& fleet_plan,
     std::span<const demand_digest> digests,
-    const core::allocation_request& shape) {
+    const core::allocation_request& shape, bool min_footprint) {
   const std::size_t shard_count = digests.size();
   std::vector<std::optional<core::allocation_plan>> quotas(shard_count);
   std::vector<std::size_t> predicting;
@@ -81,6 +81,39 @@ std::vector<std::optional<core::allocation_plan>> split_fleet_plan(
       auto& quota = *quotas[predicting[i]];
       quota.entries.push_back({entry.group, entry.type_name, base[i]});
       quota.total_cost_per_hour += cost * static_cast<double>(base[i]);
+    }
+  }
+  if (min_footprint) {
+    // Resilience floor: shards route only within themselves, so a shard
+    // the apportionment left with zero instances in a group it still has
+    // demand for would push that whole group onto the local-fallback
+    // path.  Top such shards up with one instance of the group's
+    // cheapest candidate type — appended after the split entries, so the
+    // quota stays a deterministic function of (plan, digests, shape).
+    for (const std::size_t k : predicting) {
+      auto& quota = *quotas[k];
+      const auto& demand = digests[k].demand_per_group;
+      const std::size_t groups =
+          std::min(demand.size(), shape.candidates_per_group.size());
+      for (group_id g = 0; g < groups; ++g) {
+        if (demand[g] <= 0.0) continue;
+        const auto& candidates = shape.candidates_per_group[g];
+        if (candidates.empty()) continue;
+        bool covered = false;
+        for (const auto& e : quota.entries) {
+          if (e.group == g && e.count > 0) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) continue;
+        const core::allocation_candidate* cheapest = &candidates.front();
+        for (const auto& cand : candidates) {
+          if (cand.cost_per_hour < cheapest->cost_per_hour) cheapest = &cand;
+        }
+        quota.entries.push_back({g, cheapest->type_name, 1});
+        quota.total_cost_per_hour += cheapest->cost_per_hour;
+      }
     }
   }
   return quotas;
@@ -145,8 +178,10 @@ std::vector<std::optional<core::allocation_plan>> coordinator::allocate_slot(
       tracer_->ring(trace_ring_).push(span);
     }
     solved_demands_.push_back(fleet.demand_per_group);
+    last_digests_.assign(digests.begin(), digests.end());
+    last_cap_ = shape_.max_total_instances - record.reserved_instances;
     const double split_t0 = tracer_ ? tracer_->now_us() : 0.0;
-    quotas = split_fleet_plan(plan, digests, shape_);
+    quotas = split_fleet_plan(plan, digests, shape_, resilient_split_);
     if (obs_ptr_) obs_ptr_->add(obs::counter::fleet_quota_splits);
     if (tracer_) {
       obs::span_record span;
@@ -168,6 +203,15 @@ std::vector<std::optional<core::allocation_plan>> coordinator::allocate_slot(
                        slot_length_ms_ * static_cast<double>(record.slot + 1));
   }
   return quotas;
+}
+
+std::vector<std::optional<core::allocation_plan>> coordinator::reallocate() {
+  if (last_digests_.empty()) return {};
+  core::allocation_plan plan;
+  ilp_seconds_ += exp::seconds_of([&] {
+    plan = allocator_.solve(solved_demands_.back(), last_cap_);
+  });
+  return split_fleet_plan(plan, last_digests_, shape_, resilient_split_);
 }
 
 void coordinator::enable_timeline(std::size_t window_capacity,

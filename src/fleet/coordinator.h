@@ -58,6 +58,14 @@ class coordinator {
   std::vector<std::optional<core::allocation_plan>> allocate_slot(
       std::span<const demand_digest> digests);
 
+  /// Off-cycle re-aim after a fault collapsed a group's capacity (outage
+  /// lifting, mass preemption): re-solves the batched fleet ILP against
+  /// the most recent solved slot's demands — the warm tableau plus the
+  /// previous plan as incumbent make this ~free — and re-splits with the
+  /// remembered digests.  Returns an empty vector before the first
+  /// solved slot (nothing to re-aim yet).
+  std::vector<std::optional<core::allocation_plan>> reallocate();
+
   std::size_t group_count() const noexcept { return allocator_.group_count(); }
   const std::vector<coordination_record>& records() const noexcept {
     return records_;
@@ -78,6 +86,10 @@ class coordinator {
   /// `tracer->ring(ring)` (nullptr: no spans; not owned).
   void set_observability(bool counters, obs::tracer* tracer = nullptr,
                          std::size_t ring = 0) noexcept;
+  /// Resilience floor on the quota split (see split_fleet_plan).
+  /// fleet_runner turns this on exactly when the scenario's fault program
+  /// is active, so a disabled-fault replay splits like the baseline.
+  void set_resilient_split(bool on) noexcept { resilient_split_ = on; }
   /// The coordinator's registry: ilp_* counters from the batched
   /// allocator plus fleet_slot_rounds / fleet_quota_splits.
   const obs::registry& observability() const noexcept { return obs_; }
@@ -94,10 +106,15 @@ class coordinator {
  private:
   core::allocation_request shape_;
   core::batched_allocator allocator_;
+  /// The digests and remaining cap of the last solved slot — what
+  /// reallocate() re-aims against between boundaries.
+  std::vector<demand_digest> last_digests_;
+  std::size_t last_cap_ = 0;
   std::vector<coordination_record> records_;
   std::vector<std::vector<double>> solved_demands_;
   std::size_t next_slot_ = 0;
   double ilp_seconds_ = 0.0;
+  bool resilient_split_ = false;
   obs::registry obs_;
   obs::registry* obs_ptr_ = nullptr;
   obs::timeline timeline_;
@@ -111,9 +128,19 @@ class coordinator {
 /// split among predicting shards when the group's fleet demand is zero).
 /// Per-shard costs come from `shape`'s candidate prices.  Exposed for
 /// tests; allocate_slot is the production caller.
+///
+/// `min_footprint` adds the resilience floor (fault-program runs only):
+/// a fleet-optimal plan may put a whole group's capacity on one shard —
+/// fine when requests can fail over, but shards route only within
+/// themselves, so every other shard's requests in that group would ride
+/// the local-fallback path at device speed.  With the floor, a predicting
+/// shard with nonzero demand in a group whose split left it no instances
+/// there gets one instance of the group's cheapest candidate type on top
+/// of its quota.  The floor adds at most (shards x groups) instances over
+/// the ILP optimum and keeps the split a pure function of its inputs.
 std::vector<std::optional<core::allocation_plan>> split_fleet_plan(
     const core::allocation_plan& fleet_plan,
     std::span<const demand_digest> digests,
-    const core::allocation_request& shape);
+    const core::allocation_request& shape, bool min_footprint = false);
 
 }  // namespace mca::fleet

@@ -65,6 +65,7 @@ fleet_result run_fleet(const exp::scenario_spec& spec,
       });
 
   coordinator coord{fleet_allocation_shape(spec), options.ilp};
+  coord.set_resilient_split(spec.faults.active());
   coord.set_observability(options.obs_counters, tracer, shards);
   if (options.obs_counters && options.obs_timeline) {
     // One coordinator window per slot round; count the boundaries with
@@ -90,6 +91,21 @@ fleet_result run_fleet(const exp::scenario_spec& spec,
   result.total_users = spec.user_count;
   result.shard_count = shards;
 
+  // Outage-end edges strictly inside a slot trigger an off-cycle re-aim:
+  // the fleet lost (and just regained) a group's capacity mid-slot, and
+  // waiting for the next boundary would leave the recovered group idle.
+  // Edges landing exactly on a boundary are covered by that slot's solve.
+  std::vector<util::time_ms> recovery_edges;
+  if (spec.faults.active()) {
+    for (const fault::outage_window& w : spec.faults.outages) {
+      if (w.end_ms > 0.0 && w.end_ms < spec.duration) {
+        recovery_edges.push_back(w.end_ms);
+      }
+    }
+    std::sort(recovery_edges.begin(), recovery_edges.end());
+  }
+  std::size_t next_edge = 0;
+
   // Bulk-synchronous slot rounds: advance all shards to the boundary in
   // parallel, then coordinate serially (gather is already ordered by
   // shard index, so the ILP input — and with it every quota — depends
@@ -100,6 +116,22 @@ fleet_result run_fleet(const exp::scenario_spec& spec,
   for (util::time_ms boundary = spec.slot_length; boundary <= spec.duration;
        boundary += spec.slot_length) {
     const std::size_t slot = result.slot_count;
+    // Park every shard at each fault edge inside this round, then let the
+    // coordinator re-aim with its warm tableau.  The edge times come from
+    // the spec, the shard advance is bulk-synchronous, and the split uses
+    // the remembered digests — deterministic like the boundary rounds.
+    while (next_edge < recovery_edges.size() &&
+           recovery_edges[next_edge] < boundary) {
+      const util::time_ms edge = recovery_edges[next_edge++];
+      exp::parallel_map(pool, shards, [&](std::size_t k) {
+        members[k]->advance_to(edge);
+        return k;
+      });
+      const auto quotas = coord.reallocate();
+      for (std::size_t k = 0; k < quotas.size(); ++k) {
+        if (quotas[k]) members[k]->apply_quota(*quotas[k]);
+      }
+    }
     const double round_t0 = tracer != nullptr ? tracer->now_us() : 0.0;
     const std::vector<demand_digest> digests =
         exp::parallel_map(pool, shards, [&](std::size_t k) {

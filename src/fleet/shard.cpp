@@ -51,6 +51,18 @@ shard::shard(const exp::scenario_spec& spec, const tasks::task_pool& pool,
   config.trace_sink = obs.tracer;
   config.trace_ring = obs.ring;
   config.trace_sample_every = obs.sample_every;
+  if (config.faults.active() && shard_count > 1) {
+    // Slice the shared fault trace by global order index: strike `seq`
+    // lands on shard `seq % shard_count`, so the union across shards is
+    // exactly the monolith's schedule regardless of shard count.  Outage
+    // windows are NOT sliced — a zone outage hits every shard's slice of
+    // the group at once.
+    std::vector<fault::preemption_event> mine;
+    for (const fault::preemption_event& ev : config.preemption_schedule) {
+      if (ev.seq % shard_count == index) mine.push_back(ev);
+    }
+    config.preemption_schedule = std::move(mine);
+  }
   system_.emplace(std::move(config), pool);
 }
 
@@ -95,6 +107,8 @@ demand_digest shard::advance_to_slot(std::size_t slot_index) {
   return digest;
 }
 // mca:hot-path-end
+
+void shard::advance_to(util::time_ms t) { system_->advance_to(t); }
 
 void shard::apply_quota(const core::allocation_plan& quota) {
   system_->apply_external_plan(quota);

@@ -58,6 +58,11 @@ class shard {
   /// state for the coordinator.
   demand_digest advance_to_slot(std::size_t slot_index);
 
+  /// Runs the shard's event loop to an arbitrary time inside the current
+  /// slot — fleet_runner uses this to park every shard at a fault edge
+  /// (outage end) before the coordinator's off-cycle re-aim.
+  void advance_to(util::time_ms t);
+
   /// Applies this shard's slice of the fleet plan (launch/retire on the
   /// shard's own backend pool, recorded in its slot report).
   void apply_quota(const core::allocation_plan& quota);

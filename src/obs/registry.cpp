@@ -29,6 +29,14 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "slot_boundaries",
     "timeline_snapshots",
     "exemplar_admitted",
+    "fault_preemptions",
+    "fault_inflight_killed",
+    "fault_outages",
+    "fault_recoveries",
+    "fault_cold_starts",
+    "sdn_timeouts",
+    "sdn_retries",
+    "sdn_local_fallbacks",
     "pool_tasks_executed",
     "pool_steals",
     "pool_idle_waits",

@@ -58,6 +58,15 @@ enum class counter : std::uint32_t {
   // --- time-resolved telemetry (obs::timeline / obs::exemplar) ---
   timeline_snapshots,   ///< per-slot windows closed into a timeline
   exemplar_admitted,    ///< responses admitted to a tail top-K reservoir
+  // --- fault injection & resilience (src/fault + the retry path) ---
+  fault_preemptions,      ///< spot preemption events applied
+  fault_inflight_killed,  ///< in-flight jobs killed by preemption/drain
+  fault_outages,          ///< outage windows opened (group drained)
+  fault_recoveries,       ///< outage ends + off-cycle re-allocation solves
+  fault_cold_starts,      ///< launches that paid a cold-start delay
+  sdn_timeouts,           ///< per-request timeout timers that fired
+  sdn_retries,            ///< re-dispatch attempts after backoff
+  sdn_local_fallbacks,    ///< requests served on-device after exhaustion
   // --- work-stealing pool (scheduling-dependent: reported, never
   //     fingerprinted) ---
   pool_tasks_executed,

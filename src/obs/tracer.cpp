@@ -49,6 +49,8 @@ const char* span_name(span_kind k) noexcept {
       return "request_exemplar";
     case span_kind::slo_alert:
       return "slo_alert";
+    case span_kind::fault_window:
+      return "fault_window";
   }
   return "span";
 }

@@ -37,6 +37,7 @@ enum class span_kind : std::uint8_t {
   pool_idle,          ///< worker idle gap between tasks (a=worker)
   request_exemplar,   ///< tail top-K request lifecycle (a=user, b=request id)
   slo_alert,          ///< SLO alert active interval (a=objective, b=fire slot)
+  fault_window,       ///< injected outage interval (a=group, b=fault kind)
 };
 
 /// Trace-event name of a kind.

@@ -127,8 +127,8 @@ TEST_F(BackendPoolTest, GroupsListsNonEmptyGroups) {
 TEST_F(BackendPoolTest, CompletionCountsAggregate) {
   pool_.launch(1, plain_type());
   int completions = 0;
-  pool_.route(1, 1.0, [&](double) { ++completions; });
-  pool_.route(1, 1.0, [&](double) { ++completions; });
+  pool_.route(1, 1.0, [&](double, bool) { ++completions; });
+  pool_.route(1, 1.0, [&](double, bool) { ++completions; });
   sim_.run();
   EXPECT_EQ(completions, 2);
   EXPECT_EQ(pool_.total_completed(), 2u);
@@ -167,13 +167,20 @@ TEST_F(BackendPoolTest, RetireWhileRoutingChurn) {
   for (int i = 0; i < 4; ++i) pool_.launch(1, type);
 
   std::size_t completions = 0;
+  std::size_t failures = 0;
   std::size_t routed = 0;
   std::size_t drained_total = 0;
+  const auto terminal = [&](double, bool ok) {
+    if (ok) {
+      ++completions;
+    } else {
+      ++failures;
+    }
+  };
   for (int round = 0; round < 6; ++round) {
     // Load every accepting instance, then mark one busy member mid-work.
     for (int r = 0; r < 8; ++r) {
-      if (pool_.route(1, 50.0, [&](double) { ++completions; }) ==
-          route_status::ok) {
+      if (pool_.route(1, 50.0, terminal) == route_status::ok) {
         ++routed;
       }
     }
@@ -195,8 +202,7 @@ TEST_F(BackendPoolTest, RetireWhileRoutingChurn) {
       jobs_before.push_back(server->active_jobs());
     }
     for (int r = 0; r < 4; ++r) {
-      if (pool_.route(1, 25.0, [&](double) { ++completions; }) ==
-          route_status::ok) {
+      if (pool_.route(1, 25.0, terminal) == route_status::ok) {
         ++routed;
       }
     }
@@ -242,6 +248,38 @@ TEST_F(BackendPoolTest, RetireWhileRoutingChurn) {
   EXPECT_GE(cost, 4.0);  // four records, minimum one hour each at $1/h
   pool_.sweep();
   EXPECT_DOUBLE_EQ(pool_.billing().total_cost(sim_.now()), cost);
+
+  // Preemption phase: spot-kill both survivors while loaded.  Every job
+  // in flight on a victim must be failure-notified exactly once — the
+  // terminal-accounting invariant the resilient offload path builds on:
+  // routed == completed + failure-notified, nothing silently lost.
+  EXPECT_EQ(completions, routed);  // everything so far finished ok
+  EXPECT_EQ(failures, 0u);
+  std::size_t preempt_routed = 0;
+  for (int r = 0; r < 6; ++r) {
+    if (pool_.route(1, 40.0, terminal) == route_status::ok) {
+      ++preempt_routed;
+    }
+  }
+  ASSERT_EQ(preempt_routed, 6u);
+  const auto strike = pool_.preempt_in(1, 5);
+  EXPECT_TRUE(strike.applied);
+  EXPECT_GT(strike.killed, 0u);
+  EXPECT_EQ(pool_.instance_count(1), 1u);
+  const auto second = pool_.preempt_in(1, 0);
+  EXPECT_TRUE(second.applied);
+  EXPECT_GT(second.killed, 0u);
+  EXPECT_EQ(pool_.instance_count(1), 0u);
+  // A preempted group with no survivors refuses routing and strikes.
+  EXPECT_EQ(pool_.route(1, 1.0, {}), route_status::no_instances);
+  EXPECT_FALSE(pool_.preempt_in(1, 0).applied);
+  sim_.run();
+  ASSERT_NO_THROW(pool_.sweep());
+  EXPECT_EQ(strike.killed + second.killed, failures);
+  EXPECT_EQ(completions + failures, routed + preempt_routed);
+  EXPECT_EQ(pool_.total_completed(), completions);
+  // Both victims' billing records closed on the kill.
+  EXPECT_EQ(pool_.billing().active_instances(), 0u);
 }
 
 TEST(RouteStatus, Names) {

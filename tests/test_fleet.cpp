@@ -133,6 +133,36 @@ TEST(SplitFleetPlan, ZeroDemandGroupSplitsEquallyWithLowIndexTies) {
   EXPECT_EQ(quotas[1]->count_of(0, "small"), 1u);
 }
 
+TEST(SplitFleetPlan, MinFootprintCoversDemandingShards) {
+  // A consolidated fleet plan (one instance for the whole group) starves
+  // every shard the apportionment skips; the resilience floor tops each
+  // demanding shard up with one instance of the group's cheapest type.
+  core::allocation_plan fleet_plan;
+  fleet_plan.entries = {{1, "large", 1}};
+  core::allocation_request shape;
+  shape.workload_per_group = {0.0, 0.0};
+  shape.candidates_per_group = {{}, {{"large", 30.0, 3.0}, {"small", 9.0, 1.0}}};
+  const demand_digest digests[3] = {
+      make_digest(0, {0.0, 4.0}),
+      make_digest(1, {0.0, 3.0}),
+      make_digest(2, {0.0, 0.0}),
+  };
+
+  // Baseline split: the single instance lands on the highest-demand shard
+  // and the others get nothing at all.
+  const auto bare = split_fleet_plan(fleet_plan, digests, shape);
+  EXPECT_EQ(bare[0]->count_of(1, "large"), 1u);
+  EXPECT_EQ(bare[1]->total_instances(), 0u);
+
+  const auto quotas =
+      split_fleet_plan(fleet_plan, digests, shape, /*min_footprint=*/true);
+  EXPECT_EQ(quotas[0]->count_of(1, "large"), 1u);
+  EXPECT_EQ(quotas[0]->count_of(1, "small"), 0u);  // already covered
+  EXPECT_EQ(quotas[1]->count_of(1, "small"), 1u);  // cheapest type top-up
+  EXPECT_DOUBLE_EQ(quotas[1]->total_cost_per_hour, 1.0);
+  EXPECT_EQ(quotas[2]->total_instances(), 0u);  // no demand, no floor
+}
+
 TEST(Coordinator, NoPredictionsMeansNoQuotas) {
   coordinator coord{fleet_allocation_shape(tiny_fleet_scenario())};
   const demand_digest digests[2] = {

@@ -121,5 +121,84 @@ TEST(HotPathAllocation, SteadyStateRequestPathAllocatesNothing) {
   EXPECT_EQ(system.metrics().digest.issued, system.metrics().digest.succeeded);
 }
 
+TEST(HotPathAllocation, FaultSteadyStateRequestPathAllocatesNothing) {
+  // The same gate with the fault program live: timeout timers armed on
+  // every dispatch, a spot strike landing inside the measured window, and
+  // the retry/backoff/fallback machinery absorbing everything after it.
+  //
+  // Adaptation is off and three hand-placed strikes progressively empty
+  // group 1 (nothing relaunches), so the run walks through every fault
+  // regime before the window opens: full capacity, then one overloaded
+  // survivor (warm-up saturates its job slab at max_concurrent and pushes
+  // the in-flight pool and timeout machinery to their high-water marks),
+  // then — after the in-window strike at minute 23 — a drained group
+  // where every request runs route-refusal → backoff retries → local
+  // fallback.  The window must absorb the strike itself (billing close,
+  // heap-order kill callbacks) and the regime change without a single
+  // allocation.
+  tasks::task_pool pool;
+
+  core::system_config config;
+  config.groups = {
+      {1, "t2.large", 3, 200.0},
+      {2, "m4.4xlarge", 1, 600.0},
+  };
+  config.user_count = 400;
+  config.tasks = workload::static_source(pool.static_minimax_request());
+  config.gaps = workload::fixed_interarrival(util::seconds(40.0));
+  config.slot_length = util::minutes(10.0);
+  config.background_requests_per_burst = 0;
+  config.policy_factory = [] {
+    return std::make_unique<client::never_promote>();
+  };
+  config.enable_adaptation = false;
+  config.record_request_series = false;
+  config.sdn.retain_trace_records = false;
+  config.seed = 99;
+
+  config.faults.enabled = true;
+  config.faults.preempt_hazard_per_hour = {0.0, 0.0, 0.0};
+  config.faults.cold_start_mean_ms = 500.0;
+  config.faults.max_retries = 2;
+  config.faults.request_timeout_ms = 60'000.0;
+  config.faults.local_fallback = true;
+  // A fast local device keeps the post-drain fallback cheap (the paper's
+  // 0.005 wu/ms would hold ~56 s of pending local events per request).
+  config.faults.local_exec_wu_per_ms = 1.0;
+  const double strike_minutes[3] = {5.0, 13.0, 23.0};
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    fault::preemption_event ev;
+    ev.at = util::minutes(strike_minutes[i]);
+    ev.group = 1;
+    ev.ordinal = i;
+    ev.seq = i;
+    config.preemption_schedule.push_back(ev);
+  }
+
+  core::offloading_system system{std::move(config), pool};
+  system.begin(util::hours(1.0));
+
+  system.advance_to(util::minutes(21.0));
+
+  const std::uint64_t before = allocation_count();
+  system.advance_to(util::minutes(29.0));
+  const std::uint64_t during_window = allocation_count() - before;
+
+  EXPECT_GT(system.metrics().digest.issued, 10'000u);
+  EXPECT_EQ(during_window, 0u)
+      << "fault-steady-state request path performed " << during_window
+      << " heap allocations";
+  // All three strikes fired; the machinery they exercise actually ran.
+  const obs::registry& r = system.observability();
+  EXPECT_GE(r.get(obs::counter::fault_preemptions), 3u);
+  EXPECT_GT(r.get(obs::counter::sdn_retries), 0u);
+  EXPECT_GT(r.get(obs::counter::sdn_local_fallbacks), 0u);
+
+  system.finish();
+  // Zero loss end to end: with the local fallback on, every issued
+  // request still terminates successfully despite losing the whole group.
+  EXPECT_EQ(system.metrics().digest.issued, system.metrics().digest.succeeded);
+}
+
 }  // namespace
 }  // namespace mca

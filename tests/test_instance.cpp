@@ -27,7 +27,7 @@ TEST(Instance, SingleJobServiceTimeIsWorkPlusSpawn) {
   sim::simulation sim;
   instance server{sim, 1, exact_type(), util::rng{1}};
   double service = -1.0;
-  ASSERT_TRUE(server.submit(10.0, [&](double t) { service = t; }));
+  ASSERT_TRUE(server.submit(10.0, [&](double t, bool) { service = t; }));
   sim.run();
   // 10 wu compute + 8 wu dalvikvm spawn at 1 wu/ms.
   EXPECT_NEAR(service, 18.0, 1e-9);
@@ -38,7 +38,7 @@ TEST(Instance, SpeedFactorDividesServiceTime) {
   sim::simulation sim;
   instance server{sim, 1, exact_type(1.0, 2.0), util::rng{1}};
   double service = -1.0;
-  server.submit(10.0, [&](double t) { service = t; });
+  server.submit(10.0, [&](double t, bool) { service = t; });
   sim.run();
   EXPECT_NEAR(service, 9.0, 1e-9);
 }
@@ -47,8 +47,8 @@ TEST(Instance, ProcessorSharingDoublesWithTwoJobs) {
   sim::simulation sim;
   instance server{sim, 1, exact_type(), util::rng{1}};
   std::vector<double> services;
-  server.submit(10.0, [&](double t) { services.push_back(t); });
-  server.submit(10.0, [&](double t) { services.push_back(t); });
+  server.submit(10.0, [&](double t, bool) { services.push_back(t); });
+  server.submit(10.0, [&](double t, bool) { services.push_back(t); });
   sim.run();
   ASSERT_EQ(services.size(), 2u);
   // Both 18-wu jobs share one core: each sees 36 ms.
@@ -60,8 +60,8 @@ TEST(Instance, MultipleCoresAvoidSharingPenalty) {
   sim::simulation sim;
   instance server{sim, 1, exact_type(2.0), util::rng{1}};
   std::vector<double> services;
-  server.submit(10.0, [&](double t) { services.push_back(t); });
-  server.submit(10.0, [&](double t) { services.push_back(t); });
+  server.submit(10.0, [&](double t, bool) { services.push_back(t); });
+  server.submit(10.0, [&](double t, bool) { services.push_back(t); });
   sim.run();
   ASSERT_EQ(services.size(), 2u);
   EXPECT_NEAR(services[0], 18.0, 1e-6);
@@ -72,9 +72,9 @@ TEST(Instance, LateArrivalSharesRemainingWork) {
   sim::simulation sim;
   instance server{sim, 1, exact_type(), util::rng{1}};
   std::vector<std::pair<double, double>> completions;  // (finish, service)
-  server.submit(10.0, [&](double t) { completions.push_back({sim.now(), t}); });
+  server.submit(10.0, [&](double t, bool) { completions.push_back({sim.now(), t}); });
   sim.schedule_at(9.0, [&] {
-    server.submit(1.0, [&](double t) { completions.push_back({sim.now(), t}); });
+    server.submit(1.0, [&](double t, bool) { completions.push_back({sim.now(), t}); });
   });
   sim.run();
   ASSERT_EQ(completions.size(), 2u);
@@ -108,7 +108,7 @@ TEST(Instance, DrainRejectsNewWorkButFinishesRunning) {
   sim::simulation sim;
   instance server{sim, 1, exact_type(), util::rng{1}};
   bool finished = false;
-  server.submit(10.0, [&](double) { finished = true; });
+  server.submit(10.0, [&](double, bool) { finished = true; });
   server.drain();
   EXPECT_FALSE(server.submit(1.0, {}));
   EXPECT_TRUE(server.draining());
@@ -152,8 +152,8 @@ TEST(Instance, StealSlowsServiceUnderContention) {
   std::vector<double> steal_times;
   std::vector<double> clean_times;
   for (int i = 0; i < 4; ++i) {
-    stealing.submit(10.0, [&](double t) { steal_times.push_back(t); });
-    clean.submit(10.0, [&](double t) { clean_times.push_back(t); });
+    stealing.submit(10.0, [&](double t, bool) { steal_times.push_back(t); });
+    clean.submit(10.0, [&](double t, bool) { clean_times.push_back(t); });
   }
   sim.run();
   ASSERT_EQ(steal_times.size(), 4u);
@@ -169,7 +169,7 @@ TEST(Instance, JitterPerturbsServiceTimes) {
   std::vector<double> services;
   for (int i = 0; i < 50; ++i) {
     sim.schedule_at(i * 1000.0, [&] {
-      server.submit(10.0, [&](double t) { services.push_back(t); });
+      server.submit(10.0, [&](double t, bool) { services.push_back(t); });
     });
   }
   sim.run();
@@ -192,7 +192,7 @@ TEST(Instance, CreditExhaustionThrottlesToBaseline) {
   opts.initial_credits_core_ms = 50.0;
   instance server{sim, 1, type, util::rng{1}, opts};
   double service = -1.0;
-  server.submit(92.0, [&](double t) { service = t; });  // 100 wu total
+  server.submit(92.0, [&](double t, bool) { service = t; });  // 100 wu total
   sim.run();
   // Full speed while credits last: net drain 0.9/ms -> 55.55 ms doing
   // 55.55 wu.  The remaining 44.44 wu run at 0.1 wu/ms -> 444.4 ms.
@@ -270,7 +270,7 @@ TEST_P(WorkConservation, BusyTimeEqualsTotalWork) {
     const double work = rng.uniform(1.0, 30.0);
     total_work += work + 8.0;  // + spawn overhead
     sim.schedule_at(last_arrival, [&server, work, &completion_times, &sim] {
-      server.submit(work, [&completion_times, &sim](double) {
+      server.submit(work, [&completion_times, &sim](double, bool) {
         completion_times.push_back(sim.now());
       });
     });
@@ -293,7 +293,7 @@ TEST(Instance, CompletionCallbackMayResubmit) {
   sim::simulation sim;
   instance server{sim, 1, exact_type(), util::rng{1}};
   int completions = 0;
-  std::function<void(double)> resubmit = [&](double) {
+  std::function<void(double, bool)> resubmit = [&](double, bool) {
     if (++completions < 3) server.submit(2.0, resubmit);
   };
   server.submit(2.0, resubmit);

@@ -172,7 +172,7 @@ class legacy_ps_oracle {
       instance::completion_fn fn = std::move(j.on_complete);
       j.on_complete = nullptr;
       ++completed_;
-      if (fn) fn(service_time);
+      if (fn) fn(service_time, true);
     }
     reschedule();
   }
@@ -224,7 +224,7 @@ trace_result run_trace(const instance_type& type, instance::options opts,
   for (std::size_t i = 0; i < ops.size(); ++i) {
     sim.schedule_at(ops[i].at, [&, i] {
       r.accepted[i] = server.submit(ops[i].work,
-                                    [&r, i, &sim](double s) {
+                                    [&r, i, &sim](double s, bool) {
                                       r.completion_at[i] = sim.now();
                                       r.service[i] = s;
                                     })
@@ -410,7 +410,7 @@ TEST(PsDifferential, CallbackResubmissionChainsAgree) {
     sim::simulation sim;
     auto server = make_server(sim);
     std::vector<double> times;
-    std::function<void(double)> resubmit = [&](double) {
+    std::function<void(double, bool)> resubmit = [&](double, bool) {
       times.push_back(sim.now());
       if (times.size() < 4) server->submit(3.0, resubmit);
     };

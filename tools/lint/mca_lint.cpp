@@ -100,7 +100,8 @@ const std::set<std::string>& known_rules() {
   static const std::set<std::string> rules{
       "hot-alloc",        "hot-function",      "hot-vector-growth",
       "hot-lock",         "hot-throw",         "hot-io",
-      "hot-region",       "det-random",        "det-wallclock",
+      "hot-string-build", "hot-region",        "det-random",
+      "det-wallclock",
       "det-unordered-iter", "hdr-guard",       "hdr-using-namespace",
       "obs-dead-counter", "obs-unknown-counter", "obs-unnamed-counter",
       "obs-dead-span",    "obs-unknown-span",    "obs-unnamed-span",
@@ -308,6 +309,22 @@ void check_hot_regions(const source_file& f, std::vector<violation>& out) {
       out.push_back({f.display, t.line, "hot-lock", t.text + in_tag});
     } else if (t.text == "throw") {
       out.push_back({f.display, t.line, "hot-throw", "throw" + in_tag});
+    } else if ((t.text == "to_string" || t.text == "ostringstream" ||
+                t.text == "stringstream") &&
+               std_qualified(tk, i)) {
+      out.push_back({f.display, t.line, "hot-string-build",
+                     "std::" + t.text + in_tag + " (string building "
+                     "allocates)"});
+    } else if (t.text == "string" && std_qualified(tk, i) &&
+               !(i + 1 < tk.size() && (is_punct(tk[i + 1], '&') ||
+                                       is_punct(tk[i + 1], '*') ||
+                                       is_punct(tk[i + 1], '>')))) {
+      // std::string by value / construction allocates; views and
+      // references (std::string&, std::string*, a template argument
+      // closing with >) pass through.
+      out.push_back({f.display, t.line, "hot-string-build",
+                     "std::string construction" + in_tag +
+                         " (use string_view or an interned id)"});
     } else if (io_names().count(t.text) > 0 &&
                !followed_by_scope(tk, i)) {
       out.push_back({f.display, t.line, "hot-io", t.text + in_tag});
@@ -488,6 +505,8 @@ constexpr obs_kind_spec kObsKinds[] = {
     {"series", "src/obs/registry.h", "src/obs/registry.cpp", "counter"},
     {"alert_kind", "src/obs/alerts.h", "src/obs/alerts.cpp", "counter"},
     {"span_kind", "src/obs/tracer.h", "src/obs/tracer.cpp", "span"},
+    {"fault_kind", "src/fault/fault_program.h", "src/fault/fault_program.cpp",
+     "counter"},
 };
 
 const obs_kind_spec* obs_kind(const std::string& kind) {
@@ -851,6 +870,15 @@ int self_test() {
       "void f() {\n"
       "  // mca:hot-path-begin(demo)\n"
       "}\n";
+  const std::string hot_string =
+      "void f(const std::string& name) {\n"
+      "  // mca:hot-path-begin(demo)\n"
+      "  std::string copy;\n"
+      "  auto s = std::to_string(42);\n"
+      "  const std::string& ref = name;\n"
+      "  take(std::vector<std::string>{});\n"
+      "  // mca:hot-path-end\n"
+      "}\n";
   const std::string registry_h =
       "#pragma once\n"
       "enum class counter : int {\n"
@@ -916,6 +944,9 @@ int self_test() {
       {"unbalanced hot region",
        {{"src/demo/unbalanced.cpp", unbalanced}},
        {{"hot-region", 1}}},
+      {"string building fires in hot regions, references pass",
+       {{"src/demo/strings.cpp", hot_string}},
+       {{"hot-string-build", 2}}},
       {"obs cross-reference",
        {{"src/obs/registry.h", registry_h},
         {"src/obs/registry.cpp", registry_cpp},
